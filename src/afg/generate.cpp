@@ -1,0 +1,208 @@
+#include "afg/generate.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace vdce::afg {
+
+namespace {
+
+/// Build a task with `fan_in` inputs and one output of `output_bytes`.
+TaskProperties synth_props(int fan_in, double output_bytes,
+                           ComputationMode mode = ComputationMode::kSequential,
+                           int num_nodes = 1) {
+  TaskProperties p;
+  p.mode = mode;
+  p.num_nodes = num_nodes;
+  p.inputs.resize(static_cast<std::size_t>(fan_in));
+  p.outputs.push_back(FileSpec{"", output_bytes, false});
+  return p;
+}
+
+/// Synthetic tasks encode their computation size in the task name so the
+/// bench harness can recover it without a shared registry:
+/// "synthetic.w<mflop>".
+std::string synth_task_name(const std::string& library, double mflop) {
+  return library + ".w" + std::to_string(static_cast<long long>(mflop));
+}
+
+}  // namespace
+
+Afg make_layered_dag(const LayeredDagSpec& spec, common::Rng& rng,
+                     const std::string& name) {
+  assert(spec.tasks > 0);
+  assert(spec.width > 0);
+  Afg graph(name);
+
+  // Partition tasks into layers of random width in [1, spec.width].
+  std::vector<std::vector<TaskId>> layers;
+  std::size_t created = 0;
+  while (created < spec.tasks) {
+    std::size_t w = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(spec.width)));
+    w = std::min(w, spec.tasks - created);
+    // Fan-in sized to the worst case (whole previous layer); unused input
+    // ports are legal — they model optional inputs left unconnected.
+    int fan_in =
+        layers.empty() ? 0 : static_cast<int>(layers.back().size());
+    layers.emplace_back();
+    for (std::size_t i = 0; i < w; ++i) {
+      double mflop = rng.uniform(spec.min_mflop, spec.max_mflop);
+      double out_bytes = rng.uniform(spec.min_output_bytes, spec.max_output_bytes);
+      bool parallel = rng.chance(spec.parallel_task_fraction);
+      int nodes = parallel ? static_cast<int>(rng.uniform_int(2, 4)) : 1;
+      auto props = synth_props(fan_in, out_bytes,
+                               parallel ? ComputationMode::kParallel
+                                        : ComputationMode::kSequential,
+                               parallel ? nodes : 1);
+      auto id = graph.add_task(
+          "t" + std::to_string(created), synth_task_name(spec.task_library, mflop),
+          std::move(props));
+      assert(id);
+      layers.back().push_back(*id);
+      ++created;
+    }
+  }
+
+  // Wire adjacent layers: each child gets >= 1 parent; extra edges appear
+  // with probability edge_density.
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    const auto& prev = layers[l - 1];
+    for (TaskId child : layers[l]) {
+      int port = 0;
+      bool connected = false;
+      for (TaskId parent : prev) {
+        if (rng.chance(spec.edge_density)) {
+          auto st = graph.connect(parent, 0, child, port++);
+          assert(st.ok());
+          connected = true;
+        }
+      }
+      if (!connected) {
+        TaskId parent = prev[rng.pick_index(prev.size())];
+        auto st = graph.connect(parent, 0, child, port);
+        assert(st.ok());
+      }
+    }
+  }
+  return graph;
+}
+
+Afg make_fork_join(std::size_t width, std::size_t depth, double mflop,
+                   double output_bytes, const std::string& name) {
+  assert(width > 0 && depth > 0);
+  Afg graph(name);
+  std::string task = synth_task_name("synthetic", mflop);
+
+  auto entry = graph.add_task("fork", task, synth_props(0, output_bytes));
+  assert(entry);
+  std::vector<TaskId> last_of_branch;
+  for (std::size_t b = 0; b < width; ++b) {
+    TaskId prev = *entry;
+    for (std::size_t d = 0; d < depth; ++d) {
+      auto id = graph.add_task(
+          "b" + std::to_string(b) + "_" + std::to_string(d), task,
+          synth_props(1, output_bytes));
+      assert(id);
+      auto st = graph.connect(prev, 0, *id, 0);
+      assert(st.ok());
+      prev = *id;
+    }
+    last_of_branch.push_back(prev);
+  }
+  auto join = graph.add_task(
+      "join", task, synth_props(static_cast<int>(width), output_bytes));
+  assert(join);
+  for (std::size_t b = 0; b < width; ++b) {
+    auto st = graph.connect(last_of_branch[b], 0, *join, static_cast<int>(b));
+    assert(st.ok());
+  }
+  return graph;
+}
+
+Afg make_chain(std::size_t length, double mflop, double output_bytes,
+               const std::string& name) {
+  assert(length > 0);
+  Afg graph(name);
+  std::string task = synth_task_name("synthetic", mflop);
+  TaskId prev{};
+  for (std::size_t i = 0; i < length; ++i) {
+    auto id = graph.add_task("s" + std::to_string(i), task,
+                             synth_props(i == 0 ? 0 : 1, output_bytes));
+    assert(id);
+    if (i > 0) {
+      auto st = graph.connect(prev, 0, *id, 0);
+      assert(st.ok());
+    }
+    prev = *id;
+  }
+  return graph;
+}
+
+Afg make_independent(std::size_t count, double mflop, const std::string& name) {
+  assert(count > 0);
+  Afg graph(name);
+  std::string task = synth_task_name("synthetic", mflop);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto id = graph.add_task("j" + std::to_string(i), task,
+                             synth_props(0, 1e4));
+    assert(id);
+  }
+  return graph;
+}
+
+Afg make_reduction_tree(std::size_t leaves, double mflop, double output_bytes,
+                        const std::string& name) {
+  assert(leaves > 0);
+  Afg graph(name);
+  std::string task = synth_task_name("synthetic", mflop);
+
+  std::vector<TaskId> frontier;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    auto id = graph.add_task("leaf" + std::to_string(i), task,
+                             synth_props(0, output_bytes));
+    assert(id);
+    frontier.push_back(*id);
+  }
+  std::size_t next = 0;
+  while (frontier.size() > 1) {
+    std::vector<TaskId> parents;
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+      auto id = graph.add_task("red" + std::to_string(next++), task,
+                               synth_props(2, output_bytes));
+      assert(id);
+      auto s1 = graph.connect(frontier[i], 0, *id, 0);
+      auto s2 = graph.connect(frontier[i + 1], 0, *id, 1);
+      assert(s1.ok() && s2.ok());
+      parents.push_back(*id);
+    }
+    if (frontier.size() % 2 == 1) parents.push_back(frontier.back());
+    frontier = std::move(parents);
+  }
+  return graph;
+}
+
+Afg make_linear_solver_shape(double matrix_bytes, const std::string& name) {
+  Afg graph(name);
+  // Mirrors Figure 1: LU-Decomposition and Matrix-Multiplication feed the
+  // triangular solve stages producing vector_X.
+  auto lu = graph.add_task("LU_Decomposition", synth_task_name("synthetic", 2000),
+                           synth_props(0, matrix_bytes));
+  auto mm = graph.add_task("Matrix_Multiplication",
+                           synth_task_name("synthetic", 1500),
+                           synth_props(0, matrix_bytes));
+  auto fwd = graph.add_task("Forward_Substitution",
+                            synth_task_name("synthetic", 400),
+                            synth_props(2, matrix_bytes / 2));
+  auto bwd = graph.add_task("Backward_Substitution",
+                            synth_task_name("synthetic", 400),
+                            synth_props(1, matrix_bytes / 4));
+  assert(lu && mm && fwd && bwd);
+  auto s1 = graph.connect(*lu, 0, *fwd, 0);
+  auto s2 = graph.connect(*mm, 0, *fwd, 1);
+  auto s3 = graph.connect(*fwd, 0, *bwd, 0);
+  assert(s1.ok() && s2.ok() && s3.ok());
+  return graph;
+}
+
+}  // namespace vdce::afg

@@ -1,0 +1,59 @@
+// Synthetic AFG generators for tests and benchmarks.
+//
+// The paper evaluates on applications like the Linear Equation Solver
+// (Fig. 1); its claims about the scheduler ("minimize the schedule length")
+// need a population of graphs to quantify.  These generators produce the
+// standard shapes of the list-scheduling literature the paper builds on
+// (Adam/Chandy/Dickson, Kwok/Ahmad): layered random DAGs, fork-join
+// pipelines, in-trees/out-trees, and independent task bags.
+#pragma once
+
+#include <string>
+
+#include "afg/graph.hpp"
+#include "common/rng.hpp"
+
+namespace vdce::afg {
+
+/// Parameters of a layered random DAG.
+struct LayeredDagSpec {
+  std::size_t tasks = 50;
+  std::size_t width = 5;                ///< max tasks per layer
+  double edge_density = 0.5;            ///< P(edge) between adjacent layers
+  double min_mflop = 50.0;              ///< per-task computation size range
+  double max_mflop = 2000.0;
+  double min_output_bytes = 1e4;        ///< per-edge data volume range
+  double max_output_bytes = 1e7;
+  double parallel_task_fraction = 0.0;  ///< fraction made parallel (2-4 nodes)
+  std::string task_library = "synthetic";
+};
+
+/// Random layered DAG.  Every non-entry task is guaranteed at least one
+/// parent in the previous layer, so the graph is weakly connected per layer
+/// chain and has no isolated "accidental entries".
+Afg make_layered_dag(const LayeredDagSpec& spec, common::Rng& rng,
+                     const std::string& name = "layered");
+
+/// Fork-join: entry -> `width` parallel branches of `depth` tasks -> join.
+Afg make_fork_join(std::size_t width, std::size_t depth, double mflop,
+                   double output_bytes, const std::string& name = "forkjoin");
+
+/// Linear chain of `length` tasks (pipeline).
+Afg make_chain(std::size_t length, double mflop, double output_bytes,
+               const std::string& name = "chain");
+
+/// Bag of `count` independent tasks (parameter sweep shape).
+Afg make_independent(std::size_t count, double mflop,
+                     const std::string& name = "bag");
+
+/// Binary in-tree (reduction) with `leaves` leaf tasks.
+Afg make_reduction_tree(std::size_t leaves, double mflop, double output_bytes,
+                        const std::string& name = "reduce");
+
+/// The Figure-1 Linear Equation Solver skeleton with synthetic task names.
+/// (The real-kernel version lives in the editor/tasklib layer; this one is
+/// for scheduler-only tests that must not depend on tasklib.)
+Afg make_linear_solver_shape(double matrix_bytes,
+                             const std::string& name = "lin-solver");
+
+}  // namespace vdce::afg

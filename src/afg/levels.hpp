@@ -1,0 +1,50 @@
+// Level computation for list scheduling (§3).
+//
+// "The VDCE scheduling heuristic uses the level of each node to determine
+// its priority. ... The level of a node in the graph is computed as the
+// largest sum of computation costs along the path from the node to an exit
+// node.  For the computation cost, the task (node) execution time on the
+// base processor ... is used.  In VDCE the level of each node of an
+// application flow graph is determined before the execution of the
+// scheduling algorithm."
+//
+// Note the paper's definition is computation-only (no edge costs in the
+// level), distinguishing it from HEFT-style upward rank; the bench suite's
+// ablation (bench_schedule_length) quantifies that choice.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+
+namespace vdce::afg {
+
+/// Maps a task to its computation cost on the base processor.  Usually
+/// backed by the task-performance database's `base_exec_time`.
+using CostFn = std::function<double(const TaskNode&)>;
+
+/// Per-task levels, indexed by TaskId value.
+struct Levels {
+  std::vector<double> level;
+
+  [[nodiscard]] double of(TaskId id) const { return level.at(id.value()); }
+
+  /// Task ids ordered by decreasing level (higher level = higher priority);
+  /// ties broken by task id for determinism.
+  [[nodiscard]] std::vector<TaskId> by_priority() const;
+};
+
+/// Compute levels bottom-up over the DAG.  Fails if the graph is cyclic.
+common::Expected<Levels> compute_levels(const Afg& graph, const CostFn& cost);
+
+/// Variant including communication costs on edges (upward rank); used by
+/// the ablation benches to compare against the paper's computation-only
+/// levels.  `edge_cost(e)` should return the expected transfer time of the
+/// edge's data over a representative link.
+common::Expected<Levels> compute_levels_with_comm(
+    const Afg& graph, const CostFn& cost,
+    const std::function<double(const Edge&)>& edge_cost);
+
+}  // namespace vdce::afg

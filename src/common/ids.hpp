@@ -1,0 +1,66 @@
+// Strongly typed identifiers used across all VDCE subsystems.
+//
+// Every entity in the environment (site, host, task, application, user,
+// channel) is referred to by a small integer id.  Wrapping the integer in a
+// distinct type per entity prevents the classic grid-middleware bug of
+// passing a host id where a site id was expected; the compiler rejects the
+// mix-up instead of the scheduler silently mapping tasks to the wrong
+// machine.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+
+namespace vdce::common {
+
+/// CRTP-free tagged id: `Id<struct SiteTag>` and `Id<struct HostTag>` are
+/// unrelated types even though both wrap a `std::uint32_t`.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel used for "no entity"; default construction yields it.
+  static constexpr value_type kInvalid = std::numeric_limits<value_type>::max();
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+ private:
+  value_type value_ = kInvalid;
+};
+
+struct SiteTag {};
+struct HostTag {};
+struct TaskTag {};
+struct AppTag {};
+struct UserTag {};
+struct ChannelTag {};
+struct GroupTag {};
+
+using SiteId = Id<SiteTag>;
+using HostId = Id<HostTag>;
+using TaskId = Id<TaskTag>;
+using AppId = Id<AppTag>;
+using UserId = Id<UserTag>;
+using ChannelId = Id<ChannelTag>;
+using GroupId = Id<GroupTag>;
+
+}  // namespace vdce::common
+
+namespace std {
+template <typename Tag>
+struct hash<vdce::common::Id<Tag>> {
+  size_t operator()(vdce::common::Id<Tag> id) const noexcept {
+    return std::hash<typename vdce::common::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

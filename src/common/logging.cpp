@@ -1,0 +1,24 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace vdce::common {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& component, double sim_time,
+                 const std::string& message) {
+  std::lock_guard lock(mutex_);
+  if (sim_time >= 0.0) {
+    std::fprintf(stderr, "[%-5s] [t=%10.6fs] [%s] %s\n", to_string(level),
+                 sim_time, component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%-5s] [%s] %s\n", to_string(level),
+                 component.c_str(), message.c_str());
+  }
+}
+
+}  // namespace vdce::common

@@ -1,0 +1,79 @@
+// Minimal structured logging.
+//
+// The runtime daemons (monitors, group managers, site managers) narrate the
+// Figure-4 protocol when tracing is on; tests and benches keep it off so
+// output stays parseable.  The logger is a process-wide singleton guarded by
+// a mutex — log volume in this system is low (control-plane events only), so
+// contention is irrelevant, and a single sink keeps interleaved daemon
+// output readable.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace vdce::common {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+constexpr const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// `component` names the emitting subsystem ("site-mgr", "monitor", ...);
+  /// `sim_time` < 0 means "no simulation clock in scope".
+  void log(LogLevel level, const std::string& component, double sim_time,
+           const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kOff;
+  std::mutex mutex_;
+};
+
+/// Stream-style helper: VDCE_LOG(kInfo, "site-mgr", t) << "host " << h << " down";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component, double sim_time)
+      : level_(level), component_(std::move(component)), sim_time_(sim_time) {}
+  ~LogLine() {
+    if (Logger::instance().enabled(level_)) {
+      Logger::instance().log(level_, component_, sim_time_, stream_.str());
+    }
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (Logger::instance().enabled(level_)) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  double sim_time_;
+  std::ostringstream stream_;
+};
+
+}  // namespace vdce::common
+
+#define VDCE_LOG(level, component, sim_time) \
+  ::vdce::common::LogLine(::vdce::common::LogLevel::level, (component), (sim_time))

@@ -1,0 +1,66 @@
+// Streaming statistics used by benchmark harnesses and the visualization
+// service: mean/stddev/min/max accumulation plus exact percentiles over a
+// retained sample vector.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vdce::common {
+
+/// Accumulates samples and answers summary queries.  Samples are retained,
+/// so percentile queries are exact; the volumes involved (per-experiment
+/// series) make this the right trade-off over a sketch.
+class Stats {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact percentile by nearest-rank; p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// One-line summary: "n=100 mean=1.23 sd=0.45 min=0.1 p50=1.2 p99=3.4 max=5.0".
+  [[nodiscard]] std::string summary(int precision = 3) const;
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bin histogram for workload/latency distributions in reports.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double sample);
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// ASCII rendering used by the visualization service.
+  [[nodiscard]] std::string render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace vdce::common

@@ -1,0 +1,97 @@
+// Resource-performance database (§3): "resource (machine and network)
+// attributes or parameters such as host name, IP address, architecture
+// type, OS type, total memory size of the machine, recent workload
+// measurements, and available memory size."
+//
+// This is the scheduler's view of the machines — distinct from the ground
+// truth in net::Topology.  The Monitor → Group Manager → Site Manager
+// pipeline (§4.1) copies measurements into this database; the Host
+// Selection Algorithm reads them.  The gap between the two (staleness,
+// significant-change filtering) is itself an experimental variable (E4).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace vdce::db {
+
+/// One workload sample as forwarded by a Group Manager.
+struct WorkloadSample {
+  common::SimTime time = 0.0;
+  double cpu_load = 0.0;      ///< 0 = idle, 1 = one busy cpu's worth
+  double available_mb = 0.0;  ///< free memory at sample time
+};
+
+/// A machine's record: static attributes plus the recent measurement window.
+struct ResourceRecord {
+  common::HostId host;
+  common::SiteId site;
+  std::string host_name;
+  std::string ip;
+  std::string arch;
+  std::string os;
+  std::string machine_type;
+  double speed_mflops = 0.0;
+  double total_memory_mb = 0.0;
+  bool up = true;
+
+  /// Most recent samples, oldest first; bounded by kHistoryLen.
+  std::deque<WorkloadSample> workload_history;
+
+  static constexpr std::size_t kHistoryLen = 16;
+
+  /// Latest known load; 0 when no sample has arrived yet (optimistic, like
+  /// the prototype's freshly-registered hosts).
+  [[nodiscard]] double current_load() const {
+    return workload_history.empty() ? 0.0 : workload_history.back().cpu_load;
+  }
+  [[nodiscard]] double available_mb() const {
+    return workload_history.empty() ? total_memory_mb
+                                    : workload_history.back().available_mb;
+  }
+  [[nodiscard]] common::SimTime last_sample_time() const {
+    return workload_history.empty() ? -1.0 : workload_history.back().time;
+  }
+};
+
+class ResourcePerformanceDb {
+ public:
+  /// Register a machine (done at site bring-up from the topology).
+  common::Status register_host(ResourceRecord record);
+
+  common::Expected<ResourceRecord> find(common::HostId host) const;
+  common::Expected<ResourceRecord> find(const std::string& host_name) const;
+
+  /// Append a workload measurement (Site Manager, on Group Manager report).
+  common::Status record_workload(common::HostId host, WorkloadSample sample);
+
+  /// Mark a host up/down (Site Manager, on failure detection — the paper's
+  /// "the host is then marked as 'down' at the site's
+  /// resource-performance database").
+  common::Status set_host_up(common::HostId host, bool up);
+
+  /// All *up* hosts at a site — the candidate set R_set the Host Selection
+  /// Algorithm retrieves (Fig. 3, step 2).
+  [[nodiscard]] std::vector<ResourceRecord> available_hosts(
+      common::SiteId site) const;
+
+  [[nodiscard]] std::vector<ResourceRecord> all_hosts() const;
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Text persistence: one host per line ('|'-separated escaped fields),
+  /// including the retained workload-sample window.
+  [[nodiscard]] std::string serialize() const;
+  static common::Expected<ResourcePerformanceDb> deserialize(
+      const std::string& text);
+
+ private:
+  std::unordered_map<common::HostId, ResourceRecord> records_;
+};
+
+}  // namespace vdce::db

@@ -1,0 +1,160 @@
+#include "db/user_accounts.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace vdce::db {
+
+common::Expected<AccessDomain> parse_access_domain(const std::string& text) {
+  if (text == "local") return AccessDomain::kLocalSite;
+  if (text == "neighbors") return AccessDomain::kNeighbors;
+  if (text == "global") return AccessDomain::kGlobal;
+  return common::Error{common::ErrorCode::kParseError,
+                       "bad access domain: " + text};
+}
+
+std::uint64_t UserAccountsDb::hash_password(const std::string& password,
+                                            std::uint64_t salt) {
+  std::uint64_t h = 14695981039346656037ULL ^ salt;
+  for (unsigned char c : password) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  // A second pass over the salt bytes so equal passwords with different
+  // salts diverge even for short inputs.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (salt >> (8 * i)) & 0xFF;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+common::Expected<common::UserId> UserAccountsDb::add_user(
+    const std::string& user_name, const std::string& password, int priority,
+    AccessDomain domain) {
+  if (user_name.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "empty user name"};
+  }
+  if (accounts_.contains(user_name)) {
+    return common::Error{common::ErrorCode::kAlreadyExists,
+                         "user exists: " + user_name};
+  }
+  UserAccount acct;
+  acct.user_name = user_name;
+  // Deterministic salt derived from the name: persistence round-trips and
+  // tests stay reproducible.  Independent accounts still get distinct salts.
+  acct.salt = hash_password(user_name, 0x5157bd1e2f09add5ULL);
+  acct.password_hash = hash_password(password, acct.salt);
+  acct.user_id = common::UserId(next_id_++);
+  acct.priority = priority;
+  acct.domain = domain;
+  accounts_.emplace(user_name, acct);
+  return acct.user_id;
+}
+
+common::Expected<UserAccount> UserAccountsDb::authenticate(
+    const std::string& user_name, const std::string& password) const {
+  auto it = accounts_.find(user_name);
+  if (it == accounts_.end() ||
+      it->second.password_hash != hash_password(password, it->second.salt)) {
+    return common::Error{common::ErrorCode::kAuthFailed,
+                         "bad credentials for " + user_name};
+  }
+  return it->second;
+}
+
+common::Expected<UserAccount> UserAccountsDb::find(
+    const std::string& user_name) const {
+  auto it = accounts_.find(user_name);
+  if (it == accounts_.end()) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "no user " + user_name};
+  }
+  return it->second;
+}
+
+common::Expected<UserAccount> UserAccountsDb::find(common::UserId id) const {
+  for (const auto& [name, acct] : accounts_) {
+    if (acct.user_id == id) return acct;
+  }
+  return common::Error{common::ErrorCode::kNotFound,
+                       "no user id " + std::to_string(id.value())};
+}
+
+common::Status UserAccountsDb::remove_user(const std::string& user_name) {
+  if (accounts_.erase(user_name) == 0) {
+    return common::Error{common::ErrorCode::kNotFound, "no user " + user_name};
+  }
+  return common::Status::success();
+}
+
+common::Status UserAccountsDb::set_priority(const std::string& user_name,
+                                            int priority) {
+  auto it = accounts_.find(user_name);
+  if (it == accounts_.end()) {
+    return common::Error{common::ErrorCode::kNotFound, "no user " + user_name};
+  }
+  it->second.priority = priority;
+  return common::Status::success();
+}
+
+std::vector<UserAccount> UserAccountsDb::all() const {
+  std::vector<UserAccount> out;
+  out.reserve(accounts_.size());
+  for (const auto& [name, acct] : accounts_) out.push_back(acct);
+  std::sort(out.begin(), out.end(), [](const UserAccount& a, const UserAccount& b) {
+    return a.user_id < b.user_id;
+  });
+  return out;
+}
+
+std::string UserAccountsDb::serialize() const {
+  std::string out;
+  for (const UserAccount& a : all()) {
+    out += common::escape_field(a.user_name) + "|" +
+           std::to_string(a.password_hash) + "|" + std::to_string(a.salt) +
+           "|" + std::to_string(a.user_id.value()) + "|" +
+           std::to_string(a.priority) + "|" + to_string(a.domain) + "\n";
+  }
+  return out;
+}
+
+common::Expected<UserAccountsDb> UserAccountsDb::deserialize(
+    const std::string& text) {
+  UserAccountsDb db;
+  for (const std::string& line : common::split(text, '\n')) {
+    if (common::trim(line).empty()) continue;
+    auto fields = common::split(line, '|');
+    if (fields.size() != 6) {
+      return common::Error{common::ErrorCode::kParseError,
+                           "bad account line: " + line};
+    }
+    auto name = common::unescape_field(fields[0]);
+    if (!name) return name.error();
+    auto hash = common::parse_uint(fields[1]);
+    auto salt = common::parse_uint(fields[2]);
+    auto id = common::parse_int(fields[3]);
+    auto priority = common::parse_int(fields[4]);
+    auto domain = parse_access_domain(fields[5]);
+    if (!hash) return hash.error();
+    if (!salt) return salt.error();
+    if (!id) return id.error();
+    if (!priority) return priority.error();
+    if (!domain) return domain.error();
+
+    UserAccount acct;
+    acct.user_name = *name;
+    acct.password_hash = *hash;
+    acct.salt = *salt;
+    acct.user_id = common::UserId(static_cast<common::UserId::value_type>(*id));
+    acct.priority = static_cast<int>(*priority);
+    acct.domain = *domain;
+    db.next_id_ = std::max(db.next_id_, acct.user_id.value() + 1);
+    db.accounts_.emplace(acct.user_name, std::move(acct));
+  }
+  return db;
+}
+
+}  // namespace vdce::db

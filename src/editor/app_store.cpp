@@ -1,0 +1,122 @@
+#include "editor/app_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "editor/dsl.hpp"
+
+namespace vdce::editor {
+
+common::Status AppStore::save(const std::string& user, const afg::Afg& graph) {
+  if (user.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument, "empty user"};
+  }
+  if (graph.name().empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "application needs a name to be saved"};
+  }
+  auto valid = graph.validate();
+  if (!valid.ok()) return valid;
+  apps_[user][graph.name()] = write_afg(graph);
+  return common::Status::success();
+}
+
+common::Expected<afg::Afg> AppStore::load(const std::string& user,
+                                          const std::string& app_name) const {
+  auto user_it = apps_.find(user);
+  if (user_it != apps_.end()) {
+    auto app_it = user_it->second.find(app_name);
+    if (app_it != user_it->second.end()) return parse_afg(app_it->second);
+  }
+  return common::Error{common::ErrorCode::kNotFound,
+                       "no saved application '" + app_name + "' for " + user};
+}
+
+common::Status AppStore::remove(const std::string& user,
+                                const std::string& app_name) {
+  auto user_it = apps_.find(user);
+  if (user_it == apps_.end() || user_it->second.erase(app_name) == 0) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "no saved application '" + app_name + "'"};
+  }
+  if (user_it->second.empty()) apps_.erase(user_it);
+  return common::Status::success();
+}
+
+std::vector<std::string> AppStore::list(const std::string& user) const {
+  std::vector<std::string> out;
+  auto user_it = apps_.find(user);
+  if (user_it != apps_.end()) {
+    for (const auto& [name, text] : user_it->second) out.push_back(name);
+  }
+  return out;
+}
+
+std::size_t AppStore::size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [user, apps] : apps_) total += apps.size();
+  return total;
+}
+
+namespace {
+
+/// File-system-safe rendering of an application name ("Linear Equation
+/// Solver" -> "Linear_Equation_Solver").
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ' ') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+common::Status AppStore::save_to(const std::string& directory) const {
+  for (const auto& [user, apps] : apps_) {
+    std::filesystem::path dir = std::filesystem::path(directory) / user;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return common::Error{common::ErrorCode::kIoError,
+                           "cannot create " + dir.string()};
+    }
+    for (const auto& [name, text] : apps) {
+      std::ofstream out(dir / (sanitize(name) + ".afg"), std::ios::trunc);
+      if (!out) {
+        return common::Error{common::ErrorCode::kIoError,
+                             "cannot write " + name};
+      }
+      out << text;
+    }
+  }
+  return common::Status::success();
+}
+
+common::Expected<AppStore> AppStore::load_from(const std::string& directory) {
+  AppStore store;
+  std::error_code ec;
+  for (const auto& user_dir :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (!user_dir.is_directory()) continue;
+    const std::string user = user_dir.path().filename().string();
+    for (const auto& file : std::filesystem::directory_iterator(user_dir)) {
+      if (file.path().extension() != ".afg") continue;
+      std::ifstream in(file.path());
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      auto graph = parse_afg(buffer.str());
+      if (!graph) return graph.error();
+      auto st = store.save(user, *graph);
+      if (!st.ok()) return st.error();
+    }
+  }
+  if (ec) {
+    return common::Error{common::ErrorCode::kIoError,
+                         "cannot read " + directory + ": " + ec.message()};
+  }
+  return store;
+}
+
+}  // namespace vdce::editor

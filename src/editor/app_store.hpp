@@ -1,0 +1,46 @@
+// Application store — the editor's server-side save space.
+//
+// §2: the Application Editor is served from the VDCE Server; applications a
+// user draws are kept at the site so they can be reopened, shared, and
+// resubmitted.  The store keeps each user's applications as AFG DSL text,
+// validated at save time, and persists to a directory of
+// "<user>/<app-name>.afg" files.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+
+namespace vdce::editor {
+
+class AppStore {
+ public:
+  /// Save (or replace) an application under the user's name space.  The
+  /// graph is validated first; invalid applications are rejected the way
+  /// the editor would refuse to save a broken canvas.
+  common::Status save(const std::string& user, const afg::Afg& graph);
+
+  /// Load a saved application by name.
+  common::Expected<afg::Afg> load(const std::string& user,
+                                  const std::string& app_name) const;
+
+  common::Status remove(const std::string& user, const std::string& app_name);
+
+  /// Application names saved by a user, sorted.
+  [[nodiscard]] std::vector<std::string> list(const std::string& user) const;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Persist every application as "<dir>/<user>/<app-name>.afg".
+  common::Status save_to(const std::string& directory) const;
+  static common::Expected<AppStore> load_from(const std::string& directory);
+
+ private:
+  // user -> app name -> DSL text.
+  std::map<std::string, std::map<std::string, std::string>> apps_;
+};
+
+}  // namespace vdce::editor

@@ -1,0 +1,99 @@
+#include "editor/builder.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace vdce::editor {
+
+afg::TaskNode& TaskHandle::node() { return graph_->task(id_); }
+
+TaskHandle& TaskHandle::sequential() {
+  node().props.mode = afg::ComputationMode::kSequential;
+  node().props.num_nodes = 1;
+  return *this;
+}
+
+TaskHandle& TaskHandle::parallel(int nodes) {
+  assert(nodes >= 1);
+  node().props.mode = afg::ComputationMode::kParallel;
+  node().props.num_nodes = nodes;
+  return *this;
+}
+
+TaskHandle& TaskHandle::prefer_machine_type(const std::string& type) {
+  node().props.preferred_machine_type = type;
+  return *this;
+}
+
+TaskHandle& TaskHandle::prefer_machine(const std::string& host_name) {
+  node().props.preferred_machine = host_name;
+  return *this;
+}
+
+TaskHandle& TaskHandle::input_file(const std::string& path,
+                                   double size_bytes) {
+  node().props.inputs.push_back(afg::FileSpec{path, size_bytes, false});
+  return *this;
+}
+
+TaskHandle& TaskHandle::dataflow_input() {
+  node().props.inputs.push_back(afg::FileSpec{"", 0.0, true});
+  return *this;
+}
+
+TaskHandle& TaskHandle::output_file(const std::string& path,
+                                    double size_bytes) {
+  node().props.outputs.push_back(afg::FileSpec{path, size_bytes, false});
+  return *this;
+}
+
+TaskHandle& TaskHandle::output_data(double size_bytes) {
+  node().props.outputs.push_back(afg::FileSpec{"", size_bytes, false});
+  return *this;
+}
+
+TaskHandle& TaskHandle::request_service(const std::string& service) {
+  node().props.services.push_back(service);
+  return *this;
+}
+
+TaskHandle AppBuilder::task(const std::string& instance_name,
+                            const std::string& task_name) {
+  auto id = try_task(instance_name, task_name);
+  assert(id.has_value());
+  return TaskHandle(graph_, *id);
+}
+
+common::Expected<afg::TaskId> AppBuilder::try_task(
+    const std::string& instance_name, const std::string& task_name) {
+  return graph_.add_task(instance_name, task_name, afg::TaskProperties{});
+}
+
+common::Expected<int> AppBuilder::link(const TaskHandle& src,
+                                       const TaskHandle& dst, int from_port) {
+  afg::TaskNode& to = graph_.task(dst.id());
+  // Ensure the source port exists; an editor would refuse the gesture,
+  // here we default a data output so simple graphs need no explicit sizes.
+  afg::TaskNode& from = graph_.task(src.id());
+  while (from.out_ports() <= from_port) {
+    from.props.outputs.push_back(afg::FileSpec{"", 0.0, false});
+  }
+  int to_port = to.in_ports();
+  to.props.inputs.push_back(afg::FileSpec{"", 0.0, true});
+  auto st = graph_.connect(src.id(), from_port, dst.id(), to_port);
+  if (!st.ok()) return st.error();
+  return to_port;
+}
+
+common::Status AppBuilder::connect(const TaskHandle& src, int from_port,
+                                   const TaskHandle& dst, int to_port) {
+  return graph_.connect(src.id(), from_port, dst.id(), to_port);
+}
+
+common::Expected<afg::Afg> AppBuilder::build() {
+  auto st = graph_.validate();
+  if (!st.ok()) return st.error();
+  return std::exchange(graph_, afg::Afg{});
+}
+
+}  // namespace vdce::editor

@@ -1,0 +1,92 @@
+// Application builder — the programmatic face of the paper's web-based
+// Application Editor (§2).
+//
+// The editor's workflow is: pick tasks from menu-driven libraries, drop
+// them on the canvas, wire their ports, then fill each task's properties
+// panel.  AppBuilder mirrors that workflow in code:
+//
+//   AppBuilder app("Linear Equation Solver");
+//   auto lu = app.task("LU_Decomposition", "matrix.lu_decomposition")
+//                 .parallel(2)
+//                 .input_file("/users/VDCE/user_k/matrix_A.dat", 124'880)
+//                 .output_data(800'000);
+//   auto fwd = app.task("Forward", "matrix.forward_substitution")
+//                 .prefer_machine_type("SUN solaris");
+//   app.link(lu, fwd);          // output port -> fresh dataflow input port
+//   afg::Afg graph = app.build().value();
+//
+// See DESIGN.md "Substitutions" for why this replaces the web GUI: the
+// scheduler and runtime consume only the AFG the editor produced.
+#pragma once
+
+#include <string>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+
+namespace vdce::editor {
+
+class AppBuilder;
+
+/// Chainable handle to one task being configured (the "properties panel").
+class TaskHandle {
+ public:
+  [[nodiscard]] afg::TaskId id() const noexcept { return id_; }
+
+  TaskHandle& sequential();
+  TaskHandle& parallel(int nodes);
+  TaskHandle& prefer_machine_type(const std::string& type);
+  TaskHandle& prefer_machine(const std::string& host_name);
+
+  /// Append an input port bound to a user file of known size.
+  TaskHandle& input_file(const std::string& path, double size_bytes);
+  /// Append an input port to be fed by a parent task (dataflow).
+  TaskHandle& dataflow_input();
+  /// Append an output port writing a user file.
+  TaskHandle& output_file(const std::string& path, double size_bytes);
+  /// Append an anonymous output port carrying `size_bytes` downstream.
+  TaskHandle& output_data(double size_bytes);
+  /// Request a runtime service ("io", "console", "visualization").
+  TaskHandle& request_service(const std::string& service);
+
+ private:
+  friend class AppBuilder;
+  TaskHandle(afg::Afg& graph, afg::TaskId id) : graph_(&graph), id_(id) {}
+  afg::TaskNode& node();
+
+  afg::Afg* graph_;
+  afg::TaskId id_;
+};
+
+class AppBuilder {
+ public:
+  explicit AppBuilder(const std::string& application_name)
+      : graph_(application_name) {}
+
+  /// Place a task instance on the canvas.  Panics (assert) on duplicate
+  /// instance names in debug builds; use try_task for checked creation.
+  TaskHandle task(const std::string& instance_name,
+                  const std::string& task_name);
+  common::Expected<afg::TaskId> try_task(const std::string& instance_name,
+                                         const std::string& task_name);
+
+  /// Wire src's output port `from_port` to a *new* dataflow input port on
+  /// dst — the common editor gesture.  Returns the input port index used.
+  common::Expected<int> link(const TaskHandle& src, const TaskHandle& dst,
+                             int from_port = 0);
+
+  /// Explicit port wiring (both ports must already exist).
+  common::Status connect(const TaskHandle& src, int from_port,
+                         const TaskHandle& dst, int to_port);
+
+  /// Validate and hand over the finished AFG.  The builder is left empty.
+  common::Expected<afg::Afg> build();
+
+  /// Peek at the graph under construction (tests).
+  [[nodiscard]] const afg::Afg& graph() const noexcept { return graph_; }
+
+ private:
+  afg::Afg graph_;
+};
+
+}  // namespace vdce::editor

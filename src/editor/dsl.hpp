@@ -1,0 +1,39 @@
+// AFG description language — the textual serialization of an application.
+//
+// The paper's editor saved applications server-side after the user drew
+// them; this DSL is the equivalent on-disk form.  It is deliberately
+// line-oriented and diff-friendly:
+//
+//   application "Linear Equation Solver"
+//
+//   task LU_Decomposition matrix.lu_decomposition {
+//     mode parallel
+//     nodes 2
+//     machine_type any
+//     machine any
+//     input file /users/VDCE/user_k/matrix_A.dat 124880
+//     output data 800000
+//     service visualization
+//   }
+//
+//   connect LU_Decomposition:0 -> Forward_Substitution:0
+//
+// `input dataflow` declares a port to be fed by an edge; `connect` lines
+// may also mark existing file inputs as dataflow (matching the editor's
+// behaviour when the user wires a port that had a file bound).
+#pragma once
+
+#include <string>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+
+namespace vdce::editor {
+
+/// Serialize an AFG to DSL text (round-trips through parse_afg).
+std::string write_afg(const afg::Afg& graph);
+
+/// Parse DSL text into an AFG.  Errors carry the offending line number.
+common::Expected<afg::Afg> parse_afg(const std::string& text);
+
+}  // namespace vdce::editor

@@ -1,0 +1,34 @@
+// Editor presentation helpers: the task-properties panel and library menus.
+//
+// `render_properties_panel` reproduces the paper's Figure-1 "TASK
+// PROPERTIES WINDOW" content for a task instance; `render_afg_summary`
+// prints the flow graph; `render_library_menu` lists the menu-driven task
+// libraries a user picks from (§2).  These back the examples' console
+// output and the visualization service.
+#pragma once
+
+#include <string>
+
+#include "afg/graph.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::editor {
+
+/// Figure-1-style panel, e.g.:
+///   Task <LU_Decomposition>
+///     Computation Type: <parallel>
+///     Number of Nodes: 2
+///     Preferred Machine Type: <any>
+///     Preferred Machine: <any>
+///     Input: <1> </users/VDCE/user_k/matrix_A.dat, SIZE=124880>
+///     Output: <1> <dataflow consumer(s): Forward_Substitution>
+std::string render_properties_panel(const afg::Afg& graph, afg::TaskId id);
+
+/// Multi-line textual rendering of the whole application flow graph.
+std::string render_afg_summary(const afg::Afg& graph);
+
+/// The menu of a task library as the editor would display it.
+std::string render_library_menu(const tasklib::TaskRegistry& registry,
+                                const std::string& library);
+
+}  // namespace vdce::editor

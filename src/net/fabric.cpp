@@ -1,0 +1,80 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vdce::net {
+
+void Fabric::bind(HostId host, Handler handler) {
+  assert(handler);
+  handlers_[host] = std::move(handler);
+}
+
+void Fabric::unbind(HostId host) { handlers_.erase(host); }
+
+common::Expected<common::SimTime> Fabric::send(Message msg) {
+  assert(msg.src.valid() && msg.dst.valid());
+  assert(msg.size_bytes >= 0.0);
+
+  if (!topology_.host_up(msg.src)) {
+    ++stats_.dropped_src_down;
+    return common::Error{common::ErrorCode::kHostDown,
+                         "source host is down: " + topology_.host(msg.src).spec.name};
+  }
+
+  ++stats_.sent;
+  stats_.bytes_sent += msg.size_bytes;
+  ++stats_.sent_by_type[msg.type];
+
+  common::SimTime when;
+  if (shared_segments_ && msg.src != msg.dst) {
+    // Queue behind earlier transfers on the same segment; occupy it for
+    // the serialization time, then propagate.
+    LinkSpec link = topology_.link_between(msg.src, msg.dst);
+    double serialization = msg.size_bytes / link.bandwidth_bps;
+    common::SimTime& busy = segment_busy_until_[segment_key(msg.src, msg.dst)];
+    common::SimTime start = std::max(engine_.now(), busy);
+    busy = start + serialization;
+    when = busy + link.latency;
+  } else {
+    when = engine_.now() +
+           topology_.transfer_time(msg.src, msg.dst, msg.size_bytes);
+  }
+  engine_.schedule(when - engine_.now(),
+                   [this, m = std::move(msg)]() mutable { deliver(std::move(m)); });
+  return when;
+}
+
+std::uint64_t Fabric::segment_key(HostId src, HostId dst) const {
+  common::SiteId a = topology_.host(src).site;
+  common::SiteId b = topology_.host(dst).site;
+  auto lo = std::min(a.value(), b.value());
+  auto hi = std::max(a.value(), b.value());
+  // Intra-site: (site, site) keys the LAN; inter-site: the ordered pair.
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+void Fabric::multicast(HostId src, const std::vector<HostId>& dsts,
+                       const std::string& type, double size_bytes,
+                       const std::any& payload) {
+  for (HostId dst : dsts) {
+    // Failure of one destination must not abort the rest of the multicast.
+    (void)send(Message{src, dst, type, size_bytes, payload});
+  }
+}
+
+void Fabric::deliver(Message msg) {
+  if (!topology_.host_up(msg.dst)) {
+    ++stats_.dropped_dst_down;
+    return;
+  }
+  auto it = handlers_.find(msg.dst);
+  if (it == handlers_.end()) {
+    ++stats_.dropped_unbound;
+    return;
+  }
+  ++stats_.delivered;
+  it->second(msg);
+}
+
+}  // namespace vdce::net

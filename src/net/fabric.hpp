@@ -1,0 +1,121 @@
+// Message fabric: the in-process substitute for VDCE's socket plumbing.
+//
+// Every control- and data-plane interaction in the paper — the Site Manager
+// multicasting the resource allocation table, Group Managers sending echo
+// packets, Data Manager proxies exchanging setup/ACK, inter-task transfers —
+// is a message from one host to another.  The fabric delivers messages on
+// the simulation clock after the topology's transfer time for the message
+// size, and enforces failure semantics: messages to or from a down host are
+// silently dropped (exactly the behaviour echo-based failure detection
+// relies on, §4.1).
+//
+// Payloads are type-erased (std::any): control messages carry small structs
+// defined by their sender/receiver pair, data messages carry byte buffers.
+// The alternative — a closed variant of every message type — would couple
+// this substrate to every layer above it.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace vdce::net {
+
+struct Message {
+  HostId src;
+  HostId dst;
+  std::string type;       ///< e.g. "echo", "rat", "dm.setup", "dm.data"
+  double size_bytes = 64;  ///< wire size charged to the link (headers incl.)
+  std::any payload;
+};
+
+/// Per-fabric traffic counters, broken down by message type — the raw data
+/// behind the monitoring-overhead experiment (E4) and Fig. 4's message-flow
+/// accounting.
+struct FabricStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_dst_down = 0;
+  std::uint64_t dropped_src_down = 0;
+  std::uint64_t dropped_unbound = 0;
+  double bytes_sent = 0.0;
+  std::map<std::string, std::uint64_t> sent_by_type;
+
+  void reset() { *this = FabricStats{}; }
+};
+
+/// The fabric.  One per simulated environment; not thread-safe (runs inside
+/// the single-threaded simulation).
+///
+/// Contention model: by default links have unlimited capacity (transfers
+/// never interact).  With `set_shared_segments(true)` each LAN behaves as
+/// the shared Ethernet segment of the era and each WAN site-pair as one
+/// serial pipe: a transfer occupies its segment for `bytes/bandwidth`, and
+/// concurrent transfers queue FIFO behind it (latency is propagation and is
+/// not serialized).  Loopback traffic never contends.
+class Fabric {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  Fabric(sim::Engine& engine, Topology& topology)
+      : engine_(engine), topology_(topology) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Install the message dispatcher for a host (its "node daemon").  Each
+  /// host has exactly one handler; layers above demultiplex on `type`.
+  void bind(HostId host, Handler handler);
+
+  /// Remove a host's handler (host decommissioned).
+  void unbind(HostId host);
+
+  /// Send a message.  Delivery is scheduled `transfer_time(src, dst, size)`
+  /// in the future; the message is dropped if the source is down now or the
+  /// destination is down / unbound at delivery time.  Returns the scheduled
+  /// delivery time (even if the message may later be dropped), or an error
+  /// if the source host is already down.
+  common::Expected<common::SimTime> send(Message msg);
+
+  /// Send the same message to many destinations ("multicast" in the paper —
+  /// implemented as iterated unicast, as site-to-site multicast was).
+  void multicast(HostId src, const std::vector<HostId>& dsts,
+                 const std::string& type, double size_bytes,
+                 const std::any& payload);
+
+  [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  /// Enable/disable shared-segment contention (see class comment).
+  void set_shared_segments(bool on) { shared_segments_ = on; }
+  [[nodiscard]] bool shared_segments() const noexcept {
+    return shared_segments_;
+  }
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] Topology& topology() noexcept { return topology_; }
+
+ private:
+  void deliver(Message msg);
+
+  /// Segment identity for contention: one per site LAN, one per WAN pair.
+  [[nodiscard]] std::uint64_t segment_key(HostId src, HostId dst) const;
+
+  sim::Engine& engine_;
+  Topology& topology_;
+  std::unordered_map<HostId, Handler> handlers_;
+  FabricStats stats_;
+  bool shared_segments_ = false;
+  /// When shared_segments_: time each segment finishes its queued transfers.
+  std::unordered_map<std::uint64_t, common::SimTime> segment_busy_until_;
+};
+
+}  // namespace vdce::net

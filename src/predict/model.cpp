@@ -1,0 +1,153 @@
+#include "predict/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vdce::predict {
+
+double Predictor::effective_mflops(const db::ResourceRecord& host) {
+  // A load of L background-busy CPUs' worth leaves the task 1/(1+L) of the
+  // machine under fair scheduling.
+  return host.speed_mflops / (1.0 + std::max(0.0, host.current_load()));
+}
+
+common::Expected<common::SimDuration> Predictor::predict(
+    const db::TaskPerfRecord& task, const db::ResourceRecord& host,
+    const db::TaskPerformanceDb* measured_db) const {
+  return predict(task, std::vector<db::ResourceRecord>{host}, measured_db);
+}
+
+common::Expected<common::SimDuration> Predictor::predict(
+    const db::TaskPerfRecord& task,
+    const std::vector<db::ResourceRecord>& hosts,
+    const db::TaskPerformanceDb* measured_db) const {
+  if (hosts.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "predict: no hosts given"};
+  }
+
+  // Feasibility: memory must fit in each node's total memory.
+  for (const db::ResourceRecord& h : hosts) {
+    if (task.required_memory_mb > h.total_memory_mb) {
+      return common::Error{
+          common::ErrorCode::kNoFeasibleResource,
+          task.task_name + " needs " +
+              std::to_string(task.required_memory_mb) + "MB; " + h.host_name +
+              " has " + std::to_string(h.total_memory_mb) + "MB"};
+    }
+  }
+
+  // Measured path (sequential placements only: parallel groups vary).
+  if (hosts.size() == 1 && measured_db != nullptr) {
+    auto m = measured_db->measured(task.task_name, hosts.front().host);
+    if (m && m->count >= options_.min_measurements) return m->mean;
+  }
+
+  // Analytic path.  The slowest effective node gates both the serial part
+  // (which runs on one node) and the parallel part (bulk-synchronous: the
+  // group advances at the pace of its slowest member).
+  double slowest = effective_mflops(hosts.front());
+  for (const db::ResourceRecord& h : hosts) {
+    slowest = std::min(slowest, effective_mflops(h));
+  }
+  if (slowest <= 0.0) {
+    return common::Error{common::ErrorCode::kNoFeasibleResource,
+                         "host reports non-positive effective speed"};
+  }
+
+  const auto n = static_cast<double>(hosts.size());
+  const double pf = std::clamp(task.parallel_fraction, 0.0, 1.0);
+  double time;
+  if (hosts.size() == 1) {
+    time = task.computation_mflop / slowest;
+  } else {
+    time = task.computation_mflop * (1.0 - pf) / slowest +
+           task.computation_mflop * pf / (slowest * n) +
+           options_.parallel_sync_overhead * n;
+  }
+
+  // Paging penalty when the task does not fit in *available* memory.
+  for (const db::ResourceRecord& h : hosts) {
+    if (task.required_memory_mb > h.available_mb()) {
+      time *= options_.paging_penalty;
+      break;
+    }
+  }
+  return time;
+}
+
+double GroundTruthModel::rate_mflops(
+    const db::TaskPerfRecord& task, const std::vector<common::HostId>& hosts,
+    bool exclude_own_share) const {
+  assert(!hosts.empty());
+  double slowest = 0.0;
+  bool first = true;
+  double min_avail_mb = 0.0;
+  for (common::HostId hid : hosts) {
+    const net::Host& h = topology_.host(hid);
+    double load = h.state.cpu_load;
+    if (exclude_own_share) load = std::max(0.0, load - 1.0);
+    double eff = h.spec.speed_mflops / (1.0 + std::max(0.0, load));
+    if (first || eff < slowest) slowest = eff;
+    if (first || h.state.available_mb < min_avail_mb) {
+      min_avail_mb = h.state.available_mb;
+    }
+    first = false;
+  }
+  slowest = std::max(slowest, 1e-6);
+
+  const auto n = static_cast<double>(hosts.size());
+  const double pf = std::clamp(task.parallel_fraction, 0.0, 1.0);
+  double time;
+  if (hosts.size() == 1) {
+    time = task.computation_mflop / slowest;
+  } else {
+    time = task.computation_mflop * (1.0 - pf) / slowest +
+           task.computation_mflop * pf / (slowest * n) +
+           options_.parallel_sync_overhead * n;
+  }
+  if (task.required_memory_mb > min_avail_mb) time *= options_.paging_penalty;
+  time = std::max(time, 1e-9);
+  return std::max(task.computation_mflop, 1e-3) / time;
+}
+
+common::SimDuration GroundTruthModel::actual_time(
+    const db::TaskPerfRecord& task, const std::vector<common::HostId>& hosts,
+    common::Rng& rng) const {
+  assert(!hosts.empty());
+
+  // Same formula as the Predictor, but over live topology state.
+  double slowest = 0.0;
+  bool first = true;
+  double min_avail_mb = 0.0;
+  for (common::HostId hid : hosts) {
+    const net::Host& h = topology_.host(hid);
+    double eff = h.spec.speed_mflops / (1.0 + std::max(0.0, h.state.cpu_load));
+    if (first || eff < slowest) slowest = eff;
+    if (first || h.state.available_mb < min_avail_mb) {
+      min_avail_mb = h.state.available_mb;
+    }
+    first = false;
+  }
+  slowest = std::max(slowest, 1e-6);
+
+  const auto n = static_cast<double>(hosts.size());
+  const double pf = std::clamp(task.parallel_fraction, 0.0, 1.0);
+  double time;
+  if (hosts.size() == 1) {
+    time = task.computation_mflop / slowest;
+  } else {
+    time = task.computation_mflop * (1.0 - pf) / slowest +
+           task.computation_mflop * pf / (slowest * n) +
+           options_.parallel_sync_overhead * n;
+  }
+  if (task.required_memory_mb > min_avail_mb) time *= options_.paging_penalty;
+
+  if (noise_cv_ > 0.0) {
+    // Multiplicative log-ish noise, floored so time stays positive.
+    time *= rng.normal(1.0, noise_cv_, 0.05);
+  }
+  return time;
+}
+
+}  // namespace vdce::predict

@@ -1,0 +1,111 @@
+// Performance prediction — "the core of the given built-in scheduling
+// algorithms is the performance prediction phase, which is provided by
+// separate function evaluations of each task on each resource" (§3).
+//
+// The model follows the practical NOW-prediction approach the paper cites
+// (Yan & Zhang): a task's time on a non-dedicated host is its work divided
+// by the host's *effective* speed, where effective speed is the nominal
+// speed degraded by the measured background load; memory pressure adds a
+// paging penalty.  Two refinements from the paper's design:
+//
+//  * Measured history wins: once the task-performance database has recorded
+//    executions of this task on this host (the Site Manager writes them
+//    after every run, §4.1), the measured mean replaces the analytic
+//    estimate — prediction sharpens as the system is used (experiment E3).
+//
+//  * Parallel tasks (computation mode "parallel", N nodes) follow an
+//    Amdahl split: the serial fraction runs at one node's effective speed,
+//    the parallel fraction is divided across the N selected nodes, and a
+//    per-node synchronization overhead is charged.
+//
+// Prediction consumes the *database view* of a resource (ResourceRecord),
+// never topology ground truth: the scheduler can only be as good as its
+// monitoring pipeline, and that gap is measured by benches E3/E4.
+#pragma once
+
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "db/resource_perf.hpp"
+#include "db/task_perf.hpp"
+#include "net/topology.hpp"
+
+namespace vdce::predict {
+
+struct ModelOptions {
+  /// Measured mean is trusted once at least this many runs were recorded.
+  std::size_t min_measurements = 1;
+  /// Per-node synchronization overhead for parallel tasks (seconds).
+  common::SimDuration parallel_sync_overhead = 0.01;
+  /// Multiplier applied when required memory exceeds available memory
+  /// (paging); infeasible if required exceeds *total* memory.
+  double paging_penalty = 4.0;
+};
+
+class Predictor {
+ public:
+  explicit Predictor(ModelOptions options = {}) : options_(options) {}
+
+  /// Predict(task_i, R_j) for a sequential placement, or a parallel task on
+  /// `nodes` homogeneous-ish hosts (pass the actual records selected; the
+  /// slowest one gates the parallel part).  Fails with kNoFeasibleResource
+  /// when the task cannot run there at all (memory exceeds total).
+  common::Expected<common::SimDuration> predict(
+      const db::TaskPerfRecord& task,
+      const std::vector<db::ResourceRecord>& hosts,
+      const db::TaskPerformanceDb* measured_db = nullptr) const;
+
+  /// Single-host convenience overload.
+  common::Expected<common::SimDuration> predict(
+      const db::TaskPerfRecord& task, const db::ResourceRecord& host,
+      const db::TaskPerformanceDb* measured_db = nullptr) const;
+
+  /// Effective sustainable MFLOPS of a host under its last measured load.
+  [[nodiscard]] static double effective_mflops(const db::ResourceRecord& host);
+
+  [[nodiscard]] const ModelOptions& options() const noexcept { return options_; }
+
+ private:
+  ModelOptions options_;
+};
+
+/// Ground truth: what an execution *actually* costs on the live topology.
+/// Same functional form as the Predictor but reading true host state and
+/// adding multiplicative noise — the gap between this and the prediction is
+/// precisely what experiments E3/E6 quantify.
+class GroundTruthModel {
+ public:
+  /// `noise_cv` is the coefficient of variation of the multiplicative noise
+  /// (0 = perfectly deterministic executions).
+  GroundTruthModel(const net::Topology& topology, double noise_cv,
+                   ModelOptions options = {})
+      : topology_(topology), noise_cv_(noise_cv), options_(options) {}
+
+  /// Actual execution time of `task` on live hosts `hosts` (parallel tasks
+  /// pass all assigned nodes).  Never fails: an overloaded host just runs
+  /// slowly.
+  common::SimDuration actual_time(const db::TaskPerfRecord& task,
+                                  const std::vector<common::HostId>& hosts,
+                                  common::Rng& rng) const;
+
+  /// Instantaneous progress rate (MFLOP/s) of the task under *current* live
+  /// loads.  The Data Manager executes tasks in quanta, re-reading this
+  /// rate at each quantum boundary, so background-load changes mid-run
+  /// speed tasks up or slow them down — the behaviour the overload-
+  /// rescheduling experiment (E6) depends on.  When `exclude_own_share` is
+  /// true, each host's load is reduced by 1.0 first (the caller has already
+  /// added the task's own contribution to the topology).
+  double rate_mflops(const db::TaskPerfRecord& task,
+                     const std::vector<common::HostId>& hosts,
+                     bool exclude_own_share) const;
+
+ private:
+  const net::Topology& topology_;
+  double noise_cv_;
+  ModelOptions options_;
+};
+
+}  // namespace vdce::predict

@@ -1,0 +1,68 @@
+#include "runtime/app_controller.hpp"
+
+#include <any>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace vdce::runtime {
+
+void AppController::start() {
+  if (started_) return;
+  started_ = true;
+  timer_ = core_.engine().every(core_.options().controller_period,
+                                [this] { check_load(); },
+                                core_.options().controller_period);
+}
+
+void AppController::stop() { timer_.cancel(); }
+
+void AppController::handle(const net::Message& message) {
+  if (message.type == msg::kGmExec) {
+    on_exec(message);
+  } else if (message.type == msg::kSmStart) {
+    const auto& signal = std::any_cast<const StartSignal&>(message.payload);
+    dm_.start_app(signal.app);
+  } else if (message.type == msg::kSmSuspend) {
+    const auto& signal = std::any_cast<const SuspendSignal&>(message.payload);
+    dm_.suspend(signal.app);
+  } else if (message.type == msg::kSmResume) {
+    const auto& signal = std::any_cast<const SuspendSignal&>(message.payload);
+    dm_.resume(signal.app);
+  }
+}
+
+void AppController::on_exec(const net::Message& message) {
+  const auto& request = std::any_cast<const ExecRequest&>(message.payload);
+  PlanPtr plan = request.plan;
+  // Activate the Data Manager; once its channels are acknowledged, report
+  // readiness to the origin Site Manager.
+  dm_.activate(
+      plan,
+      [this, plan] {
+        (void)core_.fabric().send(net::Message{
+            host_, plan->origin, msg::kAcReady, wire::kSmall,
+            std::any(ReadyNotice{plan->app, host_})});
+      },
+      request.pin);
+}
+
+void AppController::check_load() {
+  const net::Host& h = core_.topology().host(host_);
+  if (!h.state.up) return;
+  if (h.state.cpu_load <= core_.options().overload_threshold) return;
+
+  for (const DataManager::Aborted& aborted : dm_.abort_running()) {
+    VDCE_LOG(kInfo, "app-ctrl", core_.now())
+        << "host " << h.spec.name << " overloaded (load "
+        << common::format_double(h.state.cpu_load, 2)
+        << "); terminating task " << aborted.task.value()
+        << " and requesting reschedule";
+    (void)core_.fabric().send(net::Message{
+        host_, aborted.origin, msg::kAcOverload, wire::kSmall,
+        std::any(OverloadNotice{aborted.app, aborted.task, host_,
+                                h.state.cpu_load})});
+  }
+}
+
+}  // namespace vdce::runtime

@@ -1,0 +1,49 @@
+// Application Controller (§4.1): per-host execution control.
+//
+// "The Application Controller sets up the execution environment and manages
+// the services provided by interacting with the Data Manager.  After the
+// Application Controller receives an execution request message from the
+// Group Manager, it activates the Data Manager. ... When all the required
+// acknowledgments are received an execution startup signal is sent."
+//
+// And the overload policy: "If the current load on any of these machines is
+// more than a predefined threshold value, the Application Controller
+// terminates the task execution on the machine and sends a task
+// rescheduling request."  (Our rescheduling request travels to the origin
+// Site Manager, which owns the application's allocation state; the paper
+// routes it via the Group Manager — one hop we collapse, noted in
+// DESIGN.md.)
+#pragma once
+
+#include "common/ids.hpp"
+#include "net/fabric.hpp"
+#include "runtime/core.hpp"
+#include "runtime/data_manager.hpp"
+#include "runtime/protocol.hpp"
+#include "sim/engine.hpp"
+
+namespace vdce::runtime {
+
+class AppController {
+ public:
+  AppController(RuntimeCore& core, common::HostId host, DataManager& dm)
+      : core_(core), host_(host), dm_(dm) {}
+
+  /// Begin periodic load monitoring of this machine.
+  void start();
+  void stop();
+
+  void handle(const net::Message& message);
+
+ private:
+  void on_exec(const net::Message& message);
+  void check_load();
+
+  RuntimeCore& core_;
+  common::HostId host_;
+  DataManager& dm_;
+  sim::TimerHandle timer_;
+  bool started_ = false;
+};
+
+}  // namespace vdce::runtime

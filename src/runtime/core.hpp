@@ -1,0 +1,100 @@
+// Shared runtime context and tuning knobs.
+//
+// One RuntimeCore exists per simulated environment; every daemon holds a
+// reference.  It owns the models (prediction, ground-truth execution time)
+// and the runtime RNG, and carries references to the engine/fabric/topology
+// and the per-site repositories the daemons read and write.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "db/site_repository.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "predict/model.hpp"
+#include "sim/engine.hpp"
+
+namespace vdce::runtime {
+
+struct RuntimeOptions {
+  // --- monitoring (§4.1) ---
+  common::SimDuration monitor_period = 1.0;   ///< Monitor daemon sampling
+  double measurement_noise = 0.02;            ///< stddev of load samples
+  double significant_change = 0.15;           ///< Group Manager forward filter
+  common::SimDuration echo_period = 2.0;      ///< Group Manager echo packets
+  // --- application control (§4.1) ---
+  common::SimDuration controller_period = 1.0;  ///< App Controller load checks
+  double overload_threshold = 2.5;  ///< terminate + reschedule above this load
+  /// After this many placements of one task, further overload notices pin
+  /// the task in place instead of moving it again (anti-livelock).
+  int max_task_attempts = 4;
+  common::SimDuration progress_period = 5.0;  ///< coordinator stall sweep
+  // --- execution model ---
+  double exec_noise_cv = 0.05;  ///< run-to-run execution time variation
+  /// Execution proceeds in quanta: each boundary re-reads live host load,
+  /// so background spikes slow a running task (and departures speed it up).
+  common::SimDuration exec_quantum = 1.0;
+  // --- scheduling ---
+  std::size_t k_nearest = 2;  ///< S_remote size (Fig. 2 step 2)
+  /// Bid-gathering deadline: the origin assigns with whatever
+  /// host-selection outputs have arrived once this much simulated time has
+  /// passed (a dead or unreachable remote site must not hang scheduling).
+  common::SimDuration bid_timeout = 2.0;
+  std::uint64_t seed = 1234;
+};
+
+class RuntimeCore {
+ public:
+  RuntimeCore(sim::Engine& engine, net::Fabric& fabric, net::Topology& topology,
+              std::vector<db::SiteRepository*> repos, RuntimeOptions options)
+      : engine_(engine),
+        fabric_(fabric),
+        topology_(topology),
+        repos_(std::move(repos)),
+        options_(options),
+        predictor_(),
+        ground_truth_(topology, options.exec_noise_cv),
+        rng_(options.seed) {}
+
+  RuntimeCore(const RuntimeCore&) = delete;
+  RuntimeCore& operator=(const RuntimeCore&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] net::Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] const net::Topology& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] db::SiteRepository& repo(common::SiteId site) {
+    return *repos_.at(site.value());
+  }
+  [[nodiscard]] const std::vector<db::SiteRepository*>& repos() const noexcept {
+    return repos_;
+  }
+  [[nodiscard]] const RuntimeOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const predict::Predictor& predictor() const noexcept {
+    return predictor_;
+  }
+  [[nodiscard]] const predict::GroundTruthModel& ground_truth() const noexcept {
+    return ground_truth_;
+  }
+  [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
+
+  [[nodiscard]] common::SimTime now() const noexcept { return engine_.now(); }
+
+ private:
+  sim::Engine& engine_;
+  net::Fabric& fabric_;
+  net::Topology& topology_;
+  std::vector<db::SiteRepository*> repos_;
+  RuntimeOptions options_;
+  predict::Predictor predictor_;
+  predict::GroundTruthModel ground_truth_;
+  common::Rng rng_;
+};
+
+}  // namespace vdce::runtime

@@ -1,0 +1,407 @@
+#include "runtime/data_manager.hpp"
+
+#include <algorithm>
+#include <any>
+#include <cassert>
+#include <set>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+
+namespace vdce::runtime {
+
+namespace {
+
+/// Does `assignment` place the task's primary execution on `host`?
+bool primary_here(const sched::Assignment& a, common::HostId host) {
+  return a.primary_host() == host;
+}
+
+}  // namespace
+
+void DataManager::activate(const PlanPtr& plan,
+                           std::function<void()> on_channels_ready,
+                           afg::TaskId pin) {
+  AppState& state = apps_[plan->app.value()];
+  const bool first_activation = (state.plan == nullptr);
+  const bool was_started = state.started;
+  state.plan = plan;  // newer plan wins (reschedules ship updated tables)
+  if (pin.valid()) state.unkillable.insert(pin.value());
+  merge_local_tasks(state);
+
+  if (first_activation) {
+    state.on_ready = std::move(on_channels_ready);
+    setup_channels(state);
+    if (state.setups_pending == 0 && !state.ready_fired) {
+      state.ready_fired = true;
+      if (state.on_ready) state.on_ready();
+    }
+  } else if (was_started) {
+    // Reschedule merge on an already-running app: newly ready tasks may
+    // start immediately.
+    maybe_start(plan->app);
+  }
+}
+
+void DataManager::merge_local_tasks(AppState& state) {
+  const ExecutionPlan& plan = *state.plan;
+  for (const sched::Assignment& a : plan.rat.assignments) {
+    if (!primary_here(a, host_)) continue;
+    if (state.tasks.contains(a.task.value())) continue;
+    const afg::TaskNode& node = plan.graph.task(a.task);
+
+    LocalTask task;
+    task.id = a.task;
+    task.port_filled.assign(static_cast<std::size_t>(node.in_ports()), false);
+    task.inputs.assign(static_cast<std::size_t>(node.in_ports()),
+                       tasklib::Value{});
+    // Expected inputs: one per dataflow edge plus one per staged file input.
+    for (const afg::Edge& e : plan.graph.in_edges(a.task)) {
+      (void)e;
+      ++task.pending;
+    }
+    for (const afg::FileSpec& f : node.props.inputs) {
+      if (!f.dataflow && !f.path.empty()) ++task.pending;
+    }
+    const bool ready_now = task.pending == 0;
+    state.tasks.emplace(a.task.value(), std::move(task));
+    if (ready_now) {
+      state.tasks[a.task.value()].queued = true;
+      state.queue.push_back(a.task.value());
+    }
+  }
+}
+
+void DataManager::setup_channels(AppState& state) {
+  const ExecutionPlan& plan = *state.plan;
+  // One proxy/channel per distinct remote peer host that any local task
+  // sends to (§4.2: proxy activation + ack).
+  std::set<common::HostId> peers;
+  for (const auto& [task_value, task] : state.tasks) {
+    for (const afg::Edge& e : plan.graph.out_edges(task.id)) {
+      common::HostId dst = plan.assignment(e.to).primary_host();
+      if (dst != host_) peers.insert(dst);
+    }
+  }
+  state.setups_pending = static_cast<int>(peers.size());
+  common::ChannelId::value_type channel_seq = 0;
+  for (common::HostId peer : peers) {
+    (void)core_.fabric().send(net::Message{
+        host_, peer, msg::kDmSetup, wire::kSmall,
+        std::any(ChannelSetup{plan.app, host_,
+                              common::ChannelId(channel_seq++)})});
+  }
+}
+
+void DataManager::start_app(common::AppId app) {
+  auto it = apps_.find(app.value());
+  if (it == apps_.end()) return;
+  it->second.started = true;
+  maybe_start(app);
+}
+
+void DataManager::suspend(common::AppId app) {
+  auto it = apps_.find(app.value());
+  if (it != apps_.end()) it->second.suspended = true;
+}
+
+void DataManager::resume(common::AppId app) {
+  auto it = apps_.find(app.value());
+  if (it == apps_.end()) return;
+  it->second.suspended = false;
+  maybe_start(app);
+}
+
+std::vector<DataManager::Aborted> DataManager::abort_running() {
+  std::vector<Aborted> aborted;
+  for (auto& [app_value, state] : apps_) {
+    if (!state.busy) continue;
+    if (state.unkillable.contains(state.running_task)) continue;
+    auto task_it = state.tasks.find(state.running_task);
+    assert(task_it != state.tasks.end());
+    LocalTask& task = task_it->second;
+
+    state.completion.cancel();
+    state.busy = false;
+    task.running = false;
+    const sched::Assignment& a = state.plan->assignment(task.id);
+    for (common::HostId h : a.hosts) {
+      core_.topology().add_cpu_load(h, -1.0);
+      --core_.topology().host(h).state.running_tasks;
+    }
+
+    aborted.push_back(Aborted{state.plan->app, task.id, state.plan->origin});
+    // The task leaves this host; the coordinator will re-place it.
+    state.tasks.erase(task_it);
+  }
+  // The machine is free again: let any queued work of the affected
+  // applications proceed (they would otherwise wait forever).
+  for (const Aborted& a : aborted) maybe_start(a.app);
+  return aborted;
+}
+
+void DataManager::remove_task(common::AppId app, afg::TaskId task) {
+  auto it = apps_.find(app.value());
+  if (it == apps_.end()) return;
+  AppState& state = it->second;
+  auto t = state.tasks.find(task.value());
+  if (t == state.tasks.end()) return;
+  if (t->second.running) {
+    state.completion.cancel();
+    state.busy = false;
+    const sched::Assignment& a = state.plan->assignment(task);
+    for (common::HostId h : a.hosts) {
+      core_.topology().add_cpu_load(h, -1.0);
+      --core_.topology().host(h).state.running_tasks;
+    }
+  }
+  if (t->second.queued) {
+    state.queue.erase(std::remove(state.queue.begin(), state.queue.end(),
+                                  task.value()),
+                      state.queue.end());
+  }
+  state.tasks.erase(t);
+  maybe_start(app);  // the machine may have been freed for queued work
+}
+
+void DataManager::maybe_start(common::AppId app) {
+  auto it = apps_.find(app.value());
+  if (it == apps_.end()) return;
+  AppState& state = it->second;
+  if (!state.started || state.suspended || state.busy || state.queue.empty()) {
+    return;
+  }
+  const std::uint32_t task_value = state.queue.front();
+  state.queue.pop_front();
+  auto task_it = state.tasks.find(task_value);
+  if (task_it == state.tasks.end()) {
+    maybe_start(app);  // was removed while queued
+    return;
+  }
+  LocalTask& task = task_it->second;
+  task.queued = false;
+  task.running = true;
+  state.busy = true;
+  state.running_task = task_value;
+  state.run_started = core_.now();
+
+  const ExecutionPlan& plan = *state.plan;
+  const sched::Assignment& a = plan.assignment(task.id);
+  // Draw this run's noise once; progress rate is re-read each quantum so
+  // load changes mid-run stretch or shrink the remaining time.
+  const double cv = core_.options().exec_noise_cv;
+  task.noise_factor = cv > 0.0 ? core_.rng().normal(1.0, cv, 0.05) : 1.0;
+  task.remaining_mflop =
+      std::max(plan.perf[task_value].computation_mflop, 1e-3) *
+      task.noise_factor;
+  for (common::HostId h : a.hosts) {
+    core_.topology().add_cpu_load(h, +1.0);
+    ++core_.topology().host(h).state.running_tasks;
+  }
+
+  VDCE_LOG(kDebug, "data-mgr", core_.now())
+      << "host " << host_.value() << " starts "
+      << plan.graph.task(task.id).instance_name;
+
+  run_quantum(app, task_value);
+}
+
+void DataManager::run_quantum(common::AppId app, std::uint32_t task_value) {
+  AppState& state = apps_.at(app.value());
+  LocalTask& task = state.tasks.at(task_value);
+  const ExecutionPlan& plan = *state.plan;
+  const sched::Assignment& a = plan.assignment(task.id);
+
+  const double rate = core_.ground_truth().rate_mflops(
+      plan.perf[task_value], a.hosts, /*exclude_own_share=*/true);
+  const common::SimDuration dt =
+      std::min(task.remaining_mflop / rate, core_.options().exec_quantum);
+  state.completion =
+      core_.engine().schedule(dt, [this, app, task_value, rate, dt] {
+        // A dead host computes nothing; its events are inert.
+        if (!core_.topology().host_up(host_)) return;
+        AppState& st = apps_.at(app.value());
+        LocalTask& t = st.tasks.at(task_value);
+        t.remaining_mflop -= rate * dt;
+        if (t.remaining_mflop <= 1e-9) {
+          finish_task(app, task_value);
+        } else {
+          run_quantum(app, task_value);
+        }
+      });
+}
+
+void DataManager::finish_task(common::AppId app, std::uint32_t task_value) {
+  // A dead host computes nothing; its events are inert.
+  if (!core_.topology().host_up(host_)) return;
+
+  auto it = apps_.find(app.value());
+  assert(it != apps_.end());
+  AppState& state = it->second;
+  auto task_it = state.tasks.find(task_value);
+  assert(task_it != state.tasks.end());
+  LocalTask& task = task_it->second;
+
+  const ExecutionPlan& plan = *state.plan;
+  const sched::Assignment& a = plan.assignment(task.id);
+  for (common::HostId h : a.hosts) {
+    core_.topology().add_cpu_load(h, -1.0);
+    --core_.topology().host(h).state.running_tasks;
+  }
+  state.busy = false;
+  task.running = false;
+  task.done = true;
+  const common::SimDuration elapsed = core_.now() - state.run_started;
+
+  // Run the real kernel, if the application carries one.
+  const afg::TaskNode& node = plan.graph.task(task.id);
+  std::vector<tasklib::Value> outputs(
+      static_cast<std::size_t>(node.out_ports()));
+  const tasklib::Kernel& kernel = plan.kernels[task_value];
+  if (kernel) {
+    auto result = kernel(task.inputs);
+    if (!result) {
+      send_task_done(state, task.id, elapsed, /*failed=*/true,
+                     result.error().to_string(), {});
+      maybe_start(app);
+      return;
+    }
+    for (std::size_t p = 0; p < result->size() && p < outputs.size(); ++p) {
+      outputs[p] = (*result)[p];
+    }
+  }
+  state.outputs[task_value] = outputs;
+
+  // Ship each out-edge to its consumer's current host (honouring redirects).
+  for (const afg::Edge& e : plan.graph.out_edges(task.id)) {
+    send_edge(state, e,
+              outputs[static_cast<std::size_t>(e.from_port)]);
+  }
+
+  // Output *files* travel back to the user's file space at the origin (the
+  // I/O service stores them; Fig. 1's vector_X.dat).
+  for (int p = 0; p < node.out_ports(); ++p) {
+    const afg::FileSpec& f = node.props.outputs[static_cast<std::size_t>(p)];
+    if (f.path.empty()) continue;
+    (void)core_.fabric().send(net::Message{
+        host_, plan.origin, msg::kDmOutput, std::max(f.size_bytes, 64.0),
+        std::any(OutputFile{plan.app, task.id, f.path, f.size_bytes,
+                            outputs[static_cast<std::size_t>(p)]})});
+  }
+
+  // Exit tasks return their port-0 value with the completion notice.
+  tasklib::Value exit_output;
+  if (plan.graph.children(task.id).empty() && !outputs.empty()) {
+    exit_output = outputs.front();
+  }
+  send_task_done(state, task.id, elapsed, false, "", std::move(exit_output));
+  maybe_start(app);
+}
+
+void DataManager::send_edge(AppState& state, const afg::Edge& edge,
+                            const tasklib::Value& value) {
+  const ExecutionPlan& plan = *state.plan;
+  EdgeKey key{edge.from.value(), edge.from_port, edge.to.value()};
+  common::HostId dst;
+  if (auto r = state.redirects.find(key); r != state.redirects.end()) {
+    dst = r->second;
+  } else {
+    dst = plan.assignment(edge.to).primary_host();
+  }
+  double bytes = std::max(plan.graph.edge_bytes(edge), 64.0);
+  (void)core_.fabric().send(net::Message{
+      host_, dst, msg::kDmData, bytes,
+      std::any(DataDelivery{plan.app, edge.to, edge.to_port, value})});
+}
+
+void DataManager::send_task_done(const AppState& state, afg::TaskId task,
+                                 common::SimDuration elapsed, bool failed,
+                                 const std::string& error,
+                                 tasklib::Value exit_output) {
+  TaskDone done;
+  done.app = state.plan->app;
+  done.task = task;
+  done.host = host_;
+  done.started = core_.now() - elapsed;
+  done.finished = core_.now();
+  done.elapsed = elapsed;
+  done.failed = failed;
+  done.error = error;
+  done.exit_output = std::move(exit_output);
+  (void)core_.fabric().send(net::Message{host_, state.plan->origin,
+                                         msg::kAcTaskDone, wire::kSmall,
+                                         std::any(std::move(done))});
+}
+
+void DataManager::deliver(AppState& state, afg::TaskId task, int port,
+                          const tasklib::Value& value, common::AppId app) {
+  auto task_it = state.tasks.find(task.value());
+  if (task_it == state.tasks.end()) return;  // task moved away: stale delivery
+  LocalTask& t = task_it->second;
+  auto p = static_cast<std::size_t>(port);
+  if (p >= t.port_filled.size() || t.port_filled[p]) return;  // duplicate
+  t.port_filled[p] = true;
+  t.inputs[p] = value;
+  if (--t.pending == 0 && !t.done && !t.running && !t.queued) {
+    t.queued = true;
+    state.queue.push_back(task.value());
+    maybe_start(app);
+  }
+}
+
+void DataManager::handle(const net::Message& message) {
+  if (message.type == msg::kDmSetup) {
+    const auto& setup = std::any_cast<const ChannelSetup&>(message.payload);
+    (void)core_.fabric().send(net::Message{
+        host_, setup.from, msg::kDmSetupAck, wire::kSmall,
+        std::any(ChannelSetupAck{setup.app, host_, setup.channel})});
+    return;
+  }
+  if (message.type == msg::kDmSetupAck) {
+    const auto& ack = std::any_cast<const ChannelSetupAck&>(message.payload);
+    auto it = apps_.find(ack.app.value());
+    if (it == apps_.end()) return;
+    AppState& state = it->second;
+    if (--state.setups_pending == 0 && !state.ready_fired) {
+      state.ready_fired = true;
+      if (state.on_ready) state.on_ready();
+    }
+    return;
+  }
+  if (message.type == msg::kDmData || message.type == msg::kDmInput) {
+    const auto& delivery = std::any_cast<const DataDelivery&>(message.payload);
+    auto it = apps_.find(delivery.app.value());
+    if (it == apps_.end()) return;  // app unknown here (host never involved)
+    deliver(it->second, delivery.to_task, delivery.to_port, delivery.value,
+            delivery.app);
+    return;
+  }
+  if (message.type == msg::kDmResend) {
+    const auto& req = std::any_cast<const ResendRequest&>(message.payload);
+    auto it = apps_.find(req.app.value());
+    if (it == apps_.end()) return;
+    AppState& state = it->second;
+    state.redirects[EdgeKey{req.from_task.value(), req.from_port,
+                            req.to_task.value()}] = req.new_host;
+    auto out = state.outputs.find(req.from_task.value());
+    if (out != state.outputs.end()) {
+      // Producer already finished: re-deliver immediately.
+      const ExecutionPlan& plan = *state.plan;
+      double bytes = 64.0;
+      for (const afg::Edge& e : plan.graph.out_edges(req.from_task)) {
+        if (e.to == req.to_task && e.from_port == req.from_port) {
+          bytes = std::max(plan.graph.edge_bytes(e), 64.0);
+          break;
+        }
+      }
+      (void)core_.fabric().send(net::Message{
+          host_, req.new_host, msg::kDmData, bytes,
+          std::any(DataDelivery{
+              req.app, req.to_task, req.to_port,
+              out->second[static_cast<std::size_t>(req.from_port)]})});
+    }
+    return;
+  }
+}
+
+}  // namespace vdce::runtime

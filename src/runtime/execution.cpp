@@ -1,0 +1,52 @@
+#include "runtime/execution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace vdce::runtime {
+
+std::string ExecutionReport::describe(const afg::Afg& graph) const {
+  std::string out = "Execution report for '" + app_name + "'";
+  out += success ? " [SUCCESS]\n" : " [FAILED: " + failure_reason + "]\n";
+  out += "  submitted " + common::format_double(submitted, 4) + "s, started " +
+         common::format_double(exec_started, 4) + "s, completed " +
+         common::format_double(completed, 4) + "s\n";
+  out += "  setup " + common::format_double(setup_time(), 4) + "s, makespan " +
+         common::format_double(makespan(), 4) + "s, reschedules " +
+         std::to_string(reschedules) + ", failures survived " +
+         std::to_string(failures_survived) + "\n";
+  for (const TaskOutcome& o : outcomes) {
+    out += "  " + graph.task(o.task).instance_name + ": host " +
+           std::to_string(o.host.value()) + " (site " +
+           std::to_string(o.site.value()) + ") " +
+           common::format_double(o.started, 4) + "s -> " +
+           common::format_double(o.finished, 4) + "s";
+    if (o.attempts > 1) out += "  [attempts " + std::to_string(o.attempts) + "]";
+    out += "\n";
+  }
+
+  // ASCII Gantt, one row per task, scaled to the makespan.
+  if (success && !outcomes.empty() && completed > exec_started) {
+    constexpr int kWidth = 60;
+    out += "  Gantt (start signal -> completion):\n";
+    for (const TaskOutcome& o : outcomes) {
+      double span = completed - exec_started;
+      int lo = static_cast<int>(std::floor((o.started - exec_started) / span *
+                                           kWidth));
+      int hi = static_cast<int>(std::ceil((o.finished - exec_started) / span *
+                                          kWidth));
+      lo = std::clamp(lo, 0, kWidth);
+      hi = std::clamp(hi, lo + 1, kWidth);
+      std::string row(static_cast<std::size_t>(kWidth), '.');
+      for (int i = lo; i < hi; ++i) row[static_cast<std::size_t>(i)] = '#';
+      std::string label = graph.task(o.task).instance_name;
+      if (label.size() > 18) label.resize(18);
+      out += "    " + label + std::string(20 - label.size(), ' ') + row + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace vdce::runtime

@@ -1,0 +1,68 @@
+// Execution outcome reporting.
+//
+// The origin Site Manager assembles an ExecutionReport as an application
+// runs: per-task placements and times, reschedules and failures survived,
+// and — when the application carried real kernels — the output values of
+// its exit tasks.  The report is what examples print and what the
+// end-to-end benches aggregate.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::runtime {
+
+struct TaskOutcome {
+  afg::TaskId task;
+  common::HostId host;          ///< where it finally completed
+  common::SiteId site;
+  common::SimTime started = 0;  ///< start of the successful attempt
+  common::SimTime finished = 0;
+  int attempts = 1;             ///< 1 + number of reschedules of this task
+};
+
+struct ExecutionReport {
+  common::AppId app;
+  std::string app_name;
+  bool success = false;
+  std::string failure_reason;
+
+  common::SimTime submitted = 0;    ///< execution request received
+  common::SimTime exec_started = 0; ///< startup signal sent (channels ready)
+  common::SimTime completed = 0;    ///< last task finished
+
+  /// Wall (simulated) time from startup signal to completion.
+  [[nodiscard]] common::SimDuration makespan() const {
+    return completed - exec_started;
+  }
+  /// Setup cost: channel establishment + staging before the startup signal.
+  [[nodiscard]] common::SimDuration setup_time() const {
+    return exec_started - submitted;
+  }
+
+  std::vector<TaskOutcome> outcomes;  ///< task-id order
+  int reschedules = 0;                ///< overload-triggered task restarts
+  int failures_survived = 0;          ///< host deaths recovered from
+
+  /// QoS: the deadline the user requested (0 = none) and whether the
+  /// achieved makespan met it.
+  common::SimDuration deadline = 0.0;
+  [[nodiscard]] bool deadline_met() const {
+    return deadline <= 0.0 || makespan() <= deadline;
+  }
+
+  /// Output values of exit tasks (port 0), keyed by task-id value; empty
+  /// for timing-only runs.
+  std::unordered_map<std::uint32_t, tasklib::Value> exit_outputs;
+
+  /// Human-readable narrative (per-task rows + summary + ASCII Gantt).
+  [[nodiscard]] std::string describe(const afg::Afg& graph) const;
+};
+
+}  // namespace vdce::runtime

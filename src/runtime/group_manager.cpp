@@ -1,0 +1,122 @@
+#include "runtime/group_manager.hpp"
+
+#include <any>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace vdce::runtime {
+
+void GroupManager::start() {
+  if (started_) return;
+  started_ = true;
+  echo_timer_ = core_.engine().every(core_.options().echo_period,
+                                     [this] { echo_tick(); },
+                                     core_.options().echo_period * 0.5);
+}
+
+void GroupManager::stop() { echo_timer_.cancel(); }
+
+void GroupManager::handle(const net::Message& message) {
+  if (message.type == msg::kMonReport) {
+    on_mon_report(message);
+  } else if (message.type == msg::kGmEchoReply) {
+    on_echo_reply(message);
+  } else if (message.type == msg::kSmRatGm) {
+    on_rat(message);
+  }
+}
+
+void GroupManager::on_mon_report(const net::Message& message) {
+  const auto& report = std::any_cast<const MonReport&>(message.payload);
+  ++reports_received_;
+
+  // Any traffic from a host is proof of life: without this, an echo round
+  // that straddles a host's recovery would declare it down again right
+  // after its first post-recovery workload report.
+  echo_replied_.insert(report.host);
+  const bool recovered = reported_down_.erase(report.host) > 0;
+
+  // Significant-change filter: forward only if the load moved by more than
+  // the threshold since the last *forwarded* value.  First reports and
+  // recovery reports always pass (the Site Manager must re-mark the host
+  // up even if its load happens to match the last forwarded value).
+  auto it = last_forwarded_load_.find(report.host);
+  const bool significant =
+      recovered || it == last_forwarded_load_.end() ||
+      std::fabs(report.sample.cpu_load - it->second) >=
+          core_.options().significant_change;
+  if (!significant) return;
+
+  last_forwarded_load_[report.host] = report.sample.cpu_load;
+  ++reports_forwarded_;
+  GmReport batch;
+  batch.changed.push_back(report);
+  (void)core_.fabric().send(net::Message{leader_, site_server_, msg::kGmReport,
+                                         wire::gm_report(batch.changed.size()),
+                                         std::any(std::move(batch))});
+}
+
+void GroupManager::echo_tick() {
+  const net::Group& group = core_.topology().group(group_);
+
+  // Close the previous round first: anyone silent is presumed failed.
+  if (echo_outstanding_) {
+    for (common::HostId member : group.members) {
+      if (member == leader_) continue;  // the leader vouches for itself
+      if (echo_replied_.contains(member) || reported_down_.contains(member)) {
+        continue;
+      }
+      reported_down_.insert(member);
+      VDCE_LOG(kInfo, "group-mgr", core_.now())
+          << "host " << core_.topology().host(member).spec.name
+          << " failed echo round " << echo_seq_;
+      (void)core_.fabric().send(net::Message{leader_, site_server_,
+                                             msg::kGmHostDown, wire::kSmall,
+                                             std::any(HostDownNotice{member})});
+    }
+  }
+
+  // Open the next round.
+  ++echo_seq_;
+  echo_replied_.clear();
+  echo_outstanding_ = true;
+  for (common::HostId member : group.members) {
+    if (member == leader_) continue;
+    (void)core_.fabric().send(net::Message{leader_, member, msg::kGmEcho,
+                                           wire::kEcho,
+                                           std::any(EchoPacket{leader_, echo_seq_})});
+  }
+}
+
+void GroupManager::on_echo_reply(const net::Message& message) {
+  const auto& echo = std::any_cast<const EchoPacket&>(message.payload);
+  if (echo.seq != echo_seq_) return;  // stale reply from an earlier round
+  echo_replied_.insert(message.src);
+}
+
+void GroupManager::on_rat(const net::Message& message) {
+  const auto& rat = std::any_cast<const RatMulticast&>(message.payload);
+  const net::Group& group = core_.topology().group(group_);
+
+  // Forward an execution request to the Application Controller of each
+  // member that appears in the allocation table.
+  for (common::HostId member : group.members) {
+    bool involved = false;
+    for (const sched::Assignment& a : rat.plan->rat.assignments) {
+      for (common::HostId h : a.hosts) {
+        if (h == member) {
+          involved = true;
+          break;
+        }
+      }
+      if (involved) break;
+    }
+    if (!involved) continue;
+    (void)core_.fabric().send(net::Message{leader_, member, msg::kGmExec,
+                                           wire::kSmall,
+                                           std::any(ExecRequest{rat.plan, member})});
+  }
+}
+
+}  // namespace vdce::runtime

@@ -1,0 +1,56 @@
+#include "runtime/monitor.hpp"
+
+#include <any>
+
+#include "common/logging.hpp"
+
+namespace vdce::runtime {
+
+void MonitorDaemon::start() {
+  if (started_) return;
+  started_ = true;
+  noise_ = common::Rng(core_.options().seed ^
+                       (0x9e3779b97f4a7c15ULL * (host_.value() + 1)));
+  // Phase-stagger the first sample across the period.
+  double phase = noise_.uniform(0.0, core_.options().monitor_period);
+  timer_ = core_.engine().every(core_.options().monitor_period,
+                                [this] { sample_and_report(); }, phase);
+}
+
+void MonitorDaemon::stop() { timer_.cancel(); }
+
+void MonitorDaemon::sample_and_report() {
+  const net::Host& h = core_.topology().host(host_);
+  if (!h.state.up) return;  // a dead host measures nothing
+
+  MonReport report;
+  report.host = host_;
+  report.sample.time = core_.now();
+  // Measurement noise models the coarse sampling of 1997 'uptime'-style
+  // load probes.
+  report.sample.cpu_load =
+      noise_.normal(h.state.cpu_load, core_.options().measurement_noise, 0.0);
+  report.sample.available_mb =
+      noise_.normal(h.state.available_mb,
+                    core_.options().measurement_noise * h.spec.memory_mb, 0.0);
+
+  (void)core_.fabric().send(net::Message{
+      host_, group_leader_, msg::kMonReport, wire::mon_report(),
+      std::any(report)});
+}
+
+void MonitorDaemon::handle(const net::Message& message) {
+  if (message.type == msg::kGmEcho) {
+    const auto& echo = std::any_cast<const EchoPacket&>(message.payload);
+    (void)core_.fabric().send(net::Message{host_, echo.leader,
+                                           msg::kGmEchoReply, wire::kEcho,
+                                           std::any(EchoPacket{host_, echo.seq})});
+  } else if (message.type == msg::kSmEcho) {
+    const auto& echo = std::any_cast<const EchoPacket&>(message.payload);
+    (void)core_.fabric().send(net::Message{host_, echo.leader,
+                                           msg::kSmEchoReply, wire::kEcho,
+                                           std::any(EchoPacket{host_, echo.seq})});
+  }
+}
+
+}  // namespace vdce::runtime

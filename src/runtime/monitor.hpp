@@ -1,0 +1,43 @@
+// Monitor daemon (§4.1): "periodically measures the up-to-date resource
+// parameters, i.e., CPU load and memory availability, and sends the values
+// to the Group Manager."  One per VDCE resource (host).  Also answers the
+// Group Manager's echo packets — a host that can reply is, by definition,
+// alive.
+#pragma once
+
+#include "common/ids.hpp"
+#include "net/fabric.hpp"
+#include "runtime/core.hpp"
+#include "runtime/protocol.hpp"
+#include "sim/engine.hpp"
+
+namespace vdce::runtime {
+
+class MonitorDaemon {
+ public:
+  MonitorDaemon(RuntimeCore& core, common::HostId host,
+                common::HostId group_leader)
+      : core_(core), host_(host), group_leader_(group_leader) {}
+
+  /// Begin periodic sampling.  Offsets the first sample by a host-specific
+  /// phase so the fleet's reports do not all land at the same instant.
+  void start();
+  void stop();
+
+  /// Handle an incoming message addressed to this daemon (echo packets).
+  void handle(const net::Message& message);
+
+  [[nodiscard]] common::HostId host() const noexcept { return host_; }
+
+ private:
+  void sample_and_report();
+
+  RuntimeCore& core_;
+  common::HostId host_;
+  common::HostId group_leader_;
+  sim::TimerHandle timer_;
+  common::Rng noise_{0};
+  bool started_ = false;
+};
+
+}  // namespace vdce::runtime

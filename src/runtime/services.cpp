@@ -1,0 +1,62 @@
+#include "runtime/services.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdce::runtime {
+
+void ObjectStore::put(const std::string& path, tasklib::Value value,
+                      double size_bytes) {
+  objects_[path] = StoredObject{std::move(value), size_bytes};
+}
+
+common::Expected<StoredObject> ObjectStore::get(const std::string& path) const {
+  auto it = objects_.find(path);
+  if (it == objects_.end()) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "no stored object at " + path};
+  }
+  return it->second;
+}
+
+void VisualizationService::start(common::SimDuration period) {
+  timer_ = core_.engine().every(period, [this] {
+    Sample s;
+    s.time = core_.now();
+    s.loads.reserve(core_.topology().host_count());
+    for (const net::Host& h : core_.topology().hosts()) {
+      s.loads.push_back(h.state.cpu_load);
+    }
+    samples_.push_back(std::move(s));
+  });
+}
+
+void VisualizationService::stop() { timer_.cancel(); }
+
+std::string VisualizationService::render_workload(std::size_t width) const {
+  if (samples_.empty()) return "(no workload samples)\n";
+  const std::size_t hosts = samples_.front().loads.size();
+  double peak = 0.0;
+  for (const Sample& s : samples_) {
+    for (double l : s.loads) peak = std::max(peak, l);
+  }
+  peak = std::max(peak, 1.0);
+
+  // One row per host; columns down-sample the time series to `width`.
+  const char* shades = " .:-=+*#%@";
+  std::string out = "Workload (rows: hosts, columns: time, scale 0.." +
+                    common::format_double(peak, 1) + " load)\n";
+  for (std::size_t h = 0; h < hosts; ++h) {
+    std::string row;
+    for (std::size_t c = 0; c < width; ++c) {
+      std::size_t idx = c * samples_.size() / width;
+      double level = samples_[idx].loads[h] / peak;
+      auto shade = static_cast<std::size_t>(std::round(level * 9.0));
+      row += shades[std::min<std::size_t>(shade, 9)];
+    }
+    out += "  host " + std::to_string(h) + " |" + row + "|\n";
+  }
+  return out;
+}
+
+}  // namespace vdce::runtime

@@ -1,0 +1,661 @@
+#include "runtime/site_manager.hpp"
+
+#include <algorithm>
+#include <any>
+#include <cassert>
+
+#include "common/logging.hpp"
+#include "sched/host_selection.hpp"
+
+namespace vdce::runtime {
+
+void SiteManager::start() {
+  if (started_) return;
+  started_ = true;
+  progress_timer_ = core_.engine().every(core_.options().progress_period,
+                                         [this] { progress_sweep(); });
+  leader_echo_timer_ = core_.engine().every(
+      core_.options().echo_period, [this] { leader_echo_tick(); },
+      core_.options().echo_period * 0.75);
+}
+
+void SiteManager::stop() {
+  progress_timer_.cancel();
+  leader_echo_timer_.cancel();
+}
+
+void SiteManager::leader_echo_tick() {
+  // Close the previous round: a leader that stayed silent is down, and with
+  // it the monitoring of its whole group — mark it and recover.
+  std::vector<common::HostId> leaders;
+  for (const net::Group& g : core_.topology().groups_in_site(site_)) {
+    if (g.leader != server_) leaders.push_back(g.leader);
+  }
+  if (leader_echo_outstanding_) {
+    for (common::HostId leader : leaders) {
+      if (leader_echo_replied_.contains(leader) ||
+          leaders_reported_down_.contains(leader)) {
+        continue;
+      }
+      leaders_reported_down_.insert(leader);
+      VDCE_LOG(kInfo, "site-mgr", core_.now())
+          << "group leader " << core_.topology().host(leader).spec.name
+          << " failed echo round " << leader_echo_seq_;
+      // Reuse the gm.host_down path: mark down, broadcast, recover apps.
+      net::Message synthetic{server_, server_, msg::kGmHostDown, 0,
+                             std::any(HostDownNotice{leader})};
+      on_gm_host_down(synthetic);
+    }
+  }
+  ++leader_echo_seq_;
+  leader_echo_replied_.clear();
+  leader_echo_outstanding_ = true;
+  for (common::HostId leader : leaders) {
+    (void)core_.fabric().send(net::Message{
+        server_, leader, msg::kSmEcho, wire::kEcho,
+        std::any(EchoPacket{server_, leader_echo_seq_})});
+  }
+}
+
+void SiteManager::on_sm_echo_reply(const net::Message& message) {
+  const auto& echo = std::any_cast<const EchoPacket&>(message.payload);
+  if (echo.seq != leader_echo_seq_) return;
+  leader_echo_replied_.insert(message.src);
+  leaders_reported_down_.erase(message.src);
+}
+
+sched::SchedulerContext SiteManager::make_context() const {
+  sched::SchedulerContext ctx;
+  ctx.topology = &core_.topology();
+  for (db::SiteRepository* repo : core_.repos()) ctx.repos.push_back(repo);
+  ctx.predictor = &core_.predictor();
+  ctx.local_site = site_;
+  ctx.k_nearest = core_.options().k_nearest;
+  return ctx;
+}
+
+void SiteManager::handle(const net::Message& message) {
+  if (message.type == msg::kGmReport) {
+    on_gm_report(message);
+  } else if (message.type == msg::kGmHostDown) {
+    on_gm_host_down(message);
+  } else if (message.type == msg::kSmHostDown) {
+    on_sm_host_down(message);
+  } else if (message.type == msg::kSmAfg) {
+    on_sm_afg(message);
+  } else if (message.type == msg::kSmBids) {
+    on_sm_bids(message);
+  } else if (message.type == msg::kSmRat) {
+    on_sm_rat(message);
+  } else if (message.type == msg::kAcReady) {
+    on_ac_ready(message);
+  } else if (message.type == msg::kAcTaskDone) {
+    on_ac_task_done(message);
+  } else if (message.type == msg::kAcOverload) {
+    on_ac_overload(message);
+  } else if (message.type == msg::kSmEchoReply) {
+    on_sm_echo_reply(message);
+  } else if (message.type == msg::kDmOutput) {
+    const auto& output = std::any_cast<const OutputFile&>(message.payload);
+    if (output_sink_) {
+      output_sink_(output.path, output.value, output.size_bytes);
+    }
+  }
+}
+
+// ---- repository maintenance -------------------------------------------------
+
+void SiteManager::on_gm_report(const net::Message& message) {
+  const auto& report = std::any_cast<const GmReport&>(message.payload);
+  for (const MonReport& r : report.changed) {
+    (void)core_.repo(site_).resources().record_workload(r.host, r.sample);
+    // A report from a host previously marked down means it recovered.
+    auto rec = core_.repo(site_).resources().find(r.host);
+    if (rec && !rec->up) {
+      (void)core_.repo(site_).resources().set_host_up(r.host, true);
+    }
+  }
+}
+
+void SiteManager::on_gm_host_down(const net::Message& message) {
+  const auto& notice = std::any_cast<const HostDownNotice&>(message.payload);
+  VDCE_LOG(kInfo, "site-mgr", core_.now())
+      << "site " << site_.value() << " marks host " << notice.host.value()
+      << " down";
+  (void)core_.repo(site_).resources().set_host_up(notice.host, false);
+
+  // Inter-site coordination: tell the other Site Managers.
+  for (const net::Site& s : core_.topology().sites()) {
+    if (s.id == site_) continue;
+    (void)core_.fabric().send(net::Message{server_, s.server, msg::kSmHostDown,
+                                           wire::kSmall,
+                                           std::any(HostDownNotice{notice.host})});
+  }
+  // Recover any of our own coordinated applications immediately.
+  net::Message forwarded = message;
+  on_sm_host_down(forwarded);
+}
+
+void SiteManager::on_sm_host_down(const net::Message& message) {
+  const auto& notice = std::any_cast<const HostDownNotice&>(message.payload);
+  for (auto& [app_value, app] : apps_) {
+    if (app.finished) continue;
+    // Re-place every unfinished task that touches the failed host; cascade
+    // handles lost intermediate outputs.
+    std::vector<afg::TaskId> hit;
+    for (const auto& [task_value, assignment] : app.current) {
+      if (app.done.contains(task_value)) continue;
+      for (common::HostId h : assignment.hosts) {
+        if (h == notice.host) {
+          hit.push_back(assignment.task);
+          break;
+        }
+      }
+    }
+    for (afg::TaskId t : hit) {
+      ++app.failures_survived;
+      reschedule_task(app, t, notice.host);
+      if (app.finished) break;
+    }
+    if (!app.finished && !app.started) maybe_launch(app);
+  }
+}
+
+// ---- distributed scheduling (Fig. 2 over the fabric) ------------------------
+
+void SiteManager::schedule_application(common::AppId app,
+                                       std::shared_ptr<const afg::Afg> graph,
+                                       sched::SiteSchedulerOptions options,
+                                       ScheduleCallback callback) {
+  auto ctx = make_context();
+  PendingSchedule pending;
+  pending.graph = graph;
+  pending.options = options;
+  pending.sites = sched::candidate_site_set(ctx, options);
+  pending.callback = std::move(callback);
+
+  // Local host selection runs in place (Fig. 2 step 4, local half).
+  auto local = sched::HostSelectionAlgorithm::run(*graph, site_,
+                                                  core_.repo(site_),
+                                                  core_.predictor());
+  if (!local) {
+    auto cb = std::move(pending.callback);
+    core_.engine().schedule(0.0, [cb, err = local.error()] { cb(err); });
+    return;
+  }
+  pending.outputs.emplace(site_, std::move(*local));
+
+  const auto sites = pending.sites;
+  pending_.emplace(app.value(), std::move(pending));
+
+  // Multicast the AFG to the remote candidate sites (Fig. 2 step 3).
+  bool any_remote = false;
+  for (common::SiteId s : sites) {
+    if (s == site_) continue;
+    any_remote = true;
+    (void)core_.fabric().send(net::Message{
+        server_, core_.topology().site(s).server, msg::kSmAfg,
+        wire::afg(*graph), std::any(AfgMulticast{app, server_, graph})});
+  }
+  if (!any_remote) {
+    finish_schedule(app.value());
+    return;
+  }
+  // Bid deadline: an unreachable remote site (dead server, partitioned
+  // link) must not stall the user; assign with whatever arrived.
+  core_.engine().schedule(core_.options().bid_timeout,
+                          [this, app_value = app.value()] {
+                            if (pending_.contains(app_value)) {
+                              VDCE_LOG(kInfo, "site-mgr", core_.now())
+                                  << "bid deadline reached for app "
+                                  << app_value << "; assigning with partial "
+                                  << "host-selection outputs";
+                              finish_schedule(app_value);
+                            }
+                          });
+}
+
+void SiteManager::on_sm_afg(const net::Message& message) {
+  const auto& request = std::any_cast<const AfgMulticast&>(message.payload);
+  auto output = sched::HostSelectionAlgorithm::run(
+      *request.graph, site_, core_.repo(site_), core_.predictor());
+  if (!output) return;  // cannot bid; origin proceeds without this site
+  double size = wire::bids(*output);
+  (void)core_.fabric().send(net::Message{
+      server_, request.reply_to, msg::kSmBids, size,
+      std::any(BidsReply{request.app, std::move(*output)})});
+}
+
+void SiteManager::on_sm_bids(const net::Message& message) {
+  const auto& reply = std::any_cast<const BidsReply&>(message.payload);
+  auto it = pending_.find(reply.app.value());
+  if (it == pending_.end()) return;
+  it->second.outputs.emplace(reply.output.site, reply.output);
+  if (it->second.outputs.size() == it->second.sites.size()) {
+    finish_schedule(reply.app.value());
+  }
+}
+
+void SiteManager::finish_schedule(std::uint32_t app_value) {
+  auto it = pending_.find(app_value);
+  assert(it != pending_.end());
+  PendingSchedule pending = std::move(it->second);
+  pending_.erase(it);
+
+  std::vector<sched::HostSelectionOutput> outputs;
+  for (common::SiteId s : pending.sites) {
+    auto found = pending.outputs.find(s);
+    if (found != pending.outputs.end()) outputs.push_back(found->second);
+  }
+  auto ctx = make_context();
+  auto result = sched::assign_with_outputs(
+      *pending.graph, ctx, outputs, pending.options,
+      pending.options.objective == sched::SiteObjective::kPaperObjective
+          ? "vdce-level-paper"
+          : "vdce-level");
+  pending.callback(std::move(result));
+}
+
+// ---- execution coordination (Fig. 4) ----------------------------------------
+
+void SiteManager::execute_application(
+    common::AppId app_id, afg::Afg graph, sched::ResourceAllocationTable rat,
+    std::vector<db::TaskPerfRecord> perf, std::vector<tasklib::Kernel> kernels,
+    std::unordered_map<std::uint32_t, std::unordered_map<int, tasklib::Value>>
+        initial_inputs,
+    ReportCallback callback) {
+  assert(rat.assignments.size() == graph.task_count());
+  auto plan = std::make_shared<ExecutionPlan>();
+  plan->app = app_id;
+  plan->origin = server_;
+  plan->graph = std::move(graph);
+  plan->rat = std::move(rat);
+  plan->perf = std::move(perf);
+  if (kernels.empty()) kernels.resize(plan->graph.task_count());
+  plan->kernels = std::move(kernels);
+  plan->initial_inputs = std::move(initial_inputs);
+
+  ActiveApp app;
+  app.plan = plan;
+  for (const sched::Assignment& a : plan->rat.assignments) {
+    app.current.emplace(a.task.value(), a);
+    app.attempts[a.task.value()] = 1;
+    for (common::HostId h : a.hosts) app.involved.insert(h);
+  }
+  app.submitted = core_.now();
+  app.callback = std::move(callback);
+  auto [it, inserted] = apps_.emplace(app_id.value(), std::move(app));
+  assert(inserted);
+
+  // Multicast the allocation table to every involved site's Site Manager
+  // (self included: the local hop uses the loopback link).
+  RatMulticast rat_msg{plan};
+  for (common::SiteId s : plan->rat.sites_used()) {
+    (void)core_.fabric().send(net::Message{server_,
+                                           core_.topology().site(s).server,
+                                           msg::kSmRat, wire::rat(plan->rat),
+                                           std::any(rat_msg)});
+  }
+}
+
+void SiteManager::on_sm_rat(const net::Message& message) {
+  const auto& rat = std::any_cast<const RatMulticast&>(message.payload);
+  // Forward to each of our group leaders whose group has an involved member.
+  for (const net::Group& group : core_.topology().groups_in_site(site_)) {
+    bool involved = false;
+    for (const sched::Assignment& a : rat.plan->rat.assignments) {
+      for (common::HostId h : a.hosts) {
+        const net::Host& host = core_.topology().host(h);
+        if (host.group == group.id) {
+          involved = true;
+          break;
+        }
+      }
+      if (involved) break;
+    }
+    if (!involved) continue;
+    (void)core_.fabric().send(net::Message{server_, group.leader,
+                                           msg::kSmRatGm,
+                                           wire::rat(rat.plan->rat),
+                                           std::any(rat)});
+  }
+}
+
+void SiteManager::on_ac_ready(const net::Message& message) {
+  const auto& notice = std::any_cast<const ReadyNotice&>(message.payload);
+  auto it = apps_.find(notice.app.value());
+  if (it == apps_.end()) return;
+  it->second.ready.insert(notice.host);
+  maybe_launch(it->second);
+}
+
+void SiteManager::maybe_launch(ActiveApp& app) {
+  if (app.started || app.finished) return;
+  for (common::HostId h : app.involved) {
+    if (app.ready.contains(h)) continue;
+    // A host that is recorded down does not block the launch; its tasks
+    // have been (or will be) rescheduled by the recovery path.
+    auto rec = core_.repo(core_.topology().host(h).site).resources().find(h);
+    if (rec && !rec->up) continue;
+    return;  // still waiting for this host
+  }
+  app.started = true;
+  app.exec_started = core_.now();
+
+  // Stage non-dataflow file inputs (I/O service) before releasing execution.
+  for (const afg::TaskNode& t : app.plan->graph.tasks()) {
+    stage_file_inputs(app, t.id);
+  }
+  for (common::HostId h : app.involved) {
+    (void)core_.fabric().send(net::Message{server_, h, msg::kSmStart,
+                                           wire::kSmall,
+                                           std::any(StartSignal{app.plan->app})});
+  }
+}
+
+void SiteManager::stage_file_inputs(ActiveApp& app, afg::TaskId task) {
+  const afg::TaskNode& node = app.plan->graph.task(task);
+  const sched::Assignment& assignment = app.current.at(task.value());
+  auto task_inputs = app.plan->initial_inputs.find(task.value());
+  for (int port = 0; port < node.in_ports(); ++port) {
+    const afg::FileSpec& f = node.props.inputs[static_cast<std::size_t>(port)];
+    if (f.dataflow || f.path.empty()) continue;
+    tasklib::Value value;
+    if (task_inputs != app.plan->initial_inputs.end()) {
+      auto v = task_inputs->second.find(port);
+      if (v != task_inputs->second.end()) value = v->second;
+    }
+    (void)core_.fabric().send(net::Message{
+        server_, assignment.primary_host(), msg::kDmInput,
+        std::max(f.size_bytes, 64.0),
+        std::any(DataDelivery{app.plan->app, task, port, std::move(value)})});
+  }
+}
+
+void SiteManager::on_ac_task_done(const net::Message& message) {
+  const auto& done = std::any_cast<const TaskDone&>(message.payload);
+  auto it = apps_.find(done.app.value());
+  if (it == apps_.end()) return;
+  ActiveApp& app = it->second;
+  if (app.finished || app.done.contains(done.task.value())) return;
+
+  if (done.failed) {
+    complete_app(app, false,
+                 "task " + app.plan->graph.task(done.task).instance_name +
+                     " failed: " + done.error);
+    return;
+  }
+
+  app.done.insert(done.task.value());
+  const sched::Assignment& assignment = app.current.at(done.task.value());
+  TaskOutcome outcome;
+  outcome.task = done.task;
+  outcome.host = done.host;
+  outcome.site = core_.topology().host(done.host).site;
+  outcome.started = done.started;
+  outcome.finished = done.finished;
+  outcome.attempts = app.attempts[done.task.value()];
+  app.outcomes[done.task.value()] = outcome;
+  (void)assignment;
+
+  // "updates the task-performance database with the execution time after an
+  // application execution is completed" — each execution sharpens the
+  // hosting site's measured history.  Tasks unknown to that site (e.g.
+  // synthetic ones resolved on the fly) are registered from the plan first.
+  db::TaskPerformanceDb& task_db = core_.repo(outcome.site).tasks();
+  const std::string& task_name = app.plan->graph.task(done.task).task_name;
+  if (!task_db.contains(task_name)) {
+    task_db.register_task(app.plan->perf[done.task.value()]);
+  }
+  (void)task_db.record_execution(task_name, done.host, done.elapsed);
+
+  if (app.plan->graph.children(done.task).empty() &&
+      done.exit_output.has_value()) {
+    app.exit_outputs[done.task.value()] = done.exit_output;
+  }
+
+  if (app.done.size() == app.plan->graph.task_count()) {
+    complete_app(app, true, "");
+  }
+}
+
+void SiteManager::on_ac_overload(const net::Message& message) {
+  const auto& notice = std::any_cast<const OverloadNotice&>(message.payload);
+  auto it = apps_.find(notice.app.value());
+  if (it == apps_.end()) return;
+  ActiveApp& app = it->second;
+  if (app.finished || app.done.contains(notice.task.value())) return;
+  ++app.reschedules;
+
+  // Anti-livelock: after the attempt cap, restart the task where it was and
+  // pin it — moving again under fleet-wide load just keeps resetting its
+  // progress to zero.
+  if (app.attempts[notice.task.value()] >= core_.options().max_task_attempts) {
+    VDCE_LOG(kInfo, "site-mgr", core_.now())
+        << "task " << app.plan->graph.task(notice.task).instance_name
+        << " hit the attempt cap; pinning on host " << notice.host.value();
+    ++app.attempts[notice.task.value()];
+    dispatch_updated_plan(app, notice.task, /*pin=*/true);
+    return;
+  }
+  reschedule_task(app, notice.task, notice.host);
+}
+
+// ---- recovery ----------------------------------------------------------------
+
+void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
+                                  common::HostId bad_host) {
+  if (app.finished || app.done.contains(task.value())) return;
+  app.excluded[task.value()].insert(bad_host);
+
+  const afg::TaskNode& node = app.plan->graph.task(task);
+  const db::TaskPerfRecord& perf = app.plan->perf[task.value()];
+  auto ctx = make_context();
+  const auto sites = sched::candidate_site_set(ctx, {});
+  const auto& excluded = app.excluded[task.value()];
+
+  const auto need = node.props.mode == afg::ComputationMode::kParallel
+                        ? static_cast<std::size_t>(node.props.num_nodes)
+                        : std::size_t{1};
+
+  // Work already parked on each host by this application's *unfinished*
+  // tasks: without this penalty, several simultaneously rescheduled tasks
+  // would all pick the same fastest machine and serialize on it.
+  std::unordered_map<common::HostId, double> pending_work;
+  for (const auto& [other_value, other] : app.current) {
+    if (other_value == task.value() || app.done.contains(other_value)) continue;
+    for (common::HostId h : other.hosts) {
+      pending_work[h] += other.predicted_time;
+    }
+  }
+
+  // The user's preferred machine/type is a preference, not a survival
+  // constraint: when the preferred machine is the one that failed (or is
+  // excluded), recovery relaxes the preference rather than failing the
+  // application.
+  afg::TaskNode relaxed = node;
+  relaxed.props.preferred_machine.clear();
+  relaxed.props.preferred_machine_type.clear();
+
+  bool found = false;
+  sched::Assignment chosen;
+  double best_objective = 0.0;
+  for (int attempt = 0; attempt < 2 && !found; ++attempt) {
+    const afg::TaskNode& candidate_node = attempt == 0 ? node : relaxed;
+    for (common::SiteId s : sites) {
+      auto ranked = sched::HostSelectionAlgorithm::feasible_hosts(
+          candidate_node, perf, s, core_.repo(s), core_.predictor());
+      for (const sched::RankedHost& rh : ranked) {
+        if (excluded.contains(rh.record.host)) continue;
+        if (need == 1) {
+          double queue = 0.0;
+          if (auto it = pending_work.find(rh.record.host);
+              it != pending_work.end()) {
+            queue = it->second;
+          }
+          double objective = queue + rh.predicted;
+          if (!found || objective < best_objective) {
+            found = true;
+            best_objective = objective;
+            chosen = sched::Assignment{task, s, {rh.record.host}, rh.predicted,
+                                       0.0, 0.0};
+          }
+        }
+      }
+      if (need > 1) {
+        // Parallel groups: take the fastest non-excluded machines of the
+        // site (group reschedules are rare; spreading within the group is
+        // second-order).
+        std::vector<common::HostId> hosts;
+        std::vector<db::ResourceRecord> group;
+        for (const sched::RankedHost& rh : ranked) {
+          if (excluded.contains(rh.record.host)) continue;
+          hosts.push_back(rh.record.host);
+          group.push_back(rh.record);
+          if (hosts.size() == need) break;
+        }
+        if (hosts.size() < need) continue;
+        auto predicted =
+            core_.predictor().predict(perf, group, &core_.repo(s).tasks());
+        if (!predicted) continue;
+        if (!found || *predicted < best_objective) {
+          found = true;
+          best_objective = *predicted;
+          chosen = sched::Assignment{task, s, hosts, *predicted, 0.0, 0.0};
+        }
+      }
+    }
+  }
+  if (!found) {
+    complete_app(app, false,
+                 "no feasible resource to reschedule " + node.instance_name);
+    return;
+  }
+
+  VDCE_LOG(kInfo, "site-mgr", core_.now())
+      << "rescheduling " << node.instance_name << " to host "
+      << chosen.primary_host().value() << " (site " << chosen.site.value()
+      << ")";
+
+  app.current[task.value()] = chosen;
+  ++app.attempts[task.value()];
+  for (common::HostId h : chosen.hosts) app.involved.insert(h);
+
+  // Parents whose cached outputs lived on a failed host must re-execute
+  // before they can feed the moved task (cascading recovery).
+  for (const afg::Edge& e : app.plan->graph.in_edges(task)) {
+    const sched::Assignment& parent = app.current.at(e.from.value());
+    if (!core_.topology().host_up(parent.primary_host()) &&
+        app.done.contains(e.from.value())) {
+      app.done.erase(e.from.value());
+      app.outcomes.erase(e.from.value());
+      reschedule_task(app, e.from, parent.primary_host());
+      if (app.finished) return;
+    }
+  }
+
+  dispatch_updated_plan(app, task);
+}
+
+PlanPtr SiteManager::current_plan(const ActiveApp& app) const {
+  auto plan = std::make_shared<ExecutionPlan>(*app.plan);
+  for (sched::Assignment& a : plan->rat.assignments) {
+    a = app.current.at(a.task.value());
+  }
+  return plan;
+}
+
+void SiteManager::dispatch_updated_plan(ActiveApp& app, afg::TaskId task,
+                                        bool pin) {
+  PlanPtr plan = current_plan(app);
+  const sched::Assignment& assignment = app.current.at(task.value());
+
+  // Targeted re-dispatch: the coordinator already knows the exact machine,
+  // so the Group Manager fan-out is skipped for this one request.
+  (void)core_.fabric().send(net::Message{
+      server_, assignment.primary_host(), msg::kGmExec, wire::kSmall,
+      std::any(ExecRequest{plan, assignment.primary_host(),
+                           pin ? task : afg::TaskId{}})});
+  if (app.started) {
+    (void)core_.fabric().send(net::Message{server_, assignment.primary_host(),
+                                           msg::kSmStart, wire::kSmall,
+                                           std::any(StartSignal{plan->app})});
+    stage_file_inputs(app, task);
+    // Pull dataflow inputs from each parent's current host.
+    for (const afg::Edge& e : app.plan->graph.in_edges(task)) {
+      const sched::Assignment& parent = app.current.at(e.from.value());
+      if (!core_.topology().host_up(parent.primary_host())) continue;
+      (void)core_.fabric().send(net::Message{
+          server_, parent.primary_host(), msg::kDmResend, wire::kSmall,
+          std::any(ResendRequest{plan->app, e.from, e.from_port, task,
+                                 e.to_port, assignment.primary_host()})});
+    }
+  }
+}
+
+void SiteManager::progress_sweep() {
+  for (auto& [app_value, app] : apps_) {
+    if (app.finished) continue;
+    // Safety net: catch tasks stranded on hosts recorded down whose
+    // notifications raced with plan dispatch.
+    std::vector<std::pair<afg::TaskId, common::HostId>> stranded;
+    for (const auto& [task_value, assignment] : app.current) {
+      if (app.done.contains(task_value)) continue;
+      for (common::HostId h : assignment.hosts) {
+        if (!core_.topology().host_up(h)) {
+          stranded.emplace_back(assignment.task, h);
+          break;
+        }
+      }
+    }
+    for (const auto& [task, host] : stranded) {
+      ++app.failures_survived;
+      reschedule_task(app, task, host);
+      if (app.finished) break;
+    }
+    if (!app.finished && !app.started) maybe_launch(app);
+  }
+}
+
+void SiteManager::complete_app(ActiveApp& app, bool success,
+                               const std::string& reason) {
+  app.finished = true;
+  ExecutionReport report;
+  report.app = app.plan->app;
+  report.app_name = app.plan->graph.name();
+  report.success = success;
+  report.failure_reason = reason;
+  report.submitted = app.submitted;
+  report.exec_started = app.started ? app.exec_started : core_.now();
+  report.completed = core_.now();
+  report.reschedules = app.reschedules;
+  report.failures_survived = app.failures_survived;
+  for (const afg::TaskNode& t : app.plan->graph.tasks()) {
+    auto it = app.outcomes.find(t.id.value());
+    if (it != app.outcomes.end()) report.outcomes.push_back(it->second);
+  }
+  report.exit_outputs = app.exit_outputs;
+  if (app.callback) app.callback(std::move(report));
+}
+
+void SiteManager::suspend_application(common::AppId app_id) {
+  auto it = apps_.find(app_id.value());
+  if (it == apps_.end()) return;
+  for (common::HostId h : it->second.involved) {
+    (void)core_.fabric().send(net::Message{server_, h, msg::kSmSuspend,
+                                           wire::kSmall,
+                                           std::any(SuspendSignal{app_id})});
+  }
+}
+
+void SiteManager::resume_application(common::AppId app_id) {
+  auto it = apps_.find(app_id.value());
+  if (it == apps_.end()) return;
+  for (common::HostId h : it->second.involved) {
+    (void)core_.fabric().send(net::Message{server_, h, msg::kSmResume,
+                                           wire::kSmall,
+                                           std::any(SuspendSignal{app_id})});
+  }
+}
+
+}  // namespace vdce::runtime

@@ -1,0 +1,71 @@
+// Baseline schedulers for the evaluation (experiments E1/E2).
+//
+// The paper's claim is relative: level-based, prediction-driven list
+// scheduling assigns "the most suitable available resources ... to minimize
+// the schedule length".  Quantifying that needs comparators; these are the
+// standard ones from the literature the paper cites:
+//
+//  * RandomScheduler     — uniformly random feasible machine per task.
+//  * RoundRobinScheduler — cycle through machines regardless of speed/load.
+//  * MinLoadScheduler    — greedy least-loaded machine (monitoring data but
+//                          no per-task prediction): isolates the value of
+//                          the prediction model.
+//  * MinMinScheduler     — classic min-min batch heuristic over ready
+//                          tasks: a strong prediction-driven comparator.
+//  * local-only VDCE     — VdceSiteScheduler with AccessDomain::kLocalSite:
+//                          isolates the value of wide-area (k-site)
+//                          scheduling (E2).
+//
+// All baselines share ScheduleBuilder bookkeeping, so reported schedule
+// lengths are directly comparable.  Tasks are processed in topological
+// order (parents first) — required for data-ready computation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sched/host_selection.hpp"
+#include "sched/schedule_builder.hpp"
+#include "sched/support.hpp"
+
+namespace vdce::sched {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : seed_(seed) {}
+  [[nodiscard]] std::string name() const override { return "random"; }
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+};
+
+class MinLoadScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "min-load"; }
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+};
+
+class MinMinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "min-min"; }
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+};
+
+/// Factory covering every named scheduler in the bench harness, including
+/// "vdce-level", "vdce-level-paper" and "vdce-local".
+common::Expected<std::unique_ptr<Scheduler>> make_scheduler(
+    const std::string& name, std::uint64_t seed = 42);
+
+}  // namespace vdce::sched

@@ -1,0 +1,93 @@
+#include "sched/host_selection.hpp"
+
+#include <algorithm>
+
+namespace vdce::sched {
+
+std::vector<RankedHost> HostSelectionAlgorithm::feasible_hosts(
+    const afg::TaskNode& node, const db::TaskPerfRecord& perf,
+    common::SiteId site, const db::SiteRepository& repo,
+    const predict::Predictor& predictor) {
+  std::vector<RankedHost> out;
+
+  // A task with no constraint entries anywhere is a library task assumed
+  // installed on every host; otherwise only listed hosts qualify.
+  const bool constrained = !repo.constraints().hosts_for(node.task_name).empty();
+
+  for (const db::ResourceRecord& rec : repo.resources().available_hosts(site)) {
+    if (!node.props.preferred_machine.empty() &&
+        rec.host_name != node.props.preferred_machine) {
+      continue;
+    }
+    if (!node.props.preferred_machine_type.empty() &&
+        rec.machine_type != node.props.preferred_machine_type) {
+      continue;
+    }
+    if (constrained && !repo.constraints().runnable_on(node.task_name, rec.host)) {
+      continue;
+    }
+    auto predicted = predictor.predict(perf, rec, &repo.tasks());
+    if (!predicted) continue;  // infeasible (memory) on this machine
+    out.push_back(RankedHost{rec, *predicted});
+  }
+  std::sort(out.begin(), out.end(), [](const RankedHost& a, const RankedHost& b) {
+    if (a.predicted != b.predicted) return a.predicted < b.predicted;
+    return a.record.host < b.record.host;
+  });
+  return out;
+}
+
+common::Expected<HostBid> HostSelectionAlgorithm::best_bid(
+    const afg::TaskNode& node, const db::TaskPerfRecord& perf,
+    common::SiteId site, const db::SiteRepository& repo,
+    const predict::Predictor& predictor) {
+  auto ranked = feasible_hosts(node, perf, site, repo, predictor);
+  const auto nodes_needed =
+      node.props.mode == afg::ComputationMode::kParallel
+          ? static_cast<std::size_t>(node.props.num_nodes)
+          : std::size_t{1};
+  if (ranked.size() < nodes_needed) {
+    return common::Error{common::ErrorCode::kNoFeasibleResource,
+                         "site " + std::to_string(site.value()) + " has " +
+                             std::to_string(ranked.size()) +
+                             " feasible hosts for " + node.instance_name +
+                             ", needs " + std::to_string(nodes_needed)};
+  }
+
+  HostBid bid;
+  bid.site = site;
+  if (nodes_needed == 1) {
+    bid.hosts.push_back(ranked.front().record.host);
+    bid.predicted = ranked.front().predicted;
+    return bid;
+  }
+
+  // Parallel task: the `num_nodes` individually fastest machines form the
+  // group; the group prediction is gated by its slowest member.
+  std::vector<db::ResourceRecord> group;
+  for (std::size_t i = 0; i < nodes_needed; ++i) {
+    group.push_back(ranked[i].record);
+    bid.hosts.push_back(ranked[i].record.host);
+  }
+  auto predicted = predictor.predict(perf, group, &repo.tasks());
+  if (!predicted) return predicted.error();
+  bid.predicted = *predicted;
+  return bid;
+}
+
+common::Expected<HostSelectionOutput> HostSelectionAlgorithm::run(
+    const afg::Afg& graph, common::SiteId site, const db::SiteRepository& repo,
+    const predict::Predictor& predictor) {
+  HostSelectionOutput output;
+  output.site = site;
+  for (const afg::TaskNode& node : graph.tasks()) {
+    auto perf = resolve_perf(node, repo.tasks());
+    if (!perf) return perf.error();  // unknown task is a caller error
+    auto bid = best_bid(node, *perf, site, repo, predictor);
+    if (bid) output.bids.emplace(node.id, std::move(*bid));
+    // No feasible machine here: this site simply does not bid for the task.
+  }
+  return output;
+}
+
+}  // namespace vdce::sched

@@ -1,0 +1,111 @@
+#include "sched/schedule_builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vdce::sched {
+
+common::SimTime ScheduleBuilder::data_ready(afg::TaskId task,
+                                            common::HostId candidate,
+                                            common::HostId staging_from) const {
+  common::SimTime ready = 0.0;
+  for (const afg::Edge& e : graph_.in_edges(task)) {
+    auto it = assignments_.find(e.from);
+    assert(it != assignments_.end() && "parent must be placed first");
+    const Assignment& parent = it->second;
+    double bytes = graph_.edge_bytes(e);
+    ready = std::max(ready,
+                     parent.est_finish + topology_.transfer_time(
+                                             parent.primary_host(), candidate,
+                                             bytes));
+  }
+  if (staging_from.valid()) {
+    for (const afg::FileSpec& f : graph_.task(task).props.inputs) {
+      if (!f.dataflow && !f.path.empty()) {
+        ready = std::max(ready, topology_.transfer_time(staging_from,
+                                                        candidate,
+                                                        f.size_bytes));
+      }
+    }
+  }
+  return ready;
+}
+
+common::SimTime ScheduleBuilder::host_free(common::HostId host) const {
+  auto it = host_free_.find(host);
+  return it == host_free_.end() ? 0.0 : it->second;
+}
+
+common::SimTime ScheduleBuilder::earliest_start(
+    afg::TaskId task, const std::vector<common::HostId>& hosts,
+    common::HostId staging_from) const {
+  assert(!hosts.empty());
+  common::SimTime start = data_ready(task, hosts.front(), staging_from);
+  for (common::HostId h : hosts) start = std::max(start, host_free(h));
+  return start;
+}
+
+const Assignment& ScheduleBuilder::place(afg::TaskId task, common::SiteId site,
+                                         std::vector<common::HostId> hosts,
+                                         common::SimDuration predicted,
+                                         common::HostId staging_from) {
+  assert(!hosts.empty());
+  assert(!placed(task));
+  Assignment a;
+  a.task = task;
+  a.site = site;
+  a.hosts = std::move(hosts);
+  a.predicted_time = predicted;
+  a.est_start = earliest_start(task, a.hosts, staging_from);
+  a.est_finish = a.est_start + predicted;
+  for (common::HostId h : a.hosts) host_free_[h] = a.est_finish;
+  makespan_ = std::max(makespan_, a.est_finish);
+  return assignments_.emplace(task, std::move(a)).first->second;
+}
+
+const Assignment& ScheduleBuilder::place_at(afg::TaskId task,
+                                            common::SiteId site,
+                                            std::vector<common::HostId> hosts,
+                                            common::SimDuration predicted,
+                                            common::SimTime start) {
+  assert(!hosts.empty());
+  assert(!placed(task));
+  Assignment a;
+  a.task = task;
+  a.site = site;
+  a.hosts = std::move(hosts);
+  a.predicted_time = predicted;
+  a.est_start = start;
+  a.est_finish = start + predicted;
+  for (common::HostId h : a.hosts) {
+    host_free_[h] = std::max(host_free(h), a.est_finish);
+  }
+  makespan_ = std::max(makespan_, a.est_finish);
+  return assignments_.emplace(task, std::move(a)).first->second;
+}
+
+bool ScheduleBuilder::placed(afg::TaskId task) const {
+  return assignments_.contains(task);
+}
+
+const Assignment& ScheduleBuilder::assignment(afg::TaskId task) const {
+  auto it = assignments_.find(task);
+  assert(it != assignments_.end());
+  return it->second;
+}
+
+ResourceAllocationTable ScheduleBuilder::build(std::string app_name,
+                                               std::string scheduler_name) const {
+  ResourceAllocationTable table;
+  table.app_name = std::move(app_name);
+  table.scheduler_name = std::move(scheduler_name);
+  table.schedule_length = makespan_;
+  table.assignments.reserve(assignments_.size());
+  for (const afg::TaskNode& t : graph_.tasks()) {
+    auto it = assignments_.find(t.id);
+    if (it != assignments_.end()) table.assignments.push_back(it->second);
+  }
+  return table;
+}
+
+}  // namespace vdce::sched

@@ -1,0 +1,75 @@
+// Schedule bookkeeping shared by every scheduling algorithm.
+//
+// List scheduling needs, as each task is placed: (a) when its input data
+// can be present on a candidate host — parents' finish times plus transfer
+// time over the topology for the edge volumes, (b) when the candidate host
+// is free — hosts execute one VDCE task at a time (the prototype's model;
+// background load is separate and handled by the prediction model), and
+// (c) the running makespan.  Centralizing this in ScheduleBuilder makes the
+// VDCE scheduler and every baseline produce *comparable* estimated
+// schedules: they differ only in their placement decisions.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "net/topology.hpp"
+#include "sched/types.hpp"
+
+namespace vdce::sched {
+
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(const afg::Afg& graph, const net::Topology& topology)
+      : graph_(graph), topology_(topology) {}
+
+  /// Earliest time `task`'s inputs can be at `candidate` — max over in-edges
+  /// of parent finish + transfer(parent primary host -> candidate, bytes).
+  /// Non-dataflow file inputs are charged a staging transfer from the local
+  /// site's server if `staging_from` is valid.  Pre: all parents placed.
+  [[nodiscard]] common::SimTime data_ready(afg::TaskId task,
+                                           common::HostId candidate,
+                                           common::HostId staging_from = {}) const;
+
+  /// When the host finishes its last assigned VDCE task (0 if none).
+  [[nodiscard]] common::SimTime host_free(common::HostId host) const;
+
+  /// Earliest start of `task` on `hosts` = max(data_ready on the primary
+  /// host, every host's free time).
+  [[nodiscard]] common::SimTime earliest_start(
+      afg::TaskId task, const std::vector<common::HostId>& hosts,
+      common::HostId staging_from = {}) const;
+
+  /// Commit a placement; records start/finish and occupies the hosts.
+  const Assignment& place(afg::TaskId task, common::SiteId site,
+                          std::vector<common::HostId> hosts,
+                          common::SimDuration predicted,
+                          common::HostId staging_from = {});
+
+  /// Commit a placement at an explicit start time (insertion-based
+  /// schedulers like HEFT compute their own slot).  `start` must not
+  /// precede the task's data-ready time on the primary host; the host
+  /// watermark advances to at least the finish time.
+  const Assignment& place_at(afg::TaskId task, common::SiteId site,
+                             std::vector<common::HostId> hosts,
+                             common::SimDuration predicted,
+                             common::SimTime start);
+
+  [[nodiscard]] bool placed(afg::TaskId task) const;
+  [[nodiscard]] const Assignment& assignment(afg::TaskId task) const;
+  [[nodiscard]] common::SimDuration makespan() const noexcept { return makespan_; }
+
+  /// Assemble the final table (assignments in task-id order).
+  [[nodiscard]] ResourceAllocationTable build(std::string app_name,
+                                              std::string scheduler_name) const;
+
+ private:
+  const afg::Afg& graph_;
+  const net::Topology& topology_;
+  std::unordered_map<afg::TaskId, Assignment> assignments_;
+  std::unordered_map<common::HostId, common::SimTime> host_free_;
+  common::SimDuration makespan_ = 0.0;
+};
+
+}  // namespace vdce::sched

@@ -1,0 +1,261 @@
+#include "sched/site_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "afg/levels.hpp"
+
+namespace vdce::sched {
+
+namespace {
+
+/// Candidate placement at one site with its evaluated objective and the
+/// timing that placing it there would produce.
+struct SiteCandidate {
+  common::SiteId site;
+  std::vector<common::HostId> hosts;
+  common::SimDuration predicted = 0.0;
+  double objective = 0.0;
+  bool valid = false;
+};
+
+/// Fig. 2's Time_total for the literal paper objective: sum of inter-site
+/// transfer times for the task's dataflow inputs plus the site's bid.
+double paper_objective(const afg::Afg& graph, afg::TaskId task,
+                       common::SiteId candidate_site,
+                       const ScheduleBuilder& builder,
+                       const net::Topology& topology, double predicted) {
+  double transfer = 0.0;
+  for (const afg::Edge& e : graph.in_edges(task)) {
+    const Assignment& parent = builder.assignment(e.from);
+    transfer += topology.site_transfer_time(parent.site, candidate_site,
+                                            graph.edge_bytes(e));
+  }
+  return transfer + predicted;
+}
+
+}  // namespace
+
+std::vector<common::SiteId> candidate_site_set(
+    const SchedulerContext& context, const SiteSchedulerOptions& options) {
+  std::vector<common::SiteId> sites{context.local_site};
+  if (options.access != db::AccessDomain::kLocalSite) {
+    std::size_t k = options.access == db::AccessDomain::kGlobal
+                        ? context.k_nearest
+                        : std::min(context.k_nearest, std::size_t{2});
+    for (common::SiteId s :
+         context.topology->nearest_sites(context.local_site, k)) {
+      sites.push_back(s);
+    }
+  }
+  return sites;
+}
+
+common::Expected<ResourceAllocationTable> assign_with_outputs(
+    const afg::Afg& graph, const SchedulerContext& context,
+    const std::vector<HostSelectionOutput>& outputs,
+    const SiteSchedulerOptions& options, const std::string& scheduler_name) {
+  assert(context.topology != nullptr && context.predictor != nullptr);
+  assert(!outputs.empty());
+  assert(outputs.front().site == context.local_site);
+
+  const net::Topology& topology = *context.topology;
+  const db::SiteRepository& local_repo = context.repo(context.local_site);
+
+  // --- priorities: level of each node, computed before scheduling (§3) ---
+  common::Error cost_error{common::ErrorCode::kInternal, ""};
+  bool cost_failed = false;
+  auto cost_fn = [&](const afg::TaskNode& node) {
+    auto c = base_cost(node, local_repo.tasks());
+    if (!c) {
+      cost_failed = true;
+      cost_error = c.error();
+      return 0.0;
+    }
+    return *c;
+  };
+  common::Expected<afg::Levels> levels =
+      common::Error{common::ErrorCode::kInternal, "unset"};
+  switch (options.priority) {
+    case PriorityMode::kPaperLevels:
+      levels = afg::compute_levels(graph, cost_fn);
+      break;
+    case PriorityMode::kCommLevels: {
+      // Edge cost: the mean of LAN and default-WAN transfer time for the
+      // edge volume — the representative figure a site scheduler can know
+      // before placement.
+      net::LinkSpec lan = topology.site(context.local_site).lan;
+      net::LinkSpec wan = topology.default_wan();
+      levels = afg::compute_levels_with_comm(
+          graph, cost_fn, [&](const afg::Edge& e) {
+            double bytes = graph.edge_bytes(e);
+            return 0.5 * (lan.transfer_time(bytes) + wan.transfer_time(bytes));
+          });
+      break;
+    }
+    case PriorityMode::kFifo: {
+      // Degenerate levels: all zero, so the ready-set tiebreak (task id)
+      // decides — plain FIFO over the ready list.
+      afg::Levels fifo;
+      fifo.level.assign(graph.task_count(), 0.0);
+      levels = fifo;
+      break;
+    }
+  }
+  if (cost_failed) return cost_error;
+  if (!levels) return levels.error();
+
+  // --- Fig. 2 steps 6-7: ready-list scheduling by level priority ---------
+  ScheduleBuilder builder(graph, topology);
+  std::set<afg::TaskId> ready;
+  for (afg::TaskId t : graph.entry_tasks()) ready.insert(t);
+
+  const common::HostId staging = topology.site(context.local_site).server;
+  std::size_t placed = 0;
+
+  while (!ready.empty()) {
+    // Highest level first; ties by id.
+    afg::TaskId task = *ready.begin();
+    for (afg::TaskId t : ready) {
+      if (levels->of(t) > levels->of(task) ||
+          (levels->of(t) == levels->of(task) && t < task)) {
+        task = t;
+      }
+    }
+    ready.erase(task);
+
+    const afg::TaskNode& node = graph.task(task);
+    auto perf = resolve_perf(node, local_repo.tasks());
+    if (!perf) return perf.error();
+
+    const bool no_input_case =
+        graph.parents(task).empty() || !graph.requires_input(task);
+
+    SiteCandidate best;
+    for (const HostSelectionOutput& output : outputs) {
+      const common::SiteId s = output.site;
+      auto bid_it = output.bids.find(task);
+      if (bid_it == output.bids.end()) continue;  // site did not bid
+
+      SiteCandidate cand;
+      cand.site = s;
+      cand.valid = true;
+
+      if (options.objective == SiteObjective::kPaperObjective) {
+        cand.hosts = bid_it->second.hosts;
+        cand.predicted = bid_it->second.predicted;
+        cand.objective =
+            no_input_case
+                ? cand.predicted
+                : paper_objective(graph, task, s, builder, topology,
+                                  cand.predicted);
+      } else {
+        // Availability-aware: re-rank this site's feasible machines by the
+        // finish time they would actually yield given current occupancy.
+        auto ranked = HostSelectionAlgorithm::feasible_hosts(
+            node, *perf, s, context.repo(s), *context.predictor);
+        const auto need = node.props.mode == afg::ComputationMode::kParallel
+                              ? static_cast<std::size_t>(node.props.num_nodes)
+                              : std::size_t{1};
+        if (ranked.size() < need) continue;
+
+        if (need == 1) {
+          bool have = false;
+          double best_finish = 0.0;
+          for (const RankedHost& rh : ranked) {
+            std::vector<common::HostId> hs{rh.record.host};
+            double finish =
+                builder.earliest_start(task, hs, staging) + rh.predicted;
+            if (!have || finish < best_finish) {
+              have = true;
+              best_finish = finish;
+              cand.hosts = hs;
+              cand.predicted = rh.predicted;
+            }
+          }
+          cand.objective = best_finish;
+        } else {
+          // Parallel group: earliest-free machines among the fastest 2N to
+          // balance speed against occupancy.
+          std::vector<RankedHost> pool(
+              ranked.begin(),
+              ranked.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(ranked.size(), 2 * need)));
+          std::sort(pool.begin(), pool.end(),
+                    [&](const RankedHost& a, const RankedHost& b) {
+                      auto fa = builder.host_free(a.record.host);
+                      auto fb = builder.host_free(b.record.host);
+                      if (fa != fb) return fa < fb;
+                      return a.predicted < b.predicted;
+                    });
+          std::vector<db::ResourceRecord> group;
+          for (std::size_t i = 0; i < need; ++i) {
+            group.push_back(pool[i].record);
+            cand.hosts.push_back(pool[i].record.host);
+          }
+          auto predicted = context.predictor->predict(*perf, group,
+                                                      &context.repo(s).tasks());
+          if (!predicted) continue;
+          cand.predicted = *predicted;
+          cand.objective =
+              builder.earliest_start(task, cand.hosts, staging) + cand.predicted;
+        }
+      }
+
+      if (!best.valid || cand.objective < best.objective ||
+          (cand.objective == best.objective && cand.site < best.site)) {
+        best = std::move(cand);
+      }
+    }
+
+    if (!best.valid) {
+      return common::Error{common::ErrorCode::kNoFeasibleResource,
+                           "no site can run task " + node.instance_name};
+    }
+
+    builder.place(task, best.site, best.hosts, best.predicted, staging);
+    ++placed;
+
+    // Children become ready once every parent is placed.
+    for (afg::TaskId child : graph.children(task)) {
+      bool all_placed = true;
+      for (afg::TaskId p : graph.parents(child)) {
+        if (!builder.placed(p)) {
+          all_placed = false;
+          break;
+        }
+      }
+      if (all_placed && !builder.placed(child)) ready.insert(child);
+    }
+  }
+
+  if (placed != graph.task_count()) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "scheduler placed " + std::to_string(placed) + " of " +
+                             std::to_string(graph.task_count()) + " tasks"};
+  }
+  return builder.build(graph.name(), scheduler_name);
+}
+
+common::Expected<ResourceAllocationTable> VdceSiteScheduler::schedule(
+    const afg::Afg& graph, const SchedulerContext& context) {
+  auto valid = graph.validate();
+  if (!valid.ok()) return valid.error();
+
+  const auto sites = candidate_site_set(context, options_);
+
+  // Fig. 2 steps 3-5: host selection at every candidate site.  (The
+  // distributed runtime performs this over the fabric; this synchronous
+  // entry point calls each site's algorithm directly.)
+  std::vector<HostSelectionOutput> outputs;
+  for (common::SiteId s : sites) {
+    auto out = HostSelectionAlgorithm::run(graph, s, context.repo(s),
+                                           *context.predictor);
+    if (!out) return out.error();
+    outputs.push_back(std::move(*out));
+  }
+  return assign_with_outputs(graph, context, outputs, options_, name());
+}
+
+}  // namespace vdce::sched

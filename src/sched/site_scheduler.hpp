@@ -1,0 +1,92 @@
+// Site Scheduler Algorithm — Figure 2 of the paper.
+//
+//   1. Receive the application flow graph from the Application Editor.
+//   2. Select the k nearest VDCE neighbour sites S_remote = {S1..Sk}.
+//   3. Multicast the AFG to each site in S_remote.
+//   4. Call the Host-Selection Algorithm (local and remote sites).
+//   5. Receive each site's host-selection output.
+//   6. ready_tasks = entry nodes.
+//   7. For each task in ready_tasks (highest level first):
+//        - entry task / no input required:
+//            assign to the site minimizing Predict(task, R_j);
+//        - otherwise:
+//            Time_total(task, S_j) = transfer_time(S_parent, S_j) x file_size
+//                                     + Predict(task, R_j)
+//            assign to the site minimizing Time_total;
+//        store the allocation, remove the task from ready_tasks, add its
+//        children (once all their parents are placed).
+//
+// Priorities come from the level computation (levels.hpp): "the node with a
+// higher level value will have a higher priority for scheduling" (§3).
+//
+// Two fidelity modes, selectable for ablation (bench_site_scheduler):
+//  * kPaperObjective  — the literal Fig. 2 objective: per-site transfer
+//    term plus the static host-selection prediction, ignoring machine
+//    occupancy.  Matches the pseudocode exactly.
+//  * kAvailabilityAware (default) — same structure, but a site's candidate
+//    machine list is re-ranked by earliest *finish* given current machine
+//    occupancy and per-edge data arrival, which is what any list scheduler
+//    must do once several tasks land on the same best machine.  This is the
+//    behaviour the prototype's "best available resources" phrasing implies.
+#pragma once
+
+#include <string>
+
+#include "sched/host_selection.hpp"
+#include "sched/schedule_builder.hpp"
+#include "sched/support.hpp"
+
+namespace vdce::sched {
+
+enum class SiteObjective { kPaperObjective, kAvailabilityAware };
+
+/// Which task priority drives the ready-list (ablation of the §3 design
+/// choice "level of each node ... computation costs" — see
+/// bench_levels_ablation):
+///  * kPaperLevels — computation-only levels, the paper's rule;
+///  * kCommLevels  — levels including mean edge-transfer costs (upward
+///    rank, the HEFT-style refinement);
+///  * kFifo        — no levels: ready tasks in task-id order.
+enum class PriorityMode { kPaperLevels, kCommLevels, kFifo };
+
+struct SiteSchedulerOptions {
+  SiteObjective objective = SiteObjective::kAvailabilityAware;
+  PriorityMode priority = PriorityMode::kPaperLevels;
+  /// Honour the user's access-domain restriction (local / neighbours /
+  /// global) when forming the candidate site set.
+  db::AccessDomain access = db::AccessDomain::kGlobal;
+};
+
+/// The assignment phase of Fig. 2 (steps 6-7), taking host-selection
+/// outputs that were already collected — locally by VdceSiteScheduler, or
+/// over the fabric by the distributed runtime (real AFG multicast).
+/// `outputs` must contain one entry per candidate site, local site first.
+common::Expected<ResourceAllocationTable> assign_with_outputs(
+    const afg::Afg& graph, const SchedulerContext& context,
+    const std::vector<HostSelectionOutput>& outputs,
+    const SiteSchedulerOptions& options, const std::string& scheduler_name);
+
+/// The candidate site set of Fig. 2 steps 1-2: the local site plus its k
+/// nearest neighbours, clipped by the user's access domain.
+std::vector<common::SiteId> candidate_site_set(
+    const SchedulerContext& context, const SiteSchedulerOptions& options);
+
+class VdceSiteScheduler final : public Scheduler {
+ public:
+  explicit VdceSiteScheduler(SiteSchedulerOptions options = {})
+      : options_(options) {}
+
+  [[nodiscard]] std::string name() const override {
+    return options_.objective == SiteObjective::kPaperObjective
+               ? "vdce-level-paper"
+               : "vdce-level";
+  }
+
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+
+ private:
+  SiteSchedulerOptions options_;
+};
+
+}  // namespace vdce::sched

@@ -1,0 +1,55 @@
+// Shared scheduler plumbing: the scheduling context (what every algorithm
+// may consult), task-record resolution, and the common Scheduler interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+#include "db/site_repository.hpp"
+#include "net/topology.hpp"
+#include "predict/model.hpp"
+#include "sched/types.hpp"
+
+namespace vdce::sched {
+
+/// Everything a scheduling algorithm may read.  Repositories are indexed by
+/// site id; every site in the topology must have one.  Algorithms consult
+/// only the *database view* of resources — never topology ground truth —
+/// because that is all a real Application Scheduler could see.
+struct SchedulerContext {
+  const net::Topology* topology = nullptr;
+  std::vector<const db::SiteRepository*> repos;  ///< [site id] -> repository
+  const predict::Predictor* predictor = nullptr;
+  common::SiteId local_site;   ///< where the execution request arrived
+  std::size_t k_nearest = 2;   ///< size of S_remote in Fig. 2, step 2
+
+  [[nodiscard]] const db::SiteRepository& repo(common::SiteId site) const {
+    return *repos.at(site.value());
+  }
+};
+
+/// Resolve the performance record for a task node: the site's
+/// task-performance database first, then the synthetic-name fallback
+/// ("<lib>.w<mflop>" graphs from the generators).
+common::Expected<db::TaskPerfRecord> resolve_perf(
+    const afg::TaskNode& node, const db::TaskPerformanceDb& database);
+
+/// Base-processor computation cost of a node, used for level computation.
+common::Expected<common::SimDuration> base_cost(
+    const afg::TaskNode& node, const db::TaskPerformanceDb& database);
+
+/// Abstract scheduler: interprets an AFG against a context and produces a
+/// resource allocation table.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) = 0;
+};
+
+}  // namespace vdce::sched

@@ -1,0 +1,53 @@
+#include "sched/types.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace vdce::sched {
+
+common::Expected<Assignment> ResourceAllocationTable::find(
+    afg::TaskId task) const {
+  for (const Assignment& a : assignments) {
+    if (a.task == task) return a;
+  }
+  return common::Error{common::ErrorCode::kNotFound,
+                       "no assignment for task id " +
+                           std::to_string(task.value())};
+}
+
+std::vector<common::HostId> ResourceAllocationTable::hosts_used() const {
+  std::vector<common::HostId> out;
+  for (const Assignment& a : assignments) {
+    out.insert(out.end(), a.hosts.begin(), a.hosts.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<common::SiteId> ResourceAllocationTable::sites_used() const {
+  std::vector<common::SiteId> out;
+  for (const Assignment& a : assignments) out.push_back(a.site);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string ResourceAllocationTable::describe(const afg::Afg& graph) const {
+  std::string out = "Resource Allocation Table for '" + app_name + "' (" +
+                    scheduler_name + ")\n";
+  out += "  estimated schedule length: " +
+         common::format_double(schedule_length, 4) + "s\n";
+  for (const Assignment& a : assignments) {
+    out += "  " + graph.task(a.task).instance_name + " -> site " +
+           std::to_string(a.site.value()) + ", host(s)";
+    for (common::HostId h : a.hosts) out += " " + std::to_string(h.value());
+    out += "  [start " + common::format_double(a.est_start, 4) + "s, finish " +
+           common::format_double(a.est_finish, 4) + "s, predicted " +
+           common::format_double(a.predicted_time, 4) + "s]\n";
+  }
+  return out;
+}
+
+}  // namespace vdce::sched

@@ -1,0 +1,54 @@
+// Scheduling result types: the resource allocation table the Application
+// Scheduler hands to the Site Manager (§3: "the resource allocation table
+// is generated and transferred to the Site Manager running on the VDCE
+// server").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace vdce::sched {
+
+/// One row of the resource allocation table: where a task runs and the
+/// scheduler's timing estimates for it.
+struct Assignment {
+  afg::TaskId task;
+  common::SiteId site;
+  /// One host for sequential tasks; `num_nodes` hosts for parallel tasks
+  /// (first entry is the task's "primary" host — the endpoint for
+  /// inter-task transfers).
+  std::vector<common::HostId> hosts;
+  common::SimDuration predicted_time = 0.0;
+  common::SimTime est_start = 0.0;
+  common::SimTime est_finish = 0.0;
+
+  [[nodiscard]] common::HostId primary_host() const {
+    return hosts.empty() ? common::HostId{} : hosts.front();
+  }
+};
+
+/// The full mapping for an application, plus the scheduler's estimated
+/// schedule length (the objective the paper minimizes).
+struct ResourceAllocationTable {
+  std::string app_name;
+  std::string scheduler_name;
+  std::vector<Assignment> assignments;  ///< exactly one per task
+  common::SimDuration schedule_length = 0.0;
+
+  [[nodiscard]] common::Expected<Assignment> find(afg::TaskId task) const;
+
+  /// Hosts participating in the execution (unique, sorted).
+  [[nodiscard]] std::vector<common::HostId> hosts_used() const;
+  /// Sites participating in the execution (unique, sorted).
+  [[nodiscard]] std::vector<common::SiteId> sites_used() const;
+
+  /// Printable table for examples and EXPERIMENTS.md evidence.
+  [[nodiscard]] std::string describe(const afg::Afg& graph) const;
+};
+
+}  // namespace vdce::sched

@@ -1,0 +1,89 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace vdce::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const {
+  // The engine resets the flag pointer's use_count to 1 only on pop; we
+  // approximate "pending" as "not cancelled and the engine still holds a
+  // reference".
+  return cancelled_ && !*cancelled_ && cancelled_.use_count() > 1;
+}
+
+void TimerHandle::cancel() {
+  if (stopped_) *stopped_ = true;
+}
+
+bool TimerHandle::active() const { return stopped_ && !*stopped_; }
+
+EventHandle Engine::schedule(common::SimDuration delay, Callback fn) {
+  assert(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_at(common::SimTime when, Callback fn) {
+  assert(when >= now_);
+  assert(fn);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+TimerHandle Engine::every(common::SimDuration period, Callback fn,
+                          common::SimDuration initial_delay) {
+  assert(period > 0.0);
+  auto stopped = std::make_shared<bool>(false);
+  if (initial_delay < 0.0) initial_delay = period;
+
+  // Each firing re-schedules the next one unless the timer was stopped.
+  // `tick` owns itself via the shared_ptr captured in the lambda.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), stopped, tick]() {
+    if (*stopped) return;
+    fn();
+    if (*stopped) return;
+    schedule(period, *tick);
+  };
+  schedule(initial_delay, *tick);
+  return TimerHandle(std::move(stopped));
+}
+
+void Engine::step() {
+  assert(!queue_.empty());
+  // priority_queue::top() is const; the event is copied out then popped.
+  Event ev = queue_.top();
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  if (!*ev.cancelled) {
+    ++fired_;
+    ev.fn();
+  }
+}
+
+std::size_t Engine::run() {
+  std::uint64_t before = fired_;
+  while (!queue_.empty()) step();
+  return static_cast<std::size_t>(fired_ - before);
+}
+
+std::size_t Engine::run_until(common::SimTime until) {
+  assert(until >= now_);
+  std::uint64_t before = fired_;
+  while (!queue_.empty() && queue_.top().time <= until) step();
+  now_ = until;
+  return static_cast<std::size_t>(fired_ - before);
+}
+
+std::size_t Engine::run_steps(std::size_t max_events) {
+  std::uint64_t before = fired_;
+  while (!queue_.empty() && fired_ - before < max_events) step();
+  return static_cast<std::size_t>(fired_ - before);
+}
+
+}  // namespace vdce::sim

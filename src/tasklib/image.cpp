@@ -1,0 +1,199 @@
+#include "tasklib/image.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace vdce::tasklib {
+
+Image Image::synthetic_scene(std::size_t height, std::size_t width,
+                             std::size_t spots, common::Rng& rng) {
+  Image img(height, width);
+  for (std::size_t r = 0; r < height; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      img.at(r, c) = 0.2 * static_cast<double>(r + c) /
+                         static_cast<double>(height + width) +
+                     rng.uniform(0.0, 0.05);
+    }
+  }
+  for (std::size_t s = 0; s < spots; ++s) {
+    std::size_t cr = 2 + rng.pick_index(height - 6);
+    std::size_t cc = 2 + rng.pick_index(width - 6);
+    for (std::size_t dr = 0; dr < 3; ++dr) {
+      for (std::size_t dc = 0; dc < 3; ++dc) {
+        img.at(cr + dr, cc + dc) = 1.0;
+      }
+    }
+  }
+  return img;
+}
+
+double Image::max_abs_diff(const Image& other) const {
+  assert(height_ == other.height_ && width_ == other.width_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    worst = std::max(worst, std::fabs(pixels_[i] - other.pixels_[i]));
+  }
+  return worst;
+}
+
+ConvKernel ConvKernel::box(std::size_t side) {
+  assert(side % 2 == 1);
+  ConvKernel k;
+  k.side = side;
+  k.weights.assign(side * side,
+                   1.0 / static_cast<double>(side * side));
+  return k;
+}
+
+ConvKernel ConvKernel::gaussian(std::size_t side, double sigma) {
+  assert(side % 2 == 1);
+  assert(sigma > 0.0);
+  ConvKernel k;
+  k.side = side;
+  k.weights.resize(side * side);
+  const auto mid = static_cast<double>(side / 2);
+  double sum = 0.0;
+  for (std::size_t r = 0; r < side; ++r) {
+    for (std::size_t c = 0; c < side; ++c) {
+      double dr = static_cast<double>(r) - mid;
+      double dc = static_cast<double>(c) - mid;
+      double w = std::exp(-(dr * dr + dc * dc) / (2.0 * sigma * sigma));
+      k.weights[r * side + c] = w;
+      sum += w;
+    }
+  }
+  for (double& w : k.weights) w /= sum;
+  return k;
+}
+
+ConvKernel ConvKernel::sobel_x() {
+  return ConvKernel{3, {-1, 0, 1, -2, 0, 2, -1, 0, 1}};
+}
+
+ConvKernel ConvKernel::sobel_y() {
+  return ConvKernel{3, {-1, -2, -1, 0, 0, 0, 1, 2, 1}};
+}
+
+common::Expected<Image> convolve(const Image& image, const ConvKernel& kernel) {
+  if (image.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "convolve: empty image"};
+  }
+  if (kernel.side % 2 == 0 ||
+      kernel.weights.size() != kernel.side * kernel.side) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "convolve: malformed kernel"};
+  }
+  const auto half = static_cast<std::ptrdiff_t>(kernel.side / 2);
+  Image out(image.height(), image.width());
+  const auto h = static_cast<std::ptrdiff_t>(image.height());
+  const auto w = static_cast<std::ptrdiff_t>(image.width());
+  for (std::ptrdiff_t r = 0; r < h; ++r) {
+    for (std::ptrdiff_t c = 0; c < w; ++c) {
+      double acc = 0.0;
+      for (std::ptrdiff_t kr = -half; kr <= half; ++kr) {
+        for (std::ptrdiff_t kc = -half; kc <= half; ++kc) {
+          // Clamp-to-edge border handling.
+          std::ptrdiff_t rr = std::clamp(r + kr, std::ptrdiff_t{0}, h - 1);
+          std::ptrdiff_t cc = std::clamp(c + kc, std::ptrdiff_t{0}, w - 1);
+          acc += image.at(static_cast<std::size_t>(rr),
+                          static_cast<std::size_t>(cc)) *
+                 kernel.at(static_cast<std::size_t>(kr + half),
+                           static_cast<std::size_t>(kc + half));
+        }
+      }
+      out.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = acc;
+    }
+  }
+  return out;
+}
+
+common::Expected<Image> sobel_magnitude(const Image& image) {
+  auto gx = convolve(image, ConvKernel::sobel_x());
+  if (!gx) return gx.error();
+  auto gy = convolve(image, ConvKernel::sobel_y());
+  if (!gy) return gy.error();
+  Image out(image.height(), image.width());
+  for (std::size_t i = 0; i < out.pixels().size(); ++i) {
+    out.pixels()[i] = std::hypot(gx->pixels()[i], gy->pixels()[i]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> histogram(const Image& image, double lo, double hi,
+                                   std::size_t bins) {
+  assert(bins > 0 && hi > lo);
+  std::vector<std::size_t> counts(bins, 0);
+  for (double v : image.pixels()) {
+    auto bin = static_cast<std::ptrdiff_t>((v - lo) / (hi - lo) *
+                                           static_cast<double>(bins));
+    bin = std::clamp(bin, std::ptrdiff_t{0},
+                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++counts[static_cast<std::size_t>(bin)];
+  }
+  return counts;
+}
+
+Image threshold(const Image& image, double level) {
+  Image out(image.height(), image.width());
+  for (std::size_t i = 0; i < image.pixels().size(); ++i) {
+    out.pixels()[i] = image.pixels()[i] > level ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+std::size_t count_components(const Image& image) {
+  const std::size_t h = image.height();
+  const std::size_t w = image.width();
+  std::vector<bool> visited(h * w, false);
+  std::size_t components = 0;
+  for (std::size_t start = 0; start < h * w; ++start) {
+    if (visited[start] || image.pixels()[start] == 0.0) continue;
+    ++components;
+    // BFS flood fill over the 4-neighbourhood.
+    std::deque<std::size_t> frontier{start};
+    visited[start] = true;
+    while (!frontier.empty()) {
+      std::size_t idx = frontier.front();
+      frontier.pop_front();
+      std::size_t r = idx / w;
+      std::size_t c = idx % w;
+      auto visit = [&](std::size_t rr, std::size_t cc) {
+        std::size_t j = rr * w + cc;
+        if (!visited[j] && image.pixels()[j] != 0.0) {
+          visited[j] = true;
+          frontier.push_back(j);
+        }
+      };
+      if (r > 0) visit(r - 1, c);
+      if (r + 1 < h) visit(r + 1, c);
+      if (c > 0) visit(r, c - 1);
+      if (c + 1 < w) visit(r, c + 1);
+    }
+  }
+  return components;
+}
+
+common::Expected<Image> downsample(const Image& image, std::size_t factor) {
+  if (factor == 0 || image.height() < factor || image.width() < factor) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "downsample: bad factor"};
+  }
+  Image out(image.height() / factor, image.width() / factor);
+  for (std::size_t r = 0; r < out.height(); ++r) {
+    for (std::size_t c = 0; c < out.width(); ++c) {
+      double acc = 0.0;
+      for (std::size_t dr = 0; dr < factor; ++dr) {
+        for (std::size_t dc = 0; dc < factor; ++dc) {
+          acc += image.at(r * factor + dr, c * factor + dc);
+        }
+      }
+      out.at(r, c) = acc / static_cast<double>(factor * factor);
+    }
+  }
+  return out;
+}
+
+}  // namespace vdce::tasklib

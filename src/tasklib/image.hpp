@@ -1,0 +1,96 @@
+// Image-exploitation library.
+//
+// The paper's C3I application domain is command-and-control: alongside the
+// 1-D sensor chain (signal.hpp), those systems process imagery —
+// reconnaissance frames filtered, edge-detected, and segmented before
+// fusion.  This library supplies those kernels: 2-D convolution, Gaussian
+// and box smoothing, Sobel gradient magnitude, intensity histograms,
+// thresholding, and decimation.  All kernels are real (tests verify them
+// against hand-computed results) and registered as the "image" task menu.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+
+namespace vdce::tasklib {
+
+/// Grayscale image, row-major, intensities as doubles (typically [0, 1]).
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t height, std::size_t width, double fill = 0.0)
+      : height_(height), width_(width), pixels_(height * width, fill) {}
+
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] bool empty() const noexcept { return pixels_.empty(); }
+
+  double& at(std::size_t row, std::size_t col) {
+    return pixels_[row * width_ + col];
+  }
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const {
+    return pixels_[row * width_ + col];
+  }
+
+  [[nodiscard]] const std::vector<double>& pixels() const noexcept {
+    return pixels_;
+  }
+  [[nodiscard]] std::vector<double>& pixels() noexcept { return pixels_; }
+  [[nodiscard]] double size_bytes() const noexcept {
+    return static_cast<double>(pixels_.size() * sizeof(double));
+  }
+
+  /// Test image: smooth gradient plus `spots` bright square targets.
+  static Image synthetic_scene(std::size_t height, std::size_t width,
+                               std::size_t spots, common::Rng& rng);
+
+  [[nodiscard]] double max_abs_diff(const Image& other) const;
+
+ private:
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::vector<double> pixels_;
+};
+
+/// A small square convolution kernel (odd side length).
+struct ConvKernel {
+  std::size_t side = 3;
+  std::vector<double> weights;  ///< side*side, row-major
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return weights[r * side + c];
+  }
+
+  static ConvKernel box(std::size_t side);
+  /// Separable Gaussian sampled at integer offsets, normalized to sum 1.
+  static ConvKernel gaussian(std::size_t side, double sigma);
+  static ConvKernel sobel_x();
+  static ConvKernel sobel_y();
+};
+
+/// 2-D convolution with clamp-to-edge borders.
+common::Expected<Image> convolve(const Image& image, const ConvKernel& kernel);
+
+/// Sobel gradient magnitude: sqrt(Gx^2 + Gy^2).
+common::Expected<Image> sobel_magnitude(const Image& image);
+
+/// Intensity histogram over [lo, hi) with `bins` buckets (values clamp to
+/// the end bins).
+std::vector<std::size_t> histogram(const Image& image, double lo, double hi,
+                                   std::size_t bins);
+
+/// Binary threshold: pixel > threshold -> 1.0 else 0.0.
+Image threshold(const Image& image, double level);
+
+/// Count 4-connected components of non-zero pixels (target counting after
+/// thresholding).
+std::size_t count_components(const Image& image);
+
+/// Decimate by an integer factor (average pooling).
+common::Expected<Image> downsample(const Image& image, std::size_t factor);
+
+}  // namespace vdce::tasklib

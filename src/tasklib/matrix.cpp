@@ -1,0 +1,216 @@
+#include "tasklib/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <thread>
+
+namespace vdce::tasklib {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+Matrix Matrix::random_diag_dominant(std::size_t n, common::Rng& rng) {
+  Matrix m = random(n, n, rng);
+  // Row-dominance guarantees non-singularity and a well-behaved LU.
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) row_sum += std::fabs(m(i, j));
+    m(i, i) = row_sum + 1.0;
+  }
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+namespace {
+
+/// Multiply rows [row_begin, row_end) of C = A*B.  Each worker writes a
+/// disjoint row range, so no synchronization is needed.
+void multiply_rows(const Matrix& a, const Matrix& bt, Matrix& c,
+                   std::size_t row_begin, std::size_t row_end) {
+  const std::size_t n = a.cols();
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    for (std::size_t j = 0; j < bt.rows(); ++j) {
+      // bt is B transposed: both operands stream contiguously.
+      double acc = 0.0;
+      const double* arow = a.data().data() + i * n;
+      const double* brow = bt.data().data() + j * n;
+      for (std::size_t k = 0; k < n; ++k) acc += arow[k] * brow[k];
+      c(i, j) = acc;
+    }
+  }
+}
+
+}  // namespace
+
+common::Expected<Matrix> multiply(const Matrix& a, const Matrix& b,
+                                  int threads) {
+  if (a.cols() != b.rows()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "multiply: inner dimensions differ (" +
+                             std::to_string(a.cols()) + " vs " +
+                             std::to_string(b.rows()) + ")"};
+  }
+  Matrix bt = b.transpose();
+  Matrix c(a.rows(), b.cols());
+
+  // Parallelize only when the arithmetic outweighs thread startup.
+  const double flops = 2.0 * static_cast<double>(a.rows()) *
+                       static_cast<double>(a.cols()) *
+                       static_cast<double>(b.cols());
+  unsigned want = threads > 0 ? static_cast<unsigned>(threads)
+                              : std::thread::hardware_concurrency();
+  if (want < 1) want = 1;
+  if (flops < 1e7 || want == 1 || a.rows() < 2 * want) {
+    multiply_rows(a, bt, c, 0, a.rows());
+    return c;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(want);
+  const std::size_t chunk = (a.rows() + want - 1) / want;
+  for (unsigned t = 0; t < want; ++t) {
+    std::size_t lo = t * chunk;
+    std::size_t hi = std::min(a.rows(), lo + chunk);
+    if (lo >= hi) break;
+    workers.emplace_back(multiply_rows, std::cref(a), std::cref(bt),
+                         std::ref(c), lo, hi);
+  }
+  for (auto& w : workers) w.join();
+  return c;
+}
+
+common::Expected<Vector> multiply(const Matrix& a, const Vector& x) {
+  if (a.cols() != x.size()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "matvec: dimension mismatch"};
+  }
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+double LuDecomposition::determinant() const {
+  double det = sign;
+  for (std::size_t i = 0; i < lu.rows(); ++i) det *= lu(i, i);
+  return det;
+}
+
+common::Expected<LuDecomposition> lu_decompose(const Matrix& a) {
+  if (a.rows() != a.cols() || a.rows() == 0) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "lu: matrix must be square and non-empty"};
+  }
+  const std::size_t n = a.rows();
+  LuDecomposition result;
+  result.lu = a;
+  result.perm.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.perm[i] = i;
+  Matrix& m = result.lu;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest remaining |entry| in column k to
+    // the diagonal.
+    std::size_t pivot = k;
+    double best = std::fabs(m(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::fabs(m(i, k)) > best) {
+        best = std::fabs(m(i, k));
+        pivot = i;
+      }
+    }
+    if (best == 0.0) {
+      return common::Error{common::ErrorCode::kInvalidArgument,
+                           "lu: singular matrix (zero pivot at column " +
+                               std::to_string(k) + ")"};
+    }
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(m(k, j), m(pivot, j));
+      std::swap(result.perm[k], result.perm[pivot]);
+      result.sign = -result.sign;
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      m(i, k) /= m(k, k);
+      const double factor = m(i, k);
+      for (std::size_t j = k + 1; j < n; ++j) m(i, j) -= factor * m(k, j);
+    }
+  }
+  return result;
+}
+
+Vector forward_substitute(const LuDecomposition& lu, const Vector& b) {
+  const std::size_t n = lu.lu.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[lu.perm[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu.lu(i, j) * y[j];
+    y[i] = acc;  // L has unit diagonal
+  }
+  return y;
+}
+
+Vector backward_substitute(const LuDecomposition& lu, const Vector& y) {
+  const std::size_t n = lu.lu.rows();
+  assert(y.size() == n);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu.lu(ii, j) * x[j];
+    assert(lu.lu(ii, ii) != 0.0);
+    x[ii] = acc / lu.lu(ii, ii);
+  }
+  return x;
+}
+
+common::Expected<Vector> solve(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "solve: rhs length != matrix rows"};
+  }
+  auto lu = lu_decompose(a);
+  if (!lu) return lu.error();
+  Vector y = forward_substitute(*lu, b);
+  return backward_substitute(*lu, y);
+}
+
+double residual_inf(const Matrix& a, const Vector& x, const Vector& b) {
+  auto ax = multiply(a, x);
+  assert(ax.has_value());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    worst = std::max(worst, std::fabs((*ax)[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace vdce::tasklib

@@ -1,0 +1,98 @@
+// Matrix algebra library — the paper's "matrix algebra library" task menu
+// and the kernels behind the Figure-1 Linear Equation Solver application
+// (LU-Decomposition, Matrix-Multiplication, triangular solves).
+//
+// Kernels are real: the linear_equation_solver example verifies A·x = b to
+// machine precision.  Multiply and LU parallelize by row-partitioning
+// across std::thread workers (explicit decomposition, no shared mutable
+// state between workers — the MPI/OpenMP-guide idiom transplanted to
+// threads), with a serial path below a size threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+
+namespace vdce::tasklib {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+
+  /// Approximate in-memory size, used to charge data-manager transfers.
+  [[nodiscard]] double size_bytes() const noexcept {
+    return static_cast<double>(data_.size() * sizeof(double));
+  }
+
+  static Matrix identity(std::size_t n);
+  /// Uniformly random entries in [-1, 1]; diagonally dominated variant for
+  /// well-conditioned solver tests.
+  static Matrix random(std::size_t rows, std::size_t cols, common::Rng& rng);
+  static Matrix random_diag_dominant(std::size_t n, common::Rng& rng);
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+using Vector = std::vector<double>;
+
+/// C = A * B.  Parallelizes over rows of A when the work is large enough;
+/// `threads` <= 0 picks the hardware concurrency.
+common::Expected<Matrix> multiply(const Matrix& a, const Matrix& b,
+                                  int threads = 0);
+
+/// y = A * x.
+common::Expected<Vector> multiply(const Matrix& a, const Vector& x);
+
+/// Result of LU decomposition with partial pivoting: PA = LU, with L unit
+/// lower-triangular and U upper-triangular packed into one matrix.
+struct LuDecomposition {
+  Matrix lu;                      ///< L below diagonal (implicit 1s), U on/above
+  std::vector<std::size_t> perm;  ///< row permutation: row i of PA is row perm[i] of A
+  int sign = 1;                   ///< permutation sign (for determinants)
+
+  [[nodiscard]] double determinant() const;
+};
+
+/// Doolittle LU with partial pivoting.  Fails on a numerically singular
+/// matrix (zero pivot after pivoting).
+common::Expected<LuDecomposition> lu_decompose(const Matrix& a);
+
+/// Solve L y = P b (unit lower-triangular forward substitution).
+Vector forward_substitute(const LuDecomposition& lu, const Vector& b);
+
+/// Solve U x = y (backward substitution).  Pre: U is the upper factor of a
+/// successful decomposition (non-zero diagonal).
+Vector backward_substitute(const LuDecomposition& lu, const Vector& y);
+
+/// Convenience: solve A x = b via LU.
+common::Expected<Vector> solve(const Matrix& a, const Vector& b);
+
+/// ||A x - b||_inf, the solver examples' verification metric.
+double residual_inf(const Matrix& a, const Vector& x, const Vector& b);
+
+}  // namespace vdce::tasklib

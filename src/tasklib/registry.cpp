@@ -1,0 +1,388 @@
+#include "tasklib/registry.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.hpp"
+#include "tasklib/image.hpp"
+#include "tasklib/matrix.hpp"
+#include "tasklib/signal.hpp"
+
+namespace vdce::tasklib {
+
+void TaskRegistry::add(TaskImpl impl) {
+  impls_[impl.perf.task_name] = std::move(impl);
+}
+
+common::Expected<double> parse_synthetic_mflop(const std::string& task_name) {
+  auto dot = task_name.rfind('.');
+  if (dot == std::string::npos || dot + 2 >= task_name.size() ||
+      task_name[dot + 1] != 'w') {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "not a synthetic task name: " + task_name};
+  }
+  auto mflop = common::parse_double(task_name.substr(dot + 2));
+  if (!mflop || *mflop <= 0.0) {
+    return common::Error{common::ErrorCode::kParseError,
+                         "bad synthetic work size in: " + task_name};
+  }
+  return *mflop;
+}
+
+namespace {
+
+TaskImpl make_synthetic_impl(const std::string& task_name, double mflop) {
+  TaskImpl impl;
+  impl.perf.task_name = task_name;
+  impl.perf.computation_mflop = mflop;
+  impl.perf.communication_bytes = 1e5;
+  impl.perf.required_memory_mb = 8.0;
+  impl.perf.base_exec_time = mflop / TaskRegistry::kBaseProcessorMflops;
+  impl.perf.parallel_fraction = 0.9;
+  // Identity kernel: forwards its first input (or produces an empty Value)
+  // so synthetic graphs remain executable end to end.
+  impl.kernel = [](const std::vector<Value>& inputs)
+      -> common::Expected<std::vector<Value>> {
+    std::vector<Value> out;
+    out.push_back(inputs.empty() ? Value{} : inputs.front());
+    return out;
+  };
+  return impl;
+}
+
+}  // namespace
+
+common::Expected<TaskImpl> TaskRegistry::find(
+    const std::string& task_name) const {
+  auto it = impls_.find(task_name);
+  if (it != impls_.end()) return it->second;
+  auto mflop = parse_synthetic_mflop(task_name);
+  if (mflop) return make_synthetic_impl(task_name, *mflop);
+  return common::Error{common::ErrorCode::kNotFound,
+                       "task not registered: " + task_name};
+}
+
+common::Expected<db::TaskPerfRecord> TaskRegistry::perf(
+    const std::string& task_name) const {
+  auto impl = find(task_name);
+  if (!impl) return impl.error();
+  return impl->perf;
+}
+
+void TaskRegistry::seed_database(db::TaskPerformanceDb& database) const {
+  for (const auto& [name, impl] : impls_) database.register_task(impl.perf);
+}
+
+std::vector<std::string> TaskRegistry::libraries() const {
+  std::set<std::string> libs;
+  for (const auto& [name, impl] : impls_) {
+    auto dot = name.find('.');
+    libs.insert(dot == std::string::npos ? name : name.substr(0, dot));
+  }
+  return {libs.begin(), libs.end()};
+}
+
+std::vector<std::string> TaskRegistry::tasks_in_library(
+    const std::string& library) const {
+  std::vector<std::string> out;
+  for (const auto& [name, impl] : impls_) {
+    if (common::starts_with(name, library + ".")) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+db::TaskPerfRecord perf_record(std::string name, double mflop, double bytes,
+                               double mem_mb, double parallel_fraction) {
+  db::TaskPerfRecord rec;
+  rec.task_name = std::move(name);
+  rec.computation_mflop = mflop;
+  rec.communication_bytes = bytes;
+  rec.required_memory_mb = mem_mb;
+  rec.base_exec_time = mflop / TaskRegistry::kBaseProcessorMflops;
+  rec.parallel_fraction = parallel_fraction;
+  return rec;
+}
+
+common::Error wrong_inputs(const std::string& task, std::size_t want,
+                           std::size_t got) {
+  return common::Error{common::ErrorCode::kInvalidArgument,
+                       task + ": expected " + std::to_string(want) +
+                           " inputs, got " + std::to_string(got)};
+}
+
+template <typename T>
+common::Expected<T> cast_input(const std::string& task,
+                               const std::vector<Value>& inputs,
+                               std::size_t index) {
+  if (index >= inputs.size()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         task + ": missing input " + std::to_string(index)};
+  }
+  const T* p = std::any_cast<T>(&inputs[index]);
+  if (p == nullptr) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         task + ": input " + std::to_string(index) +
+                             " has wrong payload type"};
+  }
+  return *p;
+}
+
+}  // namespace
+
+void register_standard_libraries(TaskRegistry& registry) {
+  // ---- matrix algebra library ------------------------------------------
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("matrix.lu_decomposition", 2000, 8e5, 16, 0.6);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) return wrong_inputs("matrix.lu_decomposition", 1, in.size());
+      auto a = cast_input<Matrix>("matrix.lu_decomposition", in, 0);
+      if (!a) return a.error();
+      auto lu = lu_decompose(*a);
+      if (!lu) return lu.error();
+      return std::vector<Value>{Value(std::move(*lu))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("matrix.multiply", 1500, 8e5, 24, 0.95);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 2) return wrong_inputs("matrix.multiply", 2, in.size());
+      auto a = cast_input<Matrix>("matrix.multiply", in, 0);
+      auto b = cast_input<Matrix>("matrix.multiply", in, 1);
+      if (!a) return a.error();
+      if (!b) return b.error();
+      auto c = multiply(*a, *b);
+      if (!c) return c.error();
+      return std::vector<Value>{Value(std::move(*c))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("matrix.matvec", 300, 8e3, 8, 0.8);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 2) return wrong_inputs("matrix.matvec", 2, in.size());
+      auto a = cast_input<Matrix>("matrix.matvec", in, 0);
+      auto x = cast_input<Vector>("matrix.matvec", in, 1);
+      if (!a) return a.error();
+      if (!x) return x.error();
+      auto y = multiply(*a, *x);
+      if (!y) return y.error();
+      return std::vector<Value>{Value(std::move(*y))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("matrix.forward_substitution", 400, 8e3, 8, 0.2);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 2) {
+        return wrong_inputs("matrix.forward_substitution", 2, in.size());
+      }
+      auto lu = cast_input<LuDecomposition>("matrix.forward_substitution", in, 0);
+      auto b = cast_input<Vector>("matrix.forward_substitution", in, 1);
+      if (!lu) return lu.error();
+      if (!b) return b.error();
+      Vector y = forward_substitute(*lu, *b);
+      // The LU factors travel with y so the backward stage needs only one
+      // dataflow edge from this task (mirrors Fig. 1's pipeline shape).
+      return std::vector<Value>{Value(std::make_pair(std::move(*lu), std::move(y)))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("matrix.backward_substitution", 400, 8e3, 8, 0.2);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) {
+        return wrong_inputs("matrix.backward_substitution", 1, in.size());
+      }
+      using LuAndY = std::pair<LuDecomposition, Vector>;
+      auto luy = cast_input<LuAndY>("matrix.backward_substitution", in, 0);
+      if (!luy) return luy.error();
+      Vector x = backward_substitute(luy->first, luy->second);
+      return std::vector<Value>{Value(std::move(x))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("matrix.transpose", 100, 8e5, 16, 0.9);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) return wrong_inputs("matrix.transpose", 1, in.size());
+      auto a = cast_input<Matrix>("matrix.transpose", in, 0);
+      if (!a) return a.error();
+      return std::vector<Value>{Value(a->transpose())};
+    };
+    registry.add(std::move(impl));
+  }
+
+  // ---- C3I / signal library --------------------------------------------
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("signal.fft", 800, 5e5, 12, 0.85);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) return wrong_inputs("signal.fft", 1, in.size());
+      auto s = cast_input<Signal>("signal.fft", in, 0);
+      if (!s) return s.error();
+      auto spec = fft(*s);
+      if (!spec) return spec.error();
+      return std::vector<Value>{Value(std::move(*spec))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("signal.fir_filter", 600, 5e5, 8, 0.9);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 2) return wrong_inputs("signal.fir_filter", 2, in.size());
+      auto s = cast_input<Signal>("signal.fir_filter", in, 0);
+      auto taps = cast_input<Signal>("signal.fir_filter", in, 1);
+      if (!s) return s.error();
+      if (!taps) return taps.error();
+      return std::vector<Value>{Value(fir_filter(*s, *taps))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("signal.beamform", 700, 5e5, 16, 0.9);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 2) return wrong_inputs("signal.beamform", 2, in.size());
+      auto chans = cast_input<std::vector<Signal>>("signal.beamform", in, 0);
+      auto delays = cast_input<std::vector<int>>("signal.beamform", in, 1);
+      if (!chans) return chans.error();
+      if (!delays) return delays.error();
+      auto out = beamform(*chans, *delays);
+      if (!out) return out.error();
+      return std::vector<Value>{Value(std::move(*out))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("signal.detect", 200, 1e4, 4, 0.5);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 2) return wrong_inputs("signal.detect", 2, in.size());
+      auto s = cast_input<Signal>("signal.detect", in, 0);
+      auto thresh = cast_input<double>("signal.detect", in, 1);
+      if (!s) return s.error();
+      if (!thresh) return thresh.error();
+      return std::vector<Value>{Value(detect(*s, *thresh))};
+    };
+    registry.add(std::move(impl));
+  }
+  // ---- image-exploitation library ----------------------------------------
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("image.smooth", 900, 2e6, 24, 0.95);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) return wrong_inputs("image.smooth", 1, in.size());
+      auto img = cast_input<Image>("image.smooth", in, 0);
+      if (!img) return img.error();
+      auto out = convolve(*img, ConvKernel::gaussian(5, 1.0));
+      if (!out) return out.error();
+      return std::vector<Value>{Value(std::move(*out))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("image.sobel", 1100, 2e6, 24, 0.95);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) return wrong_inputs("image.sobel", 1, in.size());
+      auto img = cast_input<Image>("image.sobel", in, 0);
+      if (!img) return img.error();
+      auto out = sobel_magnitude(*img);
+      if (!out) return out.error();
+      return std::vector<Value>{Value(std::move(*out))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("image.histogram", 300, 2048, 8, 0.8);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) return wrong_inputs("image.histogram", 1, in.size());
+      auto img = cast_input<Image>("image.histogram", in, 0);
+      if (!img) return img.error();
+      return std::vector<Value>{Value(histogram(*img, 0.0, 1.0, 64))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("image.segment", 500, 2e6, 16, 0.9);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 2) return wrong_inputs("image.segment", 2, in.size());
+      auto img = cast_input<Image>("image.segment", in, 0);
+      auto level = cast_input<double>("image.segment", in, 1);
+      if (!img) return img.error();
+      if (!level) return level.error();
+      return std::vector<Value>{Value(threshold(*img, *level))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("image.count_targets", 400, 64, 8, 0.4);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) {
+        return wrong_inputs("image.count_targets", 1, in.size());
+      }
+      auto img = cast_input<Image>("image.count_targets", in, 0);
+      if (!img) return img.error();
+      return std::vector<Value>{Value(count_components(*img))};
+    };
+    registry.add(std::move(impl));
+  }
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("image.downsample", 250, 5e5, 16, 0.9);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) return wrong_inputs("image.downsample", 1, in.size());
+      auto img = cast_input<Image>("image.downsample", in, 0);
+      if (!img) return img.error();
+      auto out = downsample(*img, 2);
+      if (!out) return out.error();
+      return std::vector<Value>{Value(std::move(*out))};
+    };
+    registry.add(std::move(impl));
+  }
+
+  {
+    TaskImpl impl;
+    impl.perf = perf_record("signal.energy", 150, 64, 4, 0.7);
+    impl.kernel = [](const std::vector<Value>& in)
+        -> common::Expected<std::vector<Value>> {
+      if (in.size() != 1) return wrong_inputs("signal.energy", 1, in.size());
+      auto s = cast_input<Signal>("signal.energy", in, 0);
+      if (!s) return s.error();
+      return std::vector<Value>{Value(energy(*s))};
+    };
+    registry.add(std::move(impl));
+  }
+}
+
+}  // namespace vdce::tasklib

@@ -1,0 +1,82 @@
+// Task registry: the bridge between the editor's menu-driven task libraries
+// and the runtime.
+//
+// Each entry binds a library-qualified task name ("matrix.lu_decomposition")
+// to (a) a real in-process kernel the Data Manager invokes when an
+// application executes with real payloads, and (b) the TaskPerfRecord the
+// task-performance database is seeded with (computation size, communication
+// size, memory, base execution time — the §3 schema).
+//
+// Synthetic tasks — names of the form "<lib>.w<mflop>" produced by the AFG
+// generators — are resolved on the fly: their performance record is derived
+// from the encoded computation size and they carry a no-op kernel.  This
+// lets scheduler benches run over thousands of generated graphs without
+// registering each task individually.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "db/task_perf.hpp"
+
+namespace vdce::tasklib {
+
+/// A runtime value flowing between tasks (Matrix, Vector, Signal, ...).
+using Value = std::any;
+
+/// A task kernel: inputs (one per connected input port, in port order) to
+/// outputs (one per output port).  Kernels must be pure functions of their
+/// inputs — the runtime may re-execute one after rescheduling.
+using Kernel = std::function<common::Expected<std::vector<Value>>(
+    const std::vector<Value>& inputs)>;
+
+struct TaskImpl {
+  db::TaskPerfRecord perf;
+  Kernel kernel;  ///< may be empty for placeholder/synthetic tasks
+};
+
+class TaskRegistry {
+ public:
+  /// Register or replace an implementation.
+  void add(TaskImpl impl);
+
+  /// Look up an implementation; synthesizes one for "<lib>.w<mflop>" names.
+  [[nodiscard]] common::Expected<TaskImpl> find(
+      const std::string& task_name) const;
+
+  /// Just the performance record (what site bring-up seeds databases with).
+  [[nodiscard]] common::Expected<db::TaskPerfRecord> perf(
+      const std::string& task_name) const;
+
+  /// Copy every registered record into a task-performance database.
+  void seed_database(db::TaskPerformanceDb& database) const;
+
+  /// Library names present ("matrix", "signal", ...), sorted.
+  [[nodiscard]] std::vector<std::string> libraries() const;
+  /// Task names within a library, sorted — the editor's menu content.
+  [[nodiscard]] std::vector<std::string> tasks_in_library(
+      const std::string& library) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return impls_.size(); }
+
+  /// Reference speed (MFLOPS) of the "base processor" that base_exec_time
+  /// is quoted against (§3's task-performance database convention).
+  static constexpr double kBaseProcessorMflops = 100.0;
+
+ private:
+  std::unordered_map<std::string, TaskImpl> impls_;
+};
+
+/// Register the standard VDCE libraries: "matrix" (algebra; powers the
+/// Figure-1 Linear Equation Solver) and "signal" (C3I chain).
+void register_standard_libraries(TaskRegistry& registry);
+
+/// Parse a synthetic task name "<lib>.w<mflop>"; returns the computation
+/// size in MFLOP or an error if the name is not synthetic.
+common::Expected<double> parse_synthetic_mflop(const std::string& task_name);
+
+}  // namespace vdce::tasklib

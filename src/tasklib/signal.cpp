@@ -1,0 +1,179 @@
+#include "tasklib/signal.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace vdce::tasklib {
+
+std::size_t next_pow2(std::size_t n) {
+  assert(n >= 1);
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+common::Status fft_inplace(Spectrum& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "fft: length must be a power of two, got " +
+                             std::to_string(n)};
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Danielson–Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        std::complex<double> u = data[i + k];
+        std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& c : data) c /= static_cast<double>(n);
+  }
+  return common::Status::success();
+}
+
+common::Expected<Spectrum> fft(const Signal& signal) {
+  if (signal.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "fft: empty signal"};
+  }
+  Spectrum data(next_pow2(signal.size()));
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+  auto st = fft_inplace(data, false);
+  if (!st.ok()) return st.error();
+  return data;
+}
+
+common::Expected<Signal> ifft_real(const Spectrum& spectrum) {
+  Spectrum data = spectrum;
+  auto st = fft_inplace(data, true);
+  if (!st.ok()) return st.error();
+  Signal out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = data[i].real();
+  return out;
+}
+
+Signal fir_filter(const Signal& signal, const Signal& taps) {
+  Signal out(signal.size(), 0.0);
+  for (std::size_t n = 0; n < signal.size(); ++n) {
+    double acc = 0.0;
+    const std::size_t kmax = std::min(taps.size(), n + 1);
+    for (std::size_t k = 0; k < kmax; ++k) acc += taps[k] * signal[n - k];
+    out[n] = acc;
+  }
+  return out;
+}
+
+common::Expected<Signal> design_lowpass(double cutoff, std::size_t taps) {
+  if (cutoff <= 0.0 || cutoff >= 0.5) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "lowpass cutoff must be in (0, 0.5)"};
+  }
+  if (taps < 3) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "lowpass needs >= 3 taps"};
+  }
+  Signal h(taps);
+  const double mid = static_cast<double>(taps - 1) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    // Windowed sinc (Hamming).
+    double sinc = (t == 0.0)
+                      ? 2.0 * cutoff
+                      : std::sin(2.0 * std::numbers::pi * cutoff * t) /
+                            (std::numbers::pi * t);
+    double window =
+        0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                               static_cast<double>(i) /
+                               static_cast<double>(taps - 1));
+    h[i] = sinc * window;
+    sum += h[i];
+  }
+  // Normalize to unit DC gain.
+  for (double& v : h) v /= sum;
+  return h;
+}
+
+common::Expected<Signal> beamform(const std::vector<Signal>& channels,
+                                  const std::vector<int>& delays) {
+  if (channels.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "beamform: no channels"};
+  }
+  if (delays.size() != channels.size()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "beamform: delays/channels count mismatch"};
+  }
+  const std::size_t len = channels.front().size();
+  for (const Signal& ch : channels) {
+    if (ch.size() != len) {
+      return common::Error{common::ErrorCode::kInvalidArgument,
+                           "beamform: channel length mismatch"};
+    }
+  }
+  Signal out(len, 0.0);
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    const int d = delays[c];
+    for (std::size_t n = 0; n < len; ++n) {
+      const std::int64_t src = static_cast<std::int64_t>(n) - d;
+      if (src >= 0 && src < static_cast<std::int64_t>(len)) {
+        out[n] += channels[c][static_cast<std::size_t>(src)];
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(channels.size());
+  for (double& v : out) v *= scale;
+  return out;
+}
+
+std::vector<std::size_t> detect(const Signal& signal, double threshold) {
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    if (std::fabs(signal[i]) > threshold) hits.push_back(i);
+  }
+  return hits;
+}
+
+double energy(const Signal& signal) {
+  double acc = 0.0;
+  for (double v : signal) acc += v * v;
+  return acc;
+}
+
+Signal make_test_signal(std::size_t samples,
+                        const std::vector<double>& freqs_cycles_per_sample,
+                        double noise_amplitude, common::Rng& rng) {
+  Signal out(samples, 0.0);
+  for (std::size_t n = 0; n < samples; ++n) {
+    for (double f : freqs_cycles_per_sample) {
+      out[n] += std::sin(2.0 * std::numbers::pi * f * static_cast<double>(n));
+    }
+    out[n] += rng.uniform(-noise_amplitude, noise_amplitude);
+  }
+  return out;
+}
+
+}  // namespace vdce::tasklib

@@ -1,0 +1,59 @@
+// C3I (command-and-control) signal-processing library.
+//
+// The paper's Application Editor offers "menu-driven task libraries ...
+// such as the matrix algebra library, C3I (command and control
+// applications) library."  This is the C3I side: a sensor-processing chain
+// of the kind those applications are built from — spectral analysis (FFT),
+// FIR filtering, multi-sensor beamforming, and threshold detection — used
+// by the c3i_pipeline example and the end-to-end benches.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/rng.hpp"
+
+namespace vdce::tasklib {
+
+using Signal = std::vector<double>;
+using Spectrum = std::vector<std::complex<double>>;
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.  Input length must be a
+/// power of two.
+common::Status fft_inplace(Spectrum& data, bool inverse = false);
+
+/// FFT of a real signal (zero-padded to the next power of two).
+common::Expected<Spectrum> fft(const Signal& signal);
+
+/// Inverse FFT, returning the real parts (imaginary residue is discarded;
+/// callers verifying round-trips check it separately via fft_inplace).
+common::Expected<Signal> ifft_real(const Spectrum& spectrum);
+
+/// Direct-form FIR filter: y[n] = sum_k taps[k] * x[n-k].
+Signal fir_filter(const Signal& signal, const Signal& taps);
+
+/// Design a low-pass windowed-sinc FIR, cutoff in (0, 0.5) cycles/sample.
+common::Expected<Signal> design_lowpass(double cutoff, std::size_t taps);
+
+/// Delay-and-sum beamformer: combine per-sensor signals with integer sample
+/// delays.  All channels must have equal length; output length matches.
+common::Expected<Signal> beamform(const std::vector<Signal>& channels,
+                                  const std::vector<int>& delays);
+
+/// Threshold detector: indices where |signal| exceeds `threshold`.
+std::vector<std::size_t> detect(const Signal& signal, double threshold);
+
+/// Energy (sum of squares) — the fusion stage of the C3I example.
+double energy(const Signal& signal);
+
+/// Synthetic sensor input: mixture of sinusoids plus uniform noise.
+Signal make_test_signal(std::size_t samples,
+                        const std::vector<double>& freqs_cycles_per_sample,
+                        double noise_amplitude, common::Rng& rng);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace vdce::tasklib

@@ -1,0 +1,249 @@
+#include "vdce/environment.hpp"
+
+#include <cassert>
+
+#include "sched/support.hpp"
+
+namespace vdce {
+
+VdceEnvironment::VdceEnvironment(net::Topology topology,
+                                 EnvironmentOptions options)
+    : topology_(std::move(topology)),
+      options_(options),
+      engine_(),
+      fabric_(engine_, topology_) {
+  tasklib::register_standard_libraries(registry_);
+}
+
+VdceEnvironment::~VdceEnvironment() {
+  for (auto& agent : agents_) agent->stop();
+}
+
+void VdceEnvironment::bring_up() {
+  assert(!up_);
+  up_ = true;
+
+  // One repository per site, populated with its hosts and the standard
+  // task libraries (the paper's site bring-up registration).
+  std::vector<db::SiteRepository*> repo_ptrs;
+  for (const net::Site& site : topology_.sites()) {
+    auto repo = std::make_unique<db::SiteRepository>(site.id);
+    repo->register_site_hosts(topology_);
+    registry_.seed_database(repo->tasks());
+    repo_ptrs.push_back(repo.get());
+    repos_.push_back(std::move(repo));
+  }
+
+  core_ = std::make_unique<runtime::RuntimeCore>(
+      engine_, fabric_, topology_, std::move(repo_ptrs), options_.runtime);
+
+  for (const net::Host& host : topology_.hosts()) {
+    agents_.push_back(std::make_unique<runtime::HostAgent>(*core_, host.id));
+  }
+  for (auto& agent : agents_) agent->start();
+
+  // Wire every Site Manager's I/O service to the user object store, so
+  // output files (Fig. 1's vector_X.dat) land back in the user's space.
+  for (auto& agent : agents_) {
+    if (runtime::SiteManager* manager = agent->site_manager()) {
+      manager->set_output_sink([this](const std::string& path,
+                                      tasklib::Value value, double bytes) {
+        store_.put(path, std::move(value), bytes);
+      });
+    }
+  }
+
+  if (options_.background_load) {
+    load_generator_ = std::make_unique<runtime::BackgroundLoadGenerator>(
+        engine_, topology_, core_->rng().fork(), options_.load);
+    load_generator_->start();
+  }
+}
+
+db::SiteRepository& VdceEnvironment::repo(common::SiteId site) {
+  assert(up_);
+  return *repos_.at(site.value());
+}
+
+runtime::SiteManager& VdceEnvironment::site_manager(common::SiteId site) {
+  assert(up_);
+  common::HostId server = topology_.site(site).server;
+  runtime::SiteManager* manager = agents_.at(server.value())->site_manager();
+  assert(manager != nullptr);
+  return *manager;
+}
+
+runtime::BackgroundLoadGenerator& VdceEnvironment::background() {
+  assert(load_generator_ != nullptr &&
+         "enable EnvironmentOptions::background_load");
+  return *load_generator_;
+}
+
+runtime::RuntimeCore& VdceEnvironment::core() {
+  assert(up_);
+  return *core_;
+}
+
+dsm::DsmRuntime& VdceEnvironment::enable_dsm() {
+  assert(up_);
+  if (!dsm_) {
+    std::vector<common::HostId> hosts;
+    for (const net::Host& h : topology_.hosts()) hosts.push_back(h.id);
+    dsm_ = std::make_unique<dsm::DsmRuntime>(fabric_, std::move(hosts));
+    for (auto& agent : agents_) {
+      agent->add_extension([this](const net::Message& message) {
+        if (!common::starts_with(message.type, "dsm.")) return false;
+        dsm_->handle(message);
+        return true;
+      });
+    }
+  }
+  return *dsm_;
+}
+
+void VdceEnvironment::add_user(const std::string& name,
+                               const std::string& password, int priority,
+                               db::AccessDomain domain) {
+  assert(up_);
+  for (auto& repo : repos_) {
+    (void)repo->users().add_user(name, password, priority, domain);
+  }
+}
+
+common::Expected<Session> VdceEnvironment::login(common::SiteId site,
+                                                 const std::string& name,
+                                                 const std::string& password) {
+  assert(up_);
+  auto account = repo(site).users().authenticate(name, password);
+  if (!account) return account.error();
+  return Session{site, *account};
+}
+
+common::Status VdceEnvironment::drive_until(const bool& flag) {
+  const common::SimTime deadline = engine_.now() + options_.sync_timeout;
+  while (!flag) {
+    if (engine_.empty()) {
+      return common::Error{common::ErrorCode::kInternal,
+                           "simulation drained with operation incomplete"};
+    }
+    if (engine_.now() > deadline) {
+      return common::Error{common::ErrorCode::kTimeout,
+                           "operation exceeded sync timeout"};
+    }
+    // Small step quantum so the clock stops close to the completion event
+    // (the daemons' periodic timers would otherwise drag time forward).
+    engine_.run_steps(8);
+  }
+  return common::Status::success();
+}
+
+common::Expected<sched::ResourceAllocationTable> VdceEnvironment::schedule(
+    const afg::Afg& graph, const Session& session,
+    sched::SiteSchedulerOptions options) {
+  assert(up_);
+  auto valid = graph.validate();
+  if (!valid.ok()) return valid.error();
+
+  // Clip the candidate set to what this user may touch.
+  options.access = session.account.domain;
+
+  common::AppId app(next_app_++);
+  bool done = false;
+  common::Expected<sched::ResourceAllocationTable> result =
+      common::Error{common::ErrorCode::kInternal, "scheduling did not finish"};
+  site_manager(session.site)
+      .schedule_application(
+          app, std::make_shared<const afg::Afg>(graph), options,
+          [&done, &result](common::Expected<sched::ResourceAllocationTable> r) {
+            result = std::move(r);
+            done = true;
+          });
+  auto st = drive_until(done);
+  if (!st.ok()) return st.error();
+  return result;
+}
+
+common::Expected<runtime::ExecutionReport> VdceEnvironment::run_application(
+    const afg::Afg& graph, const Session& session, RunOptions options) {
+  auto table = schedule(graph, session, options.sched);
+  if (!table) return table.error();
+  if (options.enforce_admission && options.deadline > 0.0 &&
+      table->schedule_length > options.deadline) {
+    return common::Error{
+        common::ErrorCode::kNoFeasibleResource,
+        "admission rejected: estimated schedule length " +
+            common::format_double(table->schedule_length, 3) +
+            "s exceeds the " + common::format_double(options.deadline, 3) +
+            "s deadline"};
+  }
+  return execute_plan(graph, std::move(*table), session, options);
+}
+
+common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_with_table(
+    const afg::Afg& graph, sched::ResourceAllocationTable table,
+    const Session& session, RunOptions options) {
+  return execute_plan(graph, std::move(table), session, options);
+}
+
+common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_plan(
+    const afg::Afg& graph, sched::ResourceAllocationTable table,
+    const Session& session, const RunOptions& options) {
+  assert(up_);
+
+  // Resolve per-task performance records and kernels.
+  std::vector<db::TaskPerfRecord> perf;
+  std::vector<tasklib::Kernel> kernels(graph.task_count());
+  perf.reserve(graph.task_count());
+  for (const afg::TaskNode& node : graph.tasks()) {
+    auto record = sched::resolve_perf(node, repo(session.site).tasks());
+    if (!record) return record.error();
+    perf.push_back(std::move(*record));
+    if (options.real_kernels) {
+      auto impl = registry_.find(node.task_name);
+      if (impl && impl->kernel) kernels[node.id.value()] = impl->kernel;
+    }
+  }
+
+  // Resolve non-dataflow file inputs through the I/O service's object
+  // store; a missing object is fine for timing-only tasks (the transfer is
+  // still charged at the declared size) but fatal when a real kernel needs
+  // the value.
+  std::unordered_map<std::uint32_t, std::unordered_map<int, tasklib::Value>>
+      initial;
+  for (const afg::TaskNode& node : graph.tasks()) {
+    for (int port = 0; port < node.in_ports(); ++port) {
+      const afg::FileSpec& f =
+          node.props.inputs[static_cast<std::size_t>(port)];
+      if (f.dataflow || f.path.empty()) continue;
+      auto object = store_.get(f.path);
+      if (object) {
+        initial[node.id.value()][port] = object->value;
+      } else if (options.real_kernels && kernels[node.id.value()]) {
+        return common::Error{common::ErrorCode::kNotFound,
+                             "input object missing from store: " + f.path +
+                                 " (task " + node.instance_name + ")"};
+      }
+    }
+  }
+
+  common::AppId app(next_app_++);
+  bool done = false;
+  runtime::ExecutionReport report;
+  site_manager(session.site)
+      .execute_application(app, graph, std::move(table), std::move(perf),
+                           std::move(kernels), std::move(initial),
+                           [&done, &report](runtime::ExecutionReport r) {
+                             report = std::move(r);
+                             done = true;
+                           });
+  auto st = drive_until(done);
+  if (!st.ok()) return st.error();
+  report.deadline = options.deadline;
+  return report;
+}
+
+void VdceEnvironment::run_for(common::SimDuration duration) {
+  engine_.run_until(engine_.now() + duration);
+}
+
+}  // namespace vdce

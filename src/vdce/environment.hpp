@@ -1,0 +1,156 @@
+// VdceEnvironment — the public façade of the library.
+//
+// Owns the full simulated deployment: the topology, the discrete-event
+// engine and fabric, one site repository per site, the per-host daemons
+// (HostAgents wiring Monitor / Group Manager / Site Manager / Application
+// Controller / Data Manager), the task registry, the user object store, and
+// the background-load generator.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   VdceEnvironment env(vdce::make_campus_pair());
+//   env.bring_up();
+//   auto session = env.login(SiteId(0), "user_k", "secret").value();
+//   editor::AppBuilder app("my-app");
+//   ... build the AFG ...
+//   auto report = env.run_application(app.build().value(), session);
+//
+// `run_application` performs the paper's full pipeline in simulated time:
+// distributed scheduling (AFG multicast -> host selection -> assignment),
+// RAT distribution, channel setup, staging, execution with monitoring and
+// recovery, and returns the ExecutionReport.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+#include "db/site_repository.hpp"
+#include "dsm/dsm.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "runtime/core.hpp"
+#include "runtime/execution.hpp"
+#include "runtime/host_agent.hpp"
+#include "runtime/load_generator.hpp"
+#include "runtime/services.hpp"
+#include "sched/site_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce {
+
+/// An authenticated editor session (the result of the paper's "user
+/// authentication" step before the Application Editor is served).
+struct Session {
+  common::SiteId site;        ///< the site the user connected to
+  db::UserAccount account;
+};
+
+struct EnvironmentOptions {
+  runtime::RuntimeOptions runtime;
+  /// Start the background-load generator at bring-up.
+  bool background_load = false;
+  runtime::LoadGeneratorOptions load;
+  /// Abort a synchronous wait after this much simulated time.
+  common::SimDuration sync_timeout = 24.0 * 3600.0;
+};
+
+struct RunOptions {
+  sched::SiteSchedulerOptions sched;
+  /// Execute with real kernels from the registry (false = timing-only).
+  bool real_kernels = true;
+  /// QoS: requested completion deadline in seconds of makespan (0 = none).
+  common::SimDuration deadline = 0.0;
+  /// Admission control: reject before execution if the scheduler's
+  /// estimated schedule length already exceeds the deadline (the user can
+  /// retry with a wider access domain or fewer constraints).
+  bool enforce_admission = false;
+};
+
+class VdceEnvironment {
+ public:
+  explicit VdceEnvironment(net::Topology topology,
+                           EnvironmentOptions options = {});
+  ~VdceEnvironment();
+
+  VdceEnvironment(const VdceEnvironment&) = delete;
+  VdceEnvironment& operator=(const VdceEnvironment&) = delete;
+
+  /// Create repositories, seed them from the task registry, start every
+  /// daemon.  Must be called exactly once before any other operation.
+  void bring_up();
+
+  // --- component access --------------------------------------------------
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] net::Topology& topology() noexcept { return topology_; }
+  [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] tasklib::TaskRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] db::SiteRepository& repo(common::SiteId site);
+  [[nodiscard]] runtime::SiteManager& site_manager(common::SiteId site);
+  [[nodiscard]] runtime::ObjectStore& store() noexcept { return store_; }
+  [[nodiscard]] runtime::BackgroundLoadGenerator& background();
+  [[nodiscard]] runtime::RuntimeCore& core();
+
+  /// Start the distributed-shared-memory service (the paper's §5 future
+  /// work) across every host.  Idempotent; returns the runtime for defining
+  /// objects and creating per-host clients.
+  dsm::DsmRuntime& enable_dsm();
+
+  // --- accounts & sessions -------------------------------------------------
+  /// Create the account at every site (the prototype replicated accounts).
+  void add_user(const std::string& name, const std::string& password,
+                int priority = 1,
+                db::AccessDomain domain = db::AccessDomain::kGlobal);
+  common::Expected<Session> login(common::SiteId site, const std::string& name,
+                                  const std::string& password);
+
+  // --- the application pipeline -------------------------------------------
+  /// Distributed scheduling only (Fig. 2 over the fabric); synchronous in
+  /// simulated time.
+  common::Expected<sched::ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const Session& session,
+      sched::SiteSchedulerOptions options = {});
+
+  /// Full pipeline: schedule, distribute, execute, report.
+  common::Expected<runtime::ExecutionReport> run_application(
+      const afg::Afg& graph, const Session& session, RunOptions options = {});
+
+  /// Execute a graph with an externally supplied allocation table (used by
+  /// benches comparing schedulers on identical runtimes).
+  common::Expected<runtime::ExecutionReport> execute_with_table(
+      const afg::Afg& graph, sched::ResourceAllocationTable table,
+      const Session& session, RunOptions options = {});
+
+  /// Advance simulated time (lets monitoring history accumulate, load
+  /// dynamics play out, measured task times build up).
+  void run_for(common::SimDuration duration);
+
+  [[nodiscard]] common::SimTime now() const noexcept { return engine_.now(); }
+
+ private:
+  common::Expected<runtime::ExecutionReport> execute_plan(
+      const afg::Afg& graph, sched::ResourceAllocationTable table,
+      const Session& session, const RunOptions& options);
+
+  /// Drive the engine until `*flag` is true or the sync timeout elapses.
+  common::Status drive_until(const bool& flag);
+
+  net::Topology topology_;
+  EnvironmentOptions options_;
+  sim::Engine engine_;
+  net::Fabric fabric_;
+  tasklib::TaskRegistry registry_;
+  runtime::ObjectStore store_;
+  std::vector<std::unique_ptr<db::SiteRepository>> repos_;
+  std::unique_ptr<runtime::RuntimeCore> core_;
+  std::vector<std::unique_ptr<runtime::HostAgent>> agents_;
+  std::unique_ptr<runtime::BackgroundLoadGenerator> load_generator_;
+  std::unique_ptr<dsm::DsmRuntime> dsm_;
+  bool up_ = false;
+  common::AppId::value_type next_app_ = 0;
+};
+
+}  // namespace vdce

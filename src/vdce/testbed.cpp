@@ -1,0 +1,80 @@
+#include "vdce/testbed.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace vdce {
+
+namespace {
+
+struct MachineClass {
+  const char* arch;
+  const char* os;
+  const char* machine_type;
+};
+
+constexpr std::array<MachineClass, 5> kClasses{{
+    {"sparc", "sunos", "SUN sparc"},
+    {"sparc", "solaris", "SUN solaris"},
+    {"mips", "irix", "SGI"},
+    {"alpha", "osf1", "DEC alpha"},
+    {"x86", "linux", "Intel pentium"},
+}};
+
+constexpr std::array<const char*, 12> kNames{{
+    "serval", "hunding", "falcon", "osprey", "merlin", "condor",
+    "harrier", "kestrel", "goshawk", "peregrine", "caracal", "lynx",
+}};
+
+}  // namespace
+
+net::Topology make_testbed(const TestbedSpec& spec) {
+  assert(spec.sites >= 1 && spec.hosts_per_site >= 1 && spec.group_size >= 1);
+  common::Rng rng(spec.seed);
+  net::Topology topology;
+  topology.set_default_wan(net::LinkSpec{0.030, spec.wan_bandwidth_bps});
+
+  for (std::size_t s = 0; s < spec.sites; ++s) {
+    auto site = topology.add_site("site" + std::to_string(s), spec.lan);
+    for (std::size_t h = 0; h < spec.hosts_per_site; ++h) {
+      const MachineClass& mc = kClasses[rng.pick_index(kClasses.size())];
+      net::HostSpec host;
+      host.name = std::string(kNames[h % kNames.size()]) +
+                  (h >= kNames.size() ? std::to_string(h / kNames.size()) : "") +
+                  ".site" + std::to_string(s) + ".vdce.edu";
+      host.ip = "10." + std::to_string(s) + "." + std::to_string(h / 250) +
+                "." + std::to_string(h % 250 + 1);
+      host.arch = mc.arch;
+      host.os = mc.os;
+      host.machine_type = mc.machine_type;
+      host.speed_mflops = rng.uniform(spec.min_mflops, spec.max_mflops);
+      // Memory in discrete 1997-plausible sizes.
+      static constexpr std::array<double, 4> kMem{64.0, 128.0, 256.0, 512.0};
+      host.memory_mb = kMem[rng.pick_index(kMem.size())];
+      topology.add_host(site, std::move(host),
+                        static_cast<int>(h / spec.group_size));
+    }
+  }
+
+  // Pairwise WAN links with independent latencies.
+  for (std::size_t a = 0; a < spec.sites; ++a) {
+    for (std::size_t b = a + 1; b < spec.sites; ++b) {
+      topology.set_wan_link(
+          common::SiteId(static_cast<std::uint32_t>(a)),
+          common::SiteId(static_cast<std::uint32_t>(b)),
+          net::LinkSpec{rng.uniform(spec.min_wan_latency, spec.max_wan_latency),
+                        spec.wan_bandwidth_bps});
+    }
+  }
+  return topology;
+}
+
+net::Topology make_campus_pair(std::uint64_t seed) {
+  TestbedSpec spec;
+  spec.sites = 2;
+  spec.hosts_per_site = 6;
+  spec.seed = seed;
+  return make_testbed(spec);
+}
+
+}  // namespace vdce

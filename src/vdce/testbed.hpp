@@ -1,0 +1,42 @@
+// Canonical simulated testbeds.
+//
+// Generators for the wide-area topologies the experiments run on, shaped
+// after the paper's 1997 setting: campus sites of heterogeneous Unix
+// workstations (SPARC/SGI/Alpha/Pentium classes, tens to a few hundred
+// MFLOPS, 64-512 MB), Ethernet/ATM LANs inside a site, and multi-
+// millisecond WAN links between sites.  Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace vdce {
+
+struct TestbedSpec {
+  std::size_t sites = 2;
+  std::size_t hosts_per_site = 8;
+  std::size_t group_size = 4;  ///< hosts per group-leader machine
+  /// Host heterogeneity: speeds drawn uniformly from this range (MFLOPS).
+  double min_mflops = 50.0;
+  double max_mflops = 300.0;
+  /// LAN: ~Fast-Ethernet/ATM campus networks.
+  net::LinkSpec lan{0.001, 5e6};
+  /// WAN latency range between sites (seconds); bandwidth fixed.
+  double min_wan_latency = 0.010;
+  double max_wan_latency = 0.080;
+  double wan_bandwidth_bps = 1.25e6;
+  std::uint64_t seed = 7;
+};
+
+/// Build a heterogeneous multi-site topology.  Host names follow the
+/// paper's flavour ("serval.site0.vdce.edu").
+net::Topology make_testbed(const TestbedSpec& spec);
+
+/// The small two-site campus testbed used by the quickstart and most unit
+/// tests: 2 sites x 6 hosts.
+net::Topology make_campus_pair(std::uint64_t seed = 7);
+
+}  // namespace vdce

@@ -1,0 +1,282 @@
+// Unit + property tests for the application flow graph: structure,
+// validation, level computation, generators.
+#include <gtest/gtest.h>
+
+#include "afg/generate.hpp"
+#include "afg/graph.hpp"
+#include "afg/levels.hpp"
+#include "common/rng.hpp"
+
+namespace vdce::afg {
+namespace {
+
+TaskProperties props(int in, int out = 1) {
+  TaskProperties p;
+  p.inputs.resize(static_cast<std::size_t>(in));
+  for (int i = 0; i < out; ++i) p.outputs.push_back(FileSpec{"", 1000, false});
+  return p;
+}
+
+/// The Figure-1 diamond: lu, mm -> fwd -> bwd.
+Afg diamond() {
+  Afg g("diamond");
+  auto lu = g.add_task("lu", "synthetic.w2000", props(0));
+  auto mm = g.add_task("mm", "synthetic.w1500", props(0));
+  auto fwd = g.add_task("fwd", "synthetic.w400", props(2));
+  auto bwd = g.add_task("bwd", "synthetic.w400", props(1));
+  EXPECT_TRUE(g.connect(*lu, 0, *fwd, 0).ok());
+  EXPECT_TRUE(g.connect(*mm, 0, *fwd, 1).ok());
+  EXPECT_TRUE(g.connect(*fwd, 0, *bwd, 0).ok());
+  return g;
+}
+
+TEST(Afg, AddTaskAssignsSequentialIds) {
+  Afg g("t");
+  auto a = g.add_task("a", "x", props(0));
+  auto b = g.add_task("b", "x", props(0));
+  EXPECT_EQ(a->value(), 0u);
+  EXPECT_EQ(b->value(), 1u);
+  EXPECT_EQ(g.task_count(), 2u);
+}
+
+TEST(Afg, DuplicateInstanceRejected) {
+  Afg g("t");
+  (void)g.add_task("a", "x", props(0));
+  auto dup = g.add_task("a", "y", props(0));
+  ASSERT_FALSE(dup.has_value());
+  EXPECT_EQ(dup.error().code, common::ErrorCode::kAlreadyExists);
+}
+
+TEST(Afg, SequentialTaskCannotRequestNodes) {
+  Afg g("t");
+  TaskProperties p = props(0);
+  p.mode = ComputationMode::kSequential;
+  p.num_nodes = 4;
+  EXPECT_FALSE(g.add_task("a", "x", p).has_value());
+  p.mode = ComputationMode::kParallel;
+  EXPECT_TRUE(g.add_task("b", "x", p).has_value());
+}
+
+TEST(Afg, ConnectValidatesPorts) {
+  Afg g("t");
+  auto a = g.add_task("a", "x", props(0, 1));
+  auto b = g.add_task("b", "x", props(1));
+  EXPECT_FALSE(g.connect(*a, 1, *b, 0).ok());   // no output port 1
+  EXPECT_FALSE(g.connect(*a, 0, *b, 7).ok());   // no input port 7
+  EXPECT_FALSE(g.connect(*a, 0, *a, 0).ok());   // self loop
+  EXPECT_TRUE(g.connect(*a, 0, *b, 0).ok());
+  EXPECT_FALSE(g.connect(*a, 0, *b, 0).ok());   // port already fed
+}
+
+TEST(Afg, ConnectMarksDataflow) {
+  Afg g("t");
+  auto a = g.add_task("a", "x", props(0));
+  TaskProperties p = props(1);
+  p.inputs[0] = FileSpec{"/data/file.dat", 500, false};
+  auto b = g.add_task("b", "x", p);
+  ASSERT_TRUE(g.connect(*a, 0, *b, 0).ok());
+  EXPECT_TRUE(g.task(*b).props.inputs[0].dataflow);
+  EXPECT_TRUE(g.task(*b).props.inputs[0].path.empty());
+}
+
+TEST(Afg, ParentsChildrenEntryExit) {
+  Afg g = diamond();
+  auto fwd = g.find_task("fwd").value();
+  auto parents = g.parents(fwd);
+  EXPECT_EQ(parents.size(), 2u);
+  EXPECT_EQ(g.children(fwd).size(), 1u);
+  auto entries = g.entry_tasks();
+  EXPECT_EQ(entries.size(), 2u);
+  auto exits = g.exit_tasks();
+  ASSERT_EQ(exits.size(), 1u);
+  EXPECT_EQ(g.task(exits[0]).instance_name, "bwd");
+}
+
+TEST(Afg, RequiresInputSemantics) {
+  Afg g("t");
+  auto bare = g.add_task("bare", "x", props(0));
+  TaskProperties with_file = props(1);
+  with_file.inputs[0] = FileSpec{"/f", 10, false};
+  auto file_task = g.add_task("file", "x", with_file);
+  EXPECT_FALSE(g.requires_input(*bare));
+  EXPECT_TRUE(g.requires_input(*file_task));
+}
+
+TEST(Afg, EdgeBytesFromProducerPort) {
+  Afg g("t");
+  TaskProperties p = props(0);
+  p.outputs[0].size_bytes = 12345;
+  auto a = g.add_task("a", "x", p);
+  auto b = g.add_task("b", "x", props(1));
+  ASSERT_TRUE(g.connect(*a, 0, *b, 0).ok());
+  EXPECT_DOUBLE_EQ(g.edge_bytes(g.edges()[0]), 12345.0);
+}
+
+TEST(Afg, TopologicalOrderRespectsEdges) {
+  Afg g = diamond();
+  auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4u);
+  std::vector<std::size_t> position(4);
+  for (std::size_t i = 0; i < order->size(); ++i) {
+    position[(*order)[i].value()] = i;
+  }
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(position[e.from.value()], position[e.to.value()]);
+  }
+}
+
+TEST(Afg, ValidateDetectsEmptyGraph) {
+  Afg g("empty");
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Afg, ValidatePassesForDag) { EXPECT_TRUE(diamond().validate().ok()); }
+
+TEST(Afg, FindTask) {
+  Afg g = diamond();
+  EXPECT_TRUE(g.find_task("lu").has_value());
+  EXPECT_FALSE(g.find_task("nope").has_value());
+}
+
+// ---- levels --------------------------------------------------------------------
+
+double synth_cost(const TaskNode& node) {
+  // "synthetic.w<mflop>" at 100 MFLOPS base.
+  auto pos = node.task_name.rfind('w');
+  return std::stod(node.task_name.substr(pos + 1)) / 100.0;
+}
+
+TEST(Levels, PaperDefinitionOnDiamond) {
+  Afg g = diamond();
+  auto levels = compute_levels(g, synth_cost);
+  ASSERT_TRUE(levels.has_value());
+  // bwd: 4; fwd: 4 + 4 = 8; lu: 20 + 8 = 28; mm: 15 + 8 = 23.
+  EXPECT_DOUBLE_EQ(levels->of(g.find_task("bwd").value()), 4.0);
+  EXPECT_DOUBLE_EQ(levels->of(g.find_task("fwd").value()), 8.0);
+  EXPECT_DOUBLE_EQ(levels->of(g.find_task("lu").value()), 28.0);
+  EXPECT_DOUBLE_EQ(levels->of(g.find_task("mm").value()), 23.0);
+}
+
+TEST(Levels, PriorityOrderDescends) {
+  Afg g = diamond();
+  auto levels = compute_levels(g, synth_cost);
+  auto order = levels->by_priority();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(g.task(order[0]).instance_name, "lu");
+  EXPECT_EQ(g.task(order[1]).instance_name, "mm");
+  EXPECT_EQ(g.task(order[2]).instance_name, "fwd");
+  EXPECT_EQ(g.task(order[3]).instance_name, "bwd");
+}
+
+TEST(Levels, CommVariantAddsEdgeCosts) {
+  Afg g = diamond();
+  auto with_comm = compute_levels_with_comm(g, synth_cost,
+                                            [](const Edge&) { return 10.0; });
+  ASSERT_TRUE(with_comm.has_value());
+  // bwd: 4; fwd: 4 + 10 + 4 = 18; lu: 20 + 10 + 18 = 48.
+  EXPECT_DOUBLE_EQ(with_comm->of(g.find_task("fwd").value()), 18.0);
+  EXPECT_DOUBLE_EQ(with_comm->of(g.find_task("lu").value()), 48.0);
+}
+
+TEST(Levels, ChainLevelsAccumulate) {
+  Afg g = make_chain(5, 100, 1000);
+  auto levels = compute_levels(g, synth_cost);
+  ASSERT_TRUE(levels.has_value());
+  // Each stage costs 1s; head of chain has level 5.
+  EXPECT_DOUBLE_EQ(levels->of(g.find_task("s0").value()), 5.0);
+  EXPECT_DOUBLE_EQ(levels->of(g.find_task("s4").value()), 1.0);
+}
+
+// ---- generators (property-style sweeps) ------------------------------------------
+
+struct GeneratorCase {
+  std::size_t tasks;
+  std::size_t width;
+  double density;
+  std::uint64_t seed;
+};
+
+class LayeredDagProperty : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(LayeredDagProperty, AlwaysValidDagWithExpectedSize) {
+  const auto& param = GetParam();
+  common::Rng rng(param.seed);
+  LayeredDagSpec spec;
+  spec.tasks = param.tasks;
+  spec.width = param.width;
+  spec.edge_density = param.density;
+  Afg g = make_layered_dag(spec, rng);
+  EXPECT_EQ(g.task_count(), param.tasks);
+  EXPECT_TRUE(g.validate().ok());
+  // Every non-first-layer task has at least one parent: at most `width`
+  // entry tasks exist.
+  EXPECT_LE(g.entry_tasks().size(), param.width);
+  // Levels computable and positive.
+  auto levels = compute_levels(g, synth_cost);
+  ASSERT_TRUE(levels.has_value());
+  for (double l : levels->level) EXPECT_GT(l, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LayeredDagProperty,
+    ::testing::Values(GeneratorCase{1, 1, 0.5, 1}, GeneratorCase{10, 3, 0.0, 2},
+                      GeneratorCase{50, 5, 0.5, 3},
+                      GeneratorCase{100, 8, 1.0, 4},
+                      GeneratorCase{200, 4, 0.3, 5},
+                      GeneratorCase{400, 16, 0.7, 6}));
+
+TEST(Generators, ForkJoinShape) {
+  Afg g = make_fork_join(4, 2, 100, 1000);
+  EXPECT_EQ(g.task_count(), 1 + 4 * 2 + 1);
+  EXPECT_TRUE(g.validate().ok());
+  EXPECT_EQ(g.entry_tasks().size(), 1u);
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_EQ(g.parents(g.find_task("join").value()).size(), 4u);
+}
+
+TEST(Generators, IndependentBagHasNoEdges) {
+  Afg g = make_independent(10, 100);
+  EXPECT_EQ(g.task_count(), 10u);
+  EXPECT_TRUE(g.edges().empty());
+  EXPECT_EQ(g.entry_tasks().size(), 10u);
+}
+
+TEST(Generators, ReductionTreeShape) {
+  Afg g = make_reduction_tree(8, 100, 1000);
+  EXPECT_EQ(g.task_count(), 8u + 4 + 2 + 1);
+  EXPECT_TRUE(g.validate().ok());
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+  EXPECT_EQ(g.entry_tasks().size(), 8u);
+}
+
+TEST(Generators, ReductionTreeOddLeaves) {
+  Afg g = make_reduction_tree(5, 100, 1000);
+  EXPECT_TRUE(g.validate().ok());
+  EXPECT_EQ(g.exit_tasks().size(), 1u);
+}
+
+TEST(Generators, LinearSolverShapeMatchesFigure1) {
+  Afg g = make_linear_solver_shape(1e5);
+  EXPECT_EQ(g.task_count(), 4u);
+  EXPECT_TRUE(g.validate().ok());
+  EXPECT_EQ(g.entry_tasks().size(), 2u);
+  auto fwd = g.find_task("Forward_Substitution").value();
+  EXPECT_EQ(g.parents(fwd).size(), 2u);
+}
+
+TEST(Generators, Deterministic) {
+  common::Rng a(42), b(42);
+  LayeredDagSpec spec;
+  spec.tasks = 30;
+  Afg g1 = make_layered_dag(spec, a);
+  Afg g2 = make_layered_dag(spec, b);
+  ASSERT_EQ(g1.task_count(), g2.task_count());
+  ASSERT_EQ(g1.edges().size(), g2.edges().size());
+  for (std::size_t i = 0; i < g1.edges().size(); ++i) {
+    EXPECT_EQ(g1.edges()[i], g2.edges()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vdce::afg

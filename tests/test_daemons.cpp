@@ -1,0 +1,318 @@
+// White-box tests for the runtime daemons, wired by hand (no environment
+// façade): the Data Manager's channel/input accounting and execution queue,
+// and the Group Manager's filter and echo state machines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "afg/generate.hpp"
+#include "db/site_repository.hpp"
+#include "runtime/data_manager.hpp"
+#include "runtime/group_manager.hpp"
+#include "runtime/protocol.hpp"
+#include "sched/support.hpp"
+#include "tasklib/registry.hpp"
+#include "vdce/testbed.hpp"
+
+namespace vdce::runtime {
+namespace {
+
+/// Minimal hand-built runtime: topology, fabric, repositories, core — but
+/// no host agents; tests bind handlers themselves.
+struct DaemonFixture : ::testing::Test {
+  DaemonFixture()
+      : topology(make_campus_pair(3)), fabric(engine, topology) {
+    tasklib::register_standard_libraries(registry);
+    for (const net::Site& site : topology.sites()) {
+      auto repo = std::make_unique<db::SiteRepository>(site.id);
+      repo->register_site_hosts(topology);
+      registry.seed_database(repo->tasks());
+      repos.push_back(std::move(repo));
+    }
+    std::vector<db::SiteRepository*> repo_ptrs;
+    for (auto& r : repos) repo_ptrs.push_back(r.get());
+    RuntimeOptions options;
+    options.exec_noise_cv = 0.0;
+    core = std::make_unique<RuntimeCore>(engine, fabric, topology,
+                                         std::move(repo_ptrs), options);
+  }
+
+  common::HostId host(std::size_t site, std::size_t index) {
+    return topology.site(common::SiteId(static_cast<std::uint32_t>(site)))
+        .hosts[index];
+  }
+
+  /// Build a plan for a graph where every task is assigned round-robin to
+  /// the given hosts.
+  PlanPtr make_plan(const afg::Afg& graph,
+                    const std::vector<common::HostId>& hosts,
+                    common::HostId origin) {
+    auto plan = std::make_shared<ExecutionPlan>();
+    plan->app = common::AppId(1);
+    plan->origin = origin;
+    plan->graph = graph;
+    plan->kernels.resize(graph.task_count());
+    for (const afg::TaskNode& node : graph.tasks()) {
+      plan->perf.push_back(
+          *sched::resolve_perf(node, repos[0]->tasks()));
+      common::HostId h = hosts[node.id.value() % hosts.size()];
+      sched::Assignment a;
+      a.task = node.id;
+      a.site = topology.host(h).site;
+      a.hosts = {h};
+      a.predicted_time = 1.0;
+      plan->rat.assignments.push_back(std::move(a));
+    }
+    return plan;
+  }
+
+  sim::Engine engine;
+  net::Topology topology;
+  net::Fabric fabric;
+  tasklib::TaskRegistry registry;
+  std::vector<std::unique_ptr<db::SiteRepository>> repos;
+  std::unique_ptr<RuntimeCore> core;
+};
+
+// ---- DataManager --------------------------------------------------------------
+
+TEST_F(DaemonFixture, ChannelSetupCountsDistinctRemotePeers) {
+  // Tasks on host A feed consumers on hosts B and C (and one local): the
+  // Data Manager must open exactly two channels (one per distinct peer).
+  common::HostId a = host(0, 1), b = host(0, 2), c = host(1, 1);
+  afg::Afg graph("g");
+  afg::TaskProperties one_out;
+  one_out.outputs.push_back(afg::FileSpec{"", 1000, false});
+  afg::TaskProperties one_in;
+  one_in.inputs.resize(1);
+  auto t0 = graph.add_task("t0", "synthetic.w100", one_out);
+  auto t1 = graph.add_task("t1", "synthetic.w100", one_out);
+  auto t2 = graph.add_task("t2", "synthetic.w100", one_out);
+  auto c0 = graph.add_task("c0", "synthetic.w100", one_in);
+  auto c1 = graph.add_task("c1", "synthetic.w100", one_in);
+  auto c2 = graph.add_task("c2", "synthetic.w100", one_in);
+  ASSERT_TRUE(graph.connect(*t0, 0, *c0, 0).ok());
+  ASSERT_TRUE(graph.connect(*t1, 0, *c1, 0).ok());
+  ASSERT_TRUE(graph.connect(*t2, 0, *c2, 0).ok());
+
+  auto plan = std::make_shared<ExecutionPlan>();
+  plan->app = common::AppId(1);
+  plan->origin = host(0, 0);
+  plan->graph = graph;
+  plan->kernels.resize(graph.task_count());
+  for (const afg::TaskNode& node : graph.tasks()) {
+    plan->perf.push_back(*sched::resolve_perf(node, repos[0]->tasks()));
+  }
+  auto assign = [&](afg::TaskId task, common::HostId h) {
+    plan->rat.assignments.push_back(
+        sched::Assignment{task, topology.host(h).site, {h}, 1.0, 0, 0});
+  };
+  assign(*t0, a);
+  assign(*t1, a);
+  assign(*t2, a);
+  assign(*c0, b);   // remote peer 1
+  assign(*c1, b);   // same peer: channel reused
+  assign(*c2, c);   // remote peer 2
+  // Producers all on A; consumers get their own DM below.
+
+  DataManager dm_a(*core, a), dm_b(*core, b), dm_c(*core, c);
+  fabric.bind(a, [&](const net::Message& m) { dm_a.handle(m); });
+  fabric.bind(b, [&](const net::Message& m) { dm_b.handle(m); });
+  fabric.bind(c, [&](const net::Message& m) { dm_c.handle(m); });
+
+  // Activate the remote DMs first so they can acknowledge setups.
+  dm_b.activate(plan, [] {});
+  dm_c.activate(plan, [] {});
+  bool ready = false;
+  dm_a.activate(plan, [&ready] { ready = true; });
+  EXPECT_FALSE(ready);  // two setups in flight
+  engine.run_until(1.0);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(fabric.stats().sent_by_type.at("dm.setup"), 2u);
+  EXPECT_EQ(fabric.stats().sent_by_type.at("dm.setup_ack"), 2u);
+}
+
+TEST_F(DaemonFixture, ReadyFiresImmediatelyWithoutRemoteEdges) {
+  common::HostId a = host(0, 1);
+  afg::Afg graph = afg::make_independent(3, 100);
+  auto plan = make_plan(graph, {a}, host(0, 0));
+  DataManager dm(*core, a);
+  bool ready = false;
+  dm.activate(plan, [&ready] { ready = true; });
+  EXPECT_TRUE(ready);  // no channels needed, synchronous
+}
+
+TEST_F(DaemonFixture, TasksRunSequentiallyPerHost) {
+  common::HostId a = host(0, 1);
+  afg::Afg graph = afg::make_independent(3, 500);
+  auto plan = make_plan(graph, {a}, host(0, 0));
+  DataManager dm(*core, a);
+  int done = 0;
+  fabric.bind(host(0, 0), [&](const net::Message& m) {
+    if (m.type == msg::kAcTaskDone) ++done;
+  });
+  fabric.bind(a, [&](const net::Message& m) { dm.handle(m); });
+  dm.activate(plan, [] {});
+  dm.start_app(plan->app);
+  // One task at a time: the host load never exceeds background + 1.
+  double peak = 0.0;
+  while (!engine.empty()) {
+    engine.run_steps(1);
+    peak = std::max(peak, topology.host(a).state.cpu_load);
+  }
+  EXPECT_EQ(done, 3);
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+}
+
+TEST_F(DaemonFixture, DuplicateDeliveryIsIgnored) {
+  common::HostId a = host(0, 1);
+  afg::Afg graph("g");
+  afg::TaskProperties one_in;
+  one_in.inputs.resize(1);
+  one_in.inputs[0] = afg::FileSpec{"", 0.0, true};  // expects one delivery
+  auto t = graph.add_task("t", "synthetic.w100", one_in);
+  // Fake a parent edge by adding a producer assigned elsewhere.
+  afg::TaskProperties one_out;
+  one_out.outputs.push_back(afg::FileSpec{"", 100, false});
+  auto p = graph.add_task("p", "synthetic.w100", one_out);
+  ASSERT_TRUE(graph.connect(*p, 0, *t, 0).ok());
+
+  // make_plan round-robins tasks to hosts; build the placement explicitly.
+  auto mutable_plan =
+      std::make_shared<ExecutionPlan>(*make_plan(graph, {a}, host(0, 0)));
+  mutable_plan->rat.assignments.clear();
+  mutable_plan->rat.assignments.push_back(
+      sched::Assignment{*t, common::SiteId(0), {a}, 1.0, 0, 0});
+  mutable_plan->rat.assignments.push_back(
+      sched::Assignment{*p, common::SiteId(1), {host(1, 1)}, 1.0, 0, 0});
+  PlanPtr plan = mutable_plan;
+
+  DataManager dm(*core, a);
+  int done = 0;
+  fabric.bind(host(0, 0), [&](const net::Message& m) {
+    if (m.type == msg::kAcTaskDone) ++done;
+  });
+  dm.activate(plan, [] {});
+  dm.start_app(plan->app);
+  engine.run_until(1.0);
+  EXPECT_EQ(done, 0);  // waiting for its input
+
+  // Two identical deliveries: the second must not double-start anything.
+  net::Message delivery{host(1, 1), a, msg::kDmData, 100,
+                        std::any(DataDelivery{plan->app, *t, 0, {}})};
+  dm.handle(delivery);
+  dm.handle(delivery);
+  engine.run();
+  EXPECT_EQ(done, 1);
+}
+
+TEST_F(DaemonFixture, SuspendHoldsQueueUntilResume) {
+  common::HostId a = host(0, 1);
+  afg::Afg graph = afg::make_independent(1, 500);
+  auto plan = make_plan(graph, {a}, host(0, 0));
+  DataManager dm(*core, a);
+  int done = 0;
+  fabric.bind(host(0, 0), [&](const net::Message& m) {
+    if (m.type == msg::kAcTaskDone) ++done;
+  });
+  dm.activate(plan, [] {});
+  dm.suspend(plan->app);
+  dm.start_app(plan->app);
+  engine.run_until(60.0);
+  EXPECT_EQ(done, 0);  // suspended before anything started
+  dm.resume(plan->app);
+  engine.run();
+  EXPECT_EQ(done, 1);
+}
+
+TEST_F(DaemonFixture, AbortReleasesLoadAndReportsOrigin) {
+  common::HostId a = host(0, 1);
+  afg::Afg graph = afg::make_independent(1, 5000);
+  auto plan = make_plan(graph, {a}, host(0, 0));
+  DataManager dm(*core, a);
+  dm.activate(plan, [] {});
+  dm.start_app(plan->app);
+  engine.run_steps(1);  // let the first quantum begin
+  EXPECT_NEAR(topology.host(a).state.cpu_load, 1.0, 1e-9);
+
+  auto aborted = dm.abort_running();
+  ASSERT_EQ(aborted.size(), 1u);
+  EXPECT_EQ(aborted[0].app, plan->app);
+  EXPECT_EQ(aborted[0].origin, host(0, 0));
+  EXPECT_NEAR(topology.host(a).state.cpu_load, 0.0, 1e-9);
+  EXPECT_EQ(topology.host(a).state.running_tasks, 0);
+}
+
+TEST_F(DaemonFixture, PinnedTaskSurvivesAbort) {
+  common::HostId a = host(0, 1);
+  afg::Afg graph = afg::make_independent(1, 5000);
+  auto plan = make_plan(graph, {a}, host(0, 0));
+  DataManager dm(*core, a);
+  dm.activate(plan, [] {}, common::TaskId(0));  // pinned
+  dm.start_app(plan->app);
+  engine.run_steps(1);
+  EXPECT_TRUE(dm.abort_running().empty());  // unkillable
+}
+
+// ---- GroupManager -------------------------------------------------------------
+
+TEST_F(DaemonFixture, FilterForwardsOnlySignificantChanges) {
+  common::HostId leader = host(0, 0);
+  GroupManager gm(*core, topology.host(host(0, 1)).group, leader, leader);
+
+  auto report = [&](common::HostId h, double load) {
+    MonReport r;
+    r.host = h;
+    r.sample = db::WorkloadSample{engine.now(), load, 100.0};
+    gm.handle(net::Message{h, leader, msg::kMonReport, 160, std::any(r)});
+  };
+  // Default threshold is 0.15.
+  report(host(0, 1), 0.50);  // first: forwarded
+  report(host(0, 1), 0.55);  // +0.05: filtered
+  report(host(0, 1), 0.70);  // +0.20 vs last forwarded: forwarded
+  report(host(0, 1), 0.60);  // -0.10: filtered
+  EXPECT_EQ(gm.reports_received(), 4u);
+  EXPECT_EQ(gm.reports_forwarded(), 2u);
+  EXPECT_EQ(fabric.stats().sent_by_type.at("gm.report"), 2u);
+}
+
+TEST_F(DaemonFixture, EchoRoundDetectsSilentMember) {
+  common::HostId leader = host(0, 0);
+  common::GroupId group = topology.host(leader).group;
+  GroupManager gm(*core, group, leader, leader);
+
+  int down_notices = 0;
+  // The site server == leader here; capture gm.host_down at the leader.
+  fabric.bind(leader, [&](const net::Message& m) {
+    if (m.type == msg::kGmHostDown) ++down_notices;
+    if (m.type == msg::kGmEchoReply || m.type == msg::kMonReport) {
+      gm.handle(m);
+    }
+  });
+  // Members answer echoes themselves... except the victim, which is down.
+  common::HostId victim;
+  for (common::HostId member : topology.group(group).members) {
+    if (member == leader) continue;
+    if (!victim.valid()) {
+      victim = member;
+      topology.set_host_up(member, false);
+      continue;
+    }
+    fabric.bind(member, [&, member](const net::Message& m) {
+      if (m.type == msg::kGmEcho) {
+        const auto& echo = std::any_cast<const EchoPacket&>(m.payload);
+        (void)fabric.send(net::Message{member, echo.leader, msg::kGmEchoReply,
+                                       64,
+                                       std::any(EchoPacket{member, echo.seq})});
+      }
+    });
+  }
+
+  gm.start();
+  engine.run_until(3.0 * core->options().echo_period);
+  gm.stop();
+  EXPECT_EQ(down_notices, 1);  // the victim, reported exactly once
+}
+
+}  // namespace
+}  // namespace vdce::runtime

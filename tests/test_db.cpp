@@ -1,0 +1,370 @@
+// Unit tests for the site-repository databases (§3 schemas).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "db/site_repository.hpp"
+#include "net/topology.hpp"
+
+namespace vdce::db {
+namespace {
+
+// ---- user accounts ----------------------------------------------------------
+
+TEST(UserAccounts, AddAndAuthenticate) {
+  UserAccountsDb db;
+  auto id = db.add_user("user_k", "secret", 3, AccessDomain::kGlobal);
+  ASSERT_TRUE(id.has_value());
+  auto account = db.authenticate("user_k", "secret");
+  ASSERT_TRUE(account.has_value());
+  EXPECT_EQ(account->user_id, *id);
+  EXPECT_EQ(account->priority, 3);
+  EXPECT_EQ(account->domain, AccessDomain::kGlobal);
+}
+
+TEST(UserAccounts, RejectsWrongPasswordAndUnknownUserAlike) {
+  UserAccountsDb db;
+  (void)db.add_user("u", "right", 1, AccessDomain::kLocalSite);
+  auto wrong = db.authenticate("u", "wrong");
+  auto unknown = db.authenticate("ghost", "x");
+  ASSERT_FALSE(wrong.has_value());
+  ASSERT_FALSE(unknown.has_value());
+  EXPECT_EQ(wrong.error().code, common::ErrorCode::kAuthFailed);
+  EXPECT_EQ(unknown.error().code, common::ErrorCode::kAuthFailed);
+}
+
+TEST(UserAccounts, NoPlaintextAtRest) {
+  UserAccountsDb db;
+  (void)db.add_user("u", "hunter2", 1, AccessDomain::kLocalSite);
+  EXPECT_EQ(db.serialize().find("hunter2"), std::string::npos);
+}
+
+TEST(UserAccounts, DuplicateRejected) {
+  UserAccountsDb db;
+  ASSERT_TRUE(db.add_user("u", "a", 1, AccessDomain::kLocalSite).has_value());
+  auto dup = db.add_user("u", "b", 1, AccessDomain::kLocalSite);
+  ASSERT_FALSE(dup.has_value());
+  EXPECT_EQ(dup.error().code, common::ErrorCode::kAlreadyExists);
+}
+
+TEST(UserAccounts, EmptyNameRejected) {
+  UserAccountsDb db;
+  EXPECT_FALSE(db.add_user("", "a", 1, AccessDomain::kLocalSite).has_value());
+}
+
+TEST(UserAccounts, RemoveAndPriority) {
+  UserAccountsDb db;
+  (void)db.add_user("u", "a", 1, AccessDomain::kLocalSite);
+  EXPECT_TRUE(db.set_priority("u", 9).ok());
+  EXPECT_EQ(db.find("u")->priority, 9);
+  EXPECT_TRUE(db.remove_user("u").ok());
+  EXPECT_FALSE(db.remove_user("u").ok());
+  EXPECT_EQ(db.size(), 0u);
+}
+
+TEST(UserAccounts, SerializeRoundTrip) {
+  UserAccountsDb db;
+  (void)db.add_user("alice", "pw1", 5, AccessDomain::kNeighbors);
+  (void)db.add_user("bob|weird\nname", "pw2", 1, AccessDomain::kGlobal);
+  auto restored = UserAccountsDb::deserialize(db.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_TRUE(restored->authenticate("alice", "pw1").has_value());
+  EXPECT_TRUE(restored->authenticate("bob|weird\nname", "pw2").has_value());
+  EXPECT_FALSE(restored->authenticate("alice", "pw2").has_value());
+}
+
+TEST(UserAccounts, DeserializeContinuesIdSequence) {
+  UserAccountsDb db;
+  (void)db.add_user("a", "x", 1, AccessDomain::kGlobal);
+  auto restored = UserAccountsDb::deserialize(db.serialize());
+  ASSERT_TRUE(restored.has_value());
+  auto id = restored->add_user("b", "y", 1, AccessDomain::kGlobal);
+  EXPECT_GT(id->value(), restored->find("a")->user_id.value());
+}
+
+TEST(UserAccounts, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(UserAccountsDb::deserialize("not|enough|fields").has_value());
+  EXPECT_FALSE(
+      UserAccountsDb::deserialize("u|x|1|1|1|baddomain").has_value());
+}
+
+TEST(UserAccounts, FindByIdAndAll) {
+  UserAccountsDb db;
+  auto id = db.add_user("a", "x", 1, AccessDomain::kGlobal);
+  (void)db.add_user("b", "y", 2, AccessDomain::kLocalSite);
+  EXPECT_EQ(db.find(*id)->user_name, "a");
+  EXPECT_FALSE(db.find(common::UserId(99)).has_value());
+  auto all = db.all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_LT(all[0].user_id, all[1].user_id);
+}
+
+// ---- resource performance -----------------------------------------------------
+
+ResourceRecord make_host(std::uint32_t id, std::uint32_t site,
+                         const std::string& name, double speed = 100) {
+  ResourceRecord rec;
+  rec.host = common::HostId(id);
+  rec.site = common::SiteId(site);
+  rec.host_name = name;
+  rec.speed_mflops = speed;
+  rec.total_memory_mb = 256;
+  return rec;
+}
+
+TEST(ResourcePerf, RegisterAndFind) {
+  ResourcePerformanceDb db;
+  ASSERT_TRUE(db.register_host(make_host(0, 0, "a")).ok());
+  EXPECT_FALSE(db.register_host(make_host(0, 0, "a")).ok());
+  EXPECT_EQ(db.find(common::HostId(0))->host_name, "a");
+  EXPECT_EQ(db.find("a")->host, common::HostId(0));
+  EXPECT_FALSE(db.find("z").has_value());
+}
+
+TEST(ResourcePerf, WorkloadHistoryBounded) {
+  ResourcePerformanceDb db;
+  (void)db.register_host(make_host(0, 0, "a"));
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(db.record_workload(common::HostId(0),
+                                   WorkloadSample{static_cast<double>(i),
+                                                  0.1 * i, 100})
+                    .ok());
+  }
+  auto rec = db.find(common::HostId(0));
+  EXPECT_EQ(rec->workload_history.size(), ResourceRecord::kHistoryLen);
+  EXPECT_DOUBLE_EQ(rec->current_load(), 0.1 * 39);
+  EXPECT_DOUBLE_EQ(rec->last_sample_time(), 39.0);
+}
+
+TEST(ResourcePerf, FreshHostIsOptimistic) {
+  ResourcePerformanceDb db;
+  (void)db.register_host(make_host(0, 0, "a"));
+  auto rec = db.find(common::HostId(0));
+  EXPECT_DOUBLE_EQ(rec->current_load(), 0.0);
+  EXPECT_DOUBLE_EQ(rec->available_mb(), 256.0);
+  EXPECT_LT(rec->last_sample_time(), 0.0);
+}
+
+TEST(ResourcePerf, AvailableHostsFiltersDownAndSite) {
+  ResourcePerformanceDb db;
+  (void)db.register_host(make_host(0, 0, "a"));
+  (void)db.register_host(make_host(1, 0, "b"));
+  (void)db.register_host(make_host(2, 1, "c"));
+  (void)db.set_host_up(common::HostId(1), false);
+  auto avail = db.available_hosts(common::SiteId(0));
+  ASSERT_EQ(avail.size(), 1u);
+  EXPECT_EQ(avail[0].host_name, "a");
+  (void)db.set_host_up(common::HostId(1), true);
+  EXPECT_EQ(db.available_hosts(common::SiteId(0)).size(), 2u);
+}
+
+TEST(ResourcePerf, UnknownHostErrors) {
+  ResourcePerformanceDb db;
+  EXPECT_FALSE(db.record_workload(common::HostId(9), {}).ok());
+  EXPECT_FALSE(db.set_host_up(common::HostId(9), false).ok());
+}
+
+// ---- task performance ------------------------------------------------------------
+
+TEST(TaskPerf, RegisterAndFind) {
+  TaskPerformanceDb db;
+  TaskPerfRecord rec;
+  rec.task_name = "matrix.lu";
+  rec.computation_mflop = 2000;
+  rec.base_exec_time = 20;
+  db.register_task(rec);
+  EXPECT_TRUE(db.contains("matrix.lu"));
+  EXPECT_DOUBLE_EQ(db.find("matrix.lu")->base_exec_time, 20.0);
+  EXPECT_FALSE(db.find("nope").has_value());
+}
+
+TEST(TaskPerf, MeasurementsRunningMean) {
+  TaskPerformanceDb db;
+  TaskPerfRecord rec;
+  rec.task_name = "t";
+  db.register_task(rec);
+  common::HostId host(3);
+  ASSERT_TRUE(db.record_execution("t", host, 10.0).ok());
+  ASSERT_TRUE(db.record_execution("t", host, 20.0).ok());
+  auto measured = db.measured("t", host);
+  ASSERT_TRUE(measured.has_value());
+  EXPECT_DOUBLE_EQ(measured->mean, 15.0);
+  EXPECT_EQ(measured->count, 2u);
+  EXPECT_FALSE(db.measured("t", common::HostId(4)).has_value());
+  EXPECT_FALSE(db.record_execution("unknown", host, 1.0).ok());
+}
+
+TEST(TaskPerf, AllTasksSorted) {
+  TaskPerformanceDb db;
+  for (const char* name : {"b", "a", "c"}) {
+    TaskPerfRecord rec;
+    rec.task_name = name;
+    db.register_task(rec);
+  }
+  auto all = db.all_tasks();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].task_name, "a");
+  EXPECT_EQ(all[2].task_name, "c");
+}
+
+// ---- task constraints ------------------------------------------------------------
+
+TEST(TaskConstraints, PathsAndFeasibility) {
+  TaskConstraintsDb db;
+  db.register_executable("t", common::HostId(0), "/opt/t");
+  EXPECT_TRUE(db.runnable_on("t", common::HostId(0)));
+  EXPECT_FALSE(db.runnable_on("t", common::HostId(1)));
+  EXPECT_EQ(db.executable_path("t", common::HostId(0)).value(), "/opt/t");
+  EXPECT_FALSE(db.executable_path("t", common::HostId(1)).has_value());
+}
+
+TEST(TaskConstraints, RegisterEverywhere) {
+  TaskConstraintsDb db;
+  db.register_everywhere("lib.task", {common::HostId(0), common::HostId(2)});
+  auto hosts = db.hosts_for("lib.task");
+  ASSERT_EQ(hosts.size(), 2u);
+  EXPECT_EQ(hosts[0], common::HostId(0));
+  EXPECT_EQ(hosts[1], common::HostId(2));
+  EXPECT_TRUE(db.hosts_for("unknown").empty());
+}
+
+// ---- site repository ----------------------------------------------------------------
+
+TEST(SiteRepository, RegistersHostsFromTopology) {
+  net::Topology t;
+  auto s0 = t.add_site("alpha", net::LinkSpec{});
+  t.add_host(s0, net::HostSpec{"a0", "10.0.0.1", "sparc", "sunos",
+                               "SUN sparc", 111, 128});
+  t.add_host(s0, net::HostSpec{"a1", "10.0.0.2", "x86", "linux",
+                               "Intel pentium", 222, 256});
+  auto s1 = t.add_site("beta", net::LinkSpec{});
+  t.add_host(s1, net::HostSpec{"b0", "10.1.0.1", "mips", "irix", "SGI", 99, 64});
+
+  SiteRepository repo(s0);
+  repo.register_site_hosts(t);
+  EXPECT_EQ(repo.resources().size(), 2u);  // only its own site's hosts
+  auto rec = repo.resources().find("a1");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_DOUBLE_EQ(rec->speed_mflops, 222.0);
+  EXPECT_EQ(rec->machine_type, "Intel pentium");
+}
+
+// ---- persistence -----------------------------------------------------------------
+
+TEST(ResourcePerf, SerializeRoundTrip) {
+  ResourcePerformanceDb db;
+  ResourceRecord rec = make_host(3, 1, "weird|name\nhost", 123.456);
+  rec.ip = "10.1.0.3";
+  rec.arch = "sparc";
+  rec.os = "sunos";
+  rec.machine_type = "SUN sparc";
+  (void)db.register_host(rec);
+  (void)db.record_workload(common::HostId(3),
+                           WorkloadSample{1.5, 0.75, 99.5});
+  (void)db.record_workload(common::HostId(3),
+                           WorkloadSample{2.5, 1.25, 88.0});
+  (void)db.set_host_up(common::HostId(3), false);
+
+  auto restored = ResourcePerformanceDb::deserialize(db.serialize());
+  ASSERT_TRUE(restored.has_value()) << restored.error().message;
+  auto got = restored->find(common::HostId(3));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->host_name, "weird|name\nhost");
+  EXPECT_DOUBLE_EQ(got->speed_mflops, 123.456);
+  EXPECT_FALSE(got->up);
+  ASSERT_EQ(got->workload_history.size(), 2u);
+  EXPECT_DOUBLE_EQ(got->current_load(), 1.25);
+  EXPECT_DOUBLE_EQ(got->workload_history.front().available_mb, 99.5);
+}
+
+TEST(ResourcePerf, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ResourcePerformanceDb::deserialize("too|few|fields").has_value());
+  EXPECT_FALSE(ResourcePerformanceDb::deserialize(
+                   "x|0|n|ip|a|o|t|100|256|1|badsample")
+                   .has_value());
+}
+
+TEST(TaskPerf, SerializeRoundTrip) {
+  TaskPerformanceDb db;
+  TaskPerfRecord rec;
+  rec.task_name = "matrix.lu";
+  rec.computation_mflop = 2000;
+  rec.communication_bytes = 8e5;
+  rec.required_memory_mb = 16;
+  rec.base_exec_time = 20;
+  rec.parallel_fraction = 0.6;
+  db.register_task(rec);
+  (void)db.record_execution("matrix.lu", common::HostId(2), 18.5);
+  (void)db.record_execution("matrix.lu", common::HostId(2), 21.5);
+
+  auto restored = TaskPerformanceDb::deserialize(db.serialize());
+  ASSERT_TRUE(restored.has_value()) << restored.error().message;
+  auto got = restored->find("matrix.lu");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->computation_mflop, 2000.0);
+  EXPECT_DOUBLE_EQ(got->parallel_fraction, 0.6);
+  auto measured = restored->measured("matrix.lu", common::HostId(2));
+  ASSERT_TRUE(measured.has_value());
+  EXPECT_DOUBLE_EQ(measured->mean, 20.0);
+  EXPECT_EQ(measured->count, 2u);
+}
+
+TEST(TaskPerf, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(TaskPerformanceDb::deserialize("frob|x").has_value());
+  EXPECT_FALSE(TaskPerformanceDb::deserialize("task|name|NaNope|1|1|1|1")
+                   .has_value());
+}
+
+TEST(TaskConstraints, SerializeRoundTrip) {
+  TaskConstraintsDb db;
+  db.register_executable("a.task", common::HostId(0), "/opt/a");
+  db.register_executable("a.task", common::HostId(2), "/usr/local/a");
+  db.register_executable("b.task", common::HostId(1), "/opt/b");
+  auto restored = TaskConstraintsDb::deserialize(db.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->executable_path("a.task", common::HostId(2)).value(),
+            "/usr/local/a");
+  EXPECT_EQ(restored->hosts_for("a.task").size(), 2u);
+  EXPECT_TRUE(restored->runnable_on("b.task", common::HostId(1)));
+}
+
+TEST(SiteRepository, SaveAndLoadDirectory) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "vdce_repo_test").string();
+  std::filesystem::remove_all(dir);
+
+  SiteRepository repo{common::SiteId(1)};
+  (void)repo.users().add_user("alice", "pw", 5, AccessDomain::kGlobal);
+  (void)repo.resources().register_host(make_host(7, 1, "h7", 200));
+  TaskPerfRecord rec;
+  rec.task_name = "t";
+  rec.computation_mflop = 100;
+  repo.tasks().register_task(rec);
+  (void)repo.tasks().record_execution("t", common::HostId(7), 3.0);
+  repo.constraints().register_executable("t", common::HostId(7), "/opt/t");
+
+  ASSERT_TRUE(repo.save_to(dir).ok());
+  for (const char* file :
+       {"users.db", "resources.db", "tasks.db", "constraints.db"}) {
+    EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(dir) / file));
+  }
+
+  auto loaded = SiteRepository::load_from(dir, common::SiteId(1));
+  ASSERT_TRUE(loaded.has_value()) << loaded.error().message;
+  EXPECT_TRUE(loaded->users().authenticate("alice", "pw").has_value());
+  EXPECT_EQ(loaded->resources().find("h7")->host, common::HostId(7));
+  EXPECT_DOUBLE_EQ(loaded->tasks().measured("t", common::HostId(7))->mean, 3.0);
+  EXPECT_TRUE(loaded->constraints().runnable_on("t", common::HostId(7)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SiteRepository, LoadFromMissingDirectoryFails) {
+  auto loaded = SiteRepository::load_from("/nonexistent/vdce", common::SiteId(0));
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.error().code, common::ErrorCode::kIoError);
+}
+
+}  // namespace
+}  // namespace vdce::db

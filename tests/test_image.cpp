@@ -1,0 +1,180 @@
+// Unit tests for the image-exploitation library.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "tasklib/image.hpp"
+#include "tasklib/registry.hpp"
+
+namespace vdce::tasklib {
+namespace {
+
+TEST(Image, ConstructionAndIndexing) {
+  Image img(4, 6, 0.5);
+  EXPECT_EQ(img.height(), 4u);
+  EXPECT_EQ(img.width(), 6u);
+  EXPECT_DOUBLE_EQ(img.at(3, 5), 0.5);
+  img.at(1, 2) = 0.9;
+  EXPECT_DOUBLE_EQ(img.at(1, 2), 0.9);
+  EXPECT_DOUBLE_EQ(img.size_bytes(), 4 * 6 * 8.0);
+}
+
+TEST(Image, SyntheticSceneHasTargets) {
+  common::Rng rng(1);
+  Image img = Image::synthetic_scene(32, 32, 3, rng);
+  // Bright 3x3 targets saturate at 1.0.
+  int saturated = 0;
+  for (double v : img.pixels()) {
+    if (v == 1.0) ++saturated;
+  }
+  EXPECT_GE(saturated, 9);  // at least one full target survives overlap
+}
+
+TEST(ConvKernelTest, BoxIsNormalized) {
+  ConvKernel k = ConvKernel::box(3);
+  double sum = std::accumulate(k.weights.begin(), k.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ConvKernelTest, GaussianIsNormalizedAndPeaked) {
+  ConvKernel k = ConvKernel::gaussian(5, 1.0);
+  double sum = std::accumulate(k.weights.begin(), k.weights.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Center weight dominates.
+  EXPECT_GT(k.at(2, 2), k.at(0, 0));
+}
+
+TEST(Convolve, IdentityKernel) {
+  common::Rng rng(2);
+  Image img = Image::synthetic_scene(8, 8, 1, rng);
+  ConvKernel identity{3, {0, 0, 0, 0, 1, 0, 0, 0, 0}};
+  auto out = convolve(img, identity);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_LT(out->max_abs_diff(img), 1e-12);
+}
+
+TEST(Convolve, BoxSmoothsConstantImageExactly) {
+  Image img(6, 6, 0.7);
+  auto out = convolve(img, ConvKernel::box(3));
+  ASSERT_TRUE(out.has_value());
+  // Clamp-to-edge keeps a constant image constant.
+  EXPECT_LT(out->max_abs_diff(img), 1e-12);
+}
+
+TEST(Convolve, RejectsMalformed) {
+  Image img(4, 4, 0.0);
+  EXPECT_FALSE(convolve(Image{}, ConvKernel::box(3)).has_value());
+  ConvKernel bad{4, std::vector<double>(16, 0.0)};
+  EXPECT_FALSE(convolve(img, bad).has_value());
+}
+
+TEST(Sobel, FlatImageHasZeroGradient) {
+  Image img(8, 8, 0.4);
+  auto out = sobel_magnitude(img);
+  ASSERT_TRUE(out.has_value());
+  for (double v : out->pixels()) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Sobel, VerticalEdgeDetected) {
+  Image img(8, 8, 0.0);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 4; c < 8; ++c) img.at(r, c) = 1.0;
+  }
+  auto out = sobel_magnitude(img);
+  ASSERT_TRUE(out.has_value());
+  // Gradient peaks along the edge columns (3 and 4), zero far away.
+  EXPECT_GT(out->at(4, 4), 1.0);
+  EXPECT_NEAR(out->at(4, 1), 0.0, 1e-12);
+  EXPECT_NEAR(out->at(4, 6), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  Image img(2, 2);
+  img.at(0, 0) = -0.5;  // clamps to bin 0
+  img.at(0, 1) = 0.25;
+  img.at(1, 0) = 0.75;
+  img.at(1, 1) = 2.0;  // clamps to last bin
+  auto h = histogram(img, 0.0, 1.0, 4);
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[3], 2u);
+  EXPECT_EQ(std::accumulate(h.begin(), h.end(), std::size_t{0}), 4u);
+}
+
+TEST(Threshold, Binarizes) {
+  Image img(1, 3);
+  img.at(0, 0) = 0.2;
+  img.at(0, 1) = 0.6;
+  img.at(0, 2) = 0.5;
+  Image out = threshold(img, 0.5);
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 0.0);  // strict >
+}
+
+TEST(Components, CountsSeparateBlobs) {
+  Image img(5, 5, 0.0);
+  img.at(0, 0) = 1.0;
+  img.at(0, 1) = 1.0;  // blob 1 (2 px)
+  img.at(3, 3) = 1.0;  // blob 2
+  img.at(4, 4) = 1.0;  // blob 3 (diagonal: 4-connectivity separates)
+  EXPECT_EQ(count_components(img), 3u);
+  EXPECT_EQ(count_components(Image(3, 3, 0.0)), 0u);
+  EXPECT_EQ(count_components(Image(3, 3, 1.0)), 1u);
+}
+
+TEST(Downsample, AveragePooling) {
+  Image img(2, 2);
+  img.at(0, 0) = 1.0;
+  img.at(0, 1) = 2.0;
+  img.at(1, 0) = 3.0;
+  img.at(1, 1) = 4.0;
+  auto out = downsample(img, 2);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->height(), 1u);
+  EXPECT_DOUBLE_EQ(out->at(0, 0), 2.5);
+  EXPECT_FALSE(downsample(img, 0).has_value());
+  EXPECT_FALSE(downsample(img, 3).has_value());
+}
+
+TEST(ImageRegistry, LibraryRegistered) {
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  auto libs = registry.libraries();
+  EXPECT_NE(std::find(libs.begin(), libs.end(), "image"), libs.end());
+  EXPECT_GE(registry.tasks_in_library("image").size(), 6u);
+}
+
+TEST(ImageRegistry, PipelineThroughKernels) {
+  // smooth -> sobel -> segment -> count: targets in a synthetic scene are
+  // found end-to-end through the registry kernels.
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  common::Rng rng(7);
+  Image scene = Image::synthetic_scene(48, 48, 3, rng);
+
+  auto smooth = registry.find("image.smooth")->kernel({Value(scene)});
+  ASSERT_TRUE(smooth.has_value());
+  auto edges = registry.find("image.sobel")->kernel({(*smooth)[0]});
+  ASSERT_TRUE(edges.has_value());
+  auto mask = registry.find("image.segment")
+                  ->kernel({(*edges)[0], Value(0.4)});
+  ASSERT_TRUE(mask.has_value());
+  auto count = registry.find("image.count_targets")->kernel({(*mask)[0]});
+  ASSERT_TRUE(count.has_value());
+  EXPECT_GE(std::any_cast<std::size_t>((*count)[0]), 1u);
+}
+
+TEST(ImageRegistry, KernelTypeChecks) {
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  auto bad = registry.find("image.sobel")->kernel({Value(42)});
+  EXPECT_FALSE(bad.has_value());
+  auto arity = registry.find("image.segment")->kernel({Value(Image(2, 2))});
+  EXPECT_FALSE(arity.has_value());
+}
+
+}  // namespace
+}  // namespace vdce::tasklib

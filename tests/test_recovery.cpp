@@ -1,0 +1,246 @@
+// Recovery-path integration tests: value integrity across reschedules,
+// file-input restaging, suspension during setup, and protocol coexistence.
+#include <gtest/gtest.h>
+
+#include "afg/generate.hpp"
+#include "editor/builder.hpp"
+#include "tasklib/matrix.hpp"
+#include "vdce/environment.hpp"
+#include "vdce/testbed.hpp"
+
+namespace vdce {
+namespace {
+
+EnvironmentOptions recovery_options() {
+  EnvironmentOptions options;
+  options.runtime.exec_noise_cv = 0.0;
+  options.runtime.echo_period = 0.5;
+  options.runtime.progress_period = 1.0;
+  return options;
+}
+
+Session login(VdceEnvironment& env) {
+  env.add_user("u", "p");
+  return env.login(common::SiteId(0), "u", "p").value();
+}
+
+/// Build the Figure-1 solver with real kernels and staged inputs; returns
+/// the graph plus the ground truth for verification.
+struct SolverApp {
+  afg::Afg graph;
+  tasklib::Matrix a;
+  tasklib::Vector b;
+};
+
+SolverApp make_solver(VdceEnvironment& env, std::size_t n) {
+  common::Rng rng(17);
+  SolverApp app{afg::Afg{}, tasklib::Matrix::random_diag_dominant(n, rng), {}};
+  app.b.assign(n, 0.0);
+  for (double& v : app.b) v = rng.uniform(-2, 2);
+  env.store().put("/u/A.dat", tasklib::Value(app.a), app.a.size_bytes());
+  env.store().put("/u/b.dat", tasklib::Value(app.b),
+                  static_cast<double>(n * sizeof(double)));
+
+  editor::AppBuilder builder("solver");
+  auto lu = builder.task("LU", "matrix.lu_decomposition")
+                .input_file("/u/A.dat", app.a.size_bytes())
+                .output_data(app.a.size_bytes());
+  auto fwd = builder.task("Fwd", "matrix.forward_substitution")
+                 .output_data(app.a.size_bytes());
+  auto bwd = builder.task("Bwd", "matrix.backward_substitution")
+                 .output_data(static_cast<double>(n * sizeof(double)));
+  builder.link(lu, fwd).value();
+  fwd.input_file("/u/b.dat", static_cast<double>(n * sizeof(double)));
+  builder.link(fwd, bwd).value();
+  app.graph = builder.build().value();
+  return app;
+}
+
+TEST(Recovery, RealKernelAnswerSurvivesHostFailure) {
+  // The LU host dies mid-execution; the rescheduled pipeline must still
+  // produce the numerically correct x — proving the coordinator re-stages
+  // file inputs and re-pulls dataflow values correctly.
+  VdceEnvironment env(make_campus_pair(13), recovery_options());
+  env.bring_up();
+  auto session = login(env);
+  SolverApp solver = make_solver(env, 48);  // LU ~ seconds of sim time
+
+  auto table = env.schedule(solver.graph, session);
+  ASSERT_TRUE(table.has_value());
+  common::HostId victim =
+      table->find(solver.graph.find_task("LU").value())->primary_host();
+  if (victim == env.topology().site(common::SiteId(0)).server) {
+    GTEST_SKIP() << "LU landed on the coordinator host";
+  }
+  env.engine().schedule(1.0, [&] { env.topology().set_host_up(victim, false); });
+
+  auto report = env.execute_with_table(solver.graph, *table, session, {});
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  ASSERT_TRUE(report->success) << report->failure_reason;
+  EXPECT_GE(report->failures_survived, 1);
+
+  auto x = std::any_cast<tasklib::Vector>(report->exit_outputs.at(
+      solver.graph.find_task("Bwd")->value()));
+  EXPECT_LT(tasklib::residual_inf(solver.a, x, solver.b), 1e-8);
+}
+
+TEST(Recovery, DownstreamFailureTriggersResendFromFinishedParent) {
+  // Kill the host of a *later* stage after the first stage completed: the
+  // parent's cached output must be re-sent to the new machine.  Stage
+  // placement is pinned via the editor's preferred-machine property so the
+  // stages are guaranteed to sit on distinct, non-server machines.
+  VdceEnvironment env(make_campus_pair(13), recovery_options());
+  env.bring_up();
+  auto session = login(env);
+
+  const net::Site& site0 = env.topology().site(common::SiteId(0));
+  std::string host_a = env.topology().host(site0.hosts[1]).spec.name;
+  std::string host_b = env.topology().host(site0.hosts[2]).spec.name;
+
+  common::Rng rng(17);
+  const std::size_t n = 48;
+  tasklib::Matrix a = tasklib::Matrix::random_diag_dominant(n, rng);
+  tasklib::Vector b(n);
+  for (double& v : b) v = rng.uniform(-2, 2);
+  env.store().put("/u/A.dat", tasklib::Value(a), a.size_bytes());
+  env.store().put("/u/b.dat", tasklib::Value(b),
+                  static_cast<double>(n * sizeof(double)));
+
+  editor::AppBuilder builder("pinned-solver");
+  auto lu = builder.task("LU", "matrix.lu_decomposition")
+                .prefer_machine(host_a)
+                .input_file("/u/A.dat", a.size_bytes())
+                .output_data(a.size_bytes());
+  auto fwd = builder.task("Fwd", "matrix.forward_substitution")
+                 .prefer_machine(host_b)
+                 .output_data(a.size_bytes());
+  auto bwd = builder.task("Bwd", "matrix.backward_substitution")
+                 .prefer_machine(host_b)
+                 .output_data(static_cast<double>(n * sizeof(double)));
+  builder.link(lu, fwd).value();
+  fwd.input_file("/u/b.dat", static_cast<double>(n * sizeof(double)));
+  builder.link(fwd, bwd).value();
+  afg::Afg graph = builder.build().value();
+
+  auto table = env.schedule(graph, session);
+  ASSERT_TRUE(table.has_value());
+  auto lu_assignment = table->find(graph.find_task("LU").value());
+  ASSERT_EQ(lu_assignment->primary_host(), site0.hosts[1]);
+
+  // Kill host_b after LU has certainly finished (Fwd/Bwd must move; LU's
+  // cached output on host_a feeds the resend).
+  env.engine().schedule(lu_assignment->est_finish + 0.5, [&] {
+    env.topology().set_host_up(site0.hosts[2], false);
+  });
+
+  auto report = env.execute_with_table(graph, *table, session, {});
+  ASSERT_TRUE(report.has_value());
+  ASSERT_TRUE(report->success) << report->failure_reason;
+  EXPECT_GE(report->failures_survived, 1);
+  auto x = std::any_cast<tasklib::Vector>(
+      report->exit_outputs.at(graph.find_task("Bwd")->value()));
+  EXPECT_LT(tasklib::residual_inf(a, x, b), 1e-8);
+}
+
+TEST(Recovery, CascadeReexecutesDeadParent) {
+  // Parent finishes, then its host dies, *then* the child's host dies too:
+  // the parent's cached output is gone, so recovery must re-execute the
+  // parent before the moved child can run.  Placement pinned as above.
+  VdceEnvironment env(make_campus_pair(13), recovery_options());
+  env.bring_up();
+  auto session = login(env);
+
+  const net::Site& site0 = env.topology().site(common::SiteId(0));
+  std::string host_a = env.topology().host(site0.hosts[1]).spec.name;
+  std::string host_b = env.topology().host(site0.hosts[2]).spec.name;
+
+  editor::AppBuilder builder("cascade");
+  auto s0 = builder.task("s0", "synthetic.w6000")
+                .prefer_machine(host_a)
+                .output_data(1e5);
+  auto s1 = builder.task("s1", "synthetic.w6000").prefer_machine(host_b);
+  builder.link(s0, s1).value();
+  afg::Afg graph = builder.build().value();
+
+  RunOptions run;
+  run.real_kernels = false;
+  auto table = env.schedule(graph, session);
+  ASSERT_TRUE(table.has_value());
+  auto s0_assignment = table->find(graph.find_task("s0").value());
+
+  env.engine().schedule(s0_assignment->est_finish + 1.0, [&] {
+    env.topology().set_host_up(site0.hosts[1], false);
+  });
+  env.engine().schedule(s0_assignment->est_finish + 2.0, [&] {
+    env.topology().set_host_up(site0.hosts[2], false);
+  });
+
+  auto report = env.execute_with_table(graph, *table, session, run);
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  ASSERT_TRUE(report->success) << report->failure_reason;
+  EXPECT_GE(report->failures_survived, 1);
+  // s0 must have re-executed (its first result died with its host).
+  EXPECT_GE(report->outcomes[0].attempts, 2);
+  // Neither task completed on a dead machine.
+  for (const auto& outcome : report->outcomes) {
+    EXPECT_NE(outcome.host, site0.hosts[1]);
+    EXPECT_NE(outcome.host, site0.hosts[2]);
+  }
+}
+
+TEST(Recovery, SuspendDuringSetupDelaysButCompletes) {
+  VdceEnvironment env(make_campus_pair(13), recovery_options());
+  env.bring_up();
+  auto session = login(env);
+  afg::Afg graph = afg::make_chain(2, 1000, 1e4);
+  auto table = env.schedule(graph, session);
+  ASSERT_TRUE(table.has_value());
+
+  // Suspend almost immediately (possibly still in channel setup), resume
+  // 20 simulated seconds later.
+  runtime::SiteManager& sm = env.site_manager(common::SiteId(0));
+  common::AppId app(1);  // schedule() consumed id 0
+  env.engine().schedule(0.05, [&] { sm.suspend_application(app); });
+  env.engine().schedule(20.0, [&] { sm.resume_application(app); });
+
+  RunOptions run;
+  run.real_kernels = false;
+  auto report = env.execute_with_table(graph, *table, session, run);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->success);
+}
+
+TEST(Recovery, DsmAndApplicationsShareTheFabric) {
+  // DSM protocol traffic and an application execution interleave on the
+  // same hosts without stepping on each other's message handling.
+  VdceEnvironment env(make_campus_pair(13), recovery_options());
+  env.bring_up();
+  auto session = login(env);
+  dsm::DsmRuntime& dsm_runtime = env.enable_dsm();
+  dsm_runtime.define_object("status", tasklib::Value(0), 128);
+
+  // A DSM "status heartbeat" loop runs while the application executes.
+  auto client = dsm_runtime.client(env.topology().site(common::SiteId(1)).hosts[2]);
+  struct Heartbeat {
+    dsm::DsmClient& client;
+    int remaining;
+    void beat() {
+      if (remaining-- == 0) return;
+      client.write("status", tasklib::Value(remaining),
+                   [this] { beat(); });
+    }
+  };
+  Heartbeat heartbeat{client, 200};
+  heartbeat.beat();
+
+  afg::Afg graph = afg::make_fork_join(3, 2, 800, 1e5);
+  RunOptions run;
+  run.real_kernels = false;
+  auto report = env.run_application(graph, session, run);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->success);
+  EXPECT_EQ(std::any_cast<int>(dsm_runtime.home_value("status").value()), 0);
+}
+
+}  // namespace
+}  // namespace vdce

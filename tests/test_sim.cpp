@@ -1,0 +1,162 @@
+// Unit tests for the discrete-event kernel: ordering, cancellation, timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace vdce::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.empty());
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(3.0, [&] { order.push_back(3); });
+  engine.schedule(1.0, [&] { order.push_back(1); });
+  engine.schedule(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, SameTimeFifoBySchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, CallbacksMayScheduleMore) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(1.0, [&] {
+    ++fired;
+    engine.schedule(1.0, [&] { ++fired; });
+  });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  auto handle = engine.schedule(1.0, [&] { fired = true; });
+  handle.cancel();
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeAfterFire) {
+  Engine engine;
+  auto handle = engine.schedule(1.0, [] {});
+  engine.run();
+  handle.cancel();  // must not crash
+  handle.cancel();
+}
+
+TEST(Engine, RunUntilLeavesClockAtBoundary) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(1.0, [&] { ++fired; });
+  engine.schedule(5.0, [&] { ++fired; });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, RunUntilIncludesBoundaryEvents) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule(2.0, [&] { fired = true; });
+  engine.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunStepsBoundsWork) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) engine.schedule(1.0, [&] { ++fired; });
+  std::size_t n = engine.run_steps(10);
+  EXPECT_EQ(n, 10u);
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(engine.pending_events(), 90u);
+}
+
+TEST(Engine, PeriodicTimerFiresRepeatedly) {
+  Engine engine;
+  int ticks = 0;
+  auto timer = engine.every(1.0, [&] { ++ticks; });
+  engine.run_until(5.5);
+  EXPECT_EQ(ticks, 5);
+  timer.cancel();
+  engine.run_until(10.0);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(Engine, PeriodicTimerInitialDelay) {
+  Engine engine;
+  std::vector<double> times;
+  engine.every(2.0, [&] { times.push_back(engine.now()); }, 0.5);
+  engine.run_until(5.0);
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 0.5);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+  EXPECT_DOUBLE_EQ(times[2], 4.5);
+}
+
+TEST(Engine, TimerCancelFromInsideCallback) {
+  Engine engine;
+  int ticks = 0;
+  TimerHandle timer;
+  timer = engine.every(1.0, [&] {
+    if (++ticks == 3) timer.cancel();
+  });
+  engine.run_until(10.0);
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(Engine, TotalFiredCountsOnlyUncancelled) {
+  Engine engine;
+  auto h = engine.schedule(1.0, [] {});
+  engine.schedule(2.0, [] {});
+  h.cancel();
+  engine.run();
+  EXPECT_EQ(engine.total_fired(), 1u);
+}
+
+TEST(Engine, ZeroDelayFiresAtCurrentTime) {
+  Engine engine;
+  engine.schedule(1.0, [&engine] {
+    bool inner = false;
+    engine.schedule(0.0, [&] { inner = true; });
+    // Inner event fires later in the run loop, not synchronously.
+    EXPECT_FALSE(inner);
+  });
+  std::size_t fired = engine.run();
+  EXPECT_EQ(fired, 2u);
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+}
+
+TEST(EventHandle, PendingReflectsState) {
+  Engine engine;
+  auto h = engine.schedule(1.0, [] {});
+  EXPECT_TRUE(h.pending());
+  engine.run();
+  EXPECT_FALSE(h.pending());
+}
+
+}  // namespace
+}  // namespace vdce::sim

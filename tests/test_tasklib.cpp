@@ -1,0 +1,394 @@
+// Unit + property tests for the task libraries: matrix algebra correctness,
+// signal-processing correctness, and the registry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "tasklib/matrix.hpp"
+#include "tasklib/registry.hpp"
+#include "tasklib/signal.hpp"
+
+namespace vdce::tasklib {
+namespace {
+
+// ---- matrix ---------------------------------------------------------------------
+
+TEST(Matrix, IdentityAndIndexing) {
+  Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_EQ(id.rows(), 3u);
+  EXPECT_EQ(id.cols(), 3u);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  common::Rng rng(1);
+  Matrix a = Matrix::random(4, 7, rng);
+  EXPECT_DOUBLE_EQ(a.transpose().transpose().max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, MultiplyIdentity) {
+  common::Rng rng(2);
+  Matrix a = Matrix::random(5, 5, rng);
+  auto prod = multiply(a, Matrix::identity(5));
+  ASSERT_TRUE(prod.has_value());
+  EXPECT_LT(prod->max_abs_diff(a), 1e-12);
+}
+
+TEST(Matrix, MultiplyKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  int v = 1;
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = v++;
+  v = 1;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 2; ++j) b(i, j) = v++;
+  auto c = multiply(a, b);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_DOUBLE_EQ((*c)(0, 0), 22.0);
+  EXPECT_DOUBLE_EQ((*c)(0, 1), 28.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 0), 49.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 1), 64.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatch) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_FALSE(multiply(a, b).has_value());
+}
+
+TEST(Matrix, ParallelMatchesSerial) {
+  common::Rng rng(3);
+  Matrix a = Matrix::random(120, 130, rng);
+  Matrix b = Matrix::random(130, 110, rng);
+  auto serial = multiply(a, b, 1);
+  auto parallel = multiply(a, b, 4);
+  ASSERT_TRUE(serial.has_value());
+  ASSERT_TRUE(parallel.has_value());
+  EXPECT_LT(serial->max_abs_diff(*parallel), 1e-9);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a = Matrix::identity(3);
+  a(0, 2) = 2.0;
+  auto y = multiply(a, Vector{1, 2, 3});
+  ASSERT_TRUE(y.has_value());
+  EXPECT_DOUBLE_EQ((*y)[0], 7.0);
+  EXPECT_DOUBLE_EQ((*y)[1], 2.0);
+  EXPECT_FALSE(multiply(a, Vector{1, 2}).has_value());
+}
+
+TEST(Lu, ReconstructsPA) {
+  common::Rng rng(4);
+  Matrix a = Matrix::random_diag_dominant(8, rng);
+  auto lu = lu_decompose(a);
+  ASSERT_TRUE(lu.has_value());
+  // Rebuild L and U, check L*U == P*A.
+  const std::size_t n = 8;
+  Matrix l = Matrix::identity(n), u(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i > j) l(i, j) = lu->lu(i, j);
+      if (i <= j) u(i, j) = lu->lu(i, j);
+    }
+  }
+  auto prod = multiply(l, u);
+  ASSERT_TRUE(prod.has_value());
+  Matrix pa(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) pa(i, j) = a(lu->perm[i], j);
+  }
+  EXPECT_LT(prod->max_abs_diff(pa), 1e-10);
+}
+
+TEST(Lu, RejectsSingular) {
+  Matrix zeros(3, 3, 0.0);
+  EXPECT_FALSE(lu_decompose(zeros).has_value());
+  Matrix rect(2, 3);
+  EXPECT_FALSE(lu_decompose(rect).has_value());
+}
+
+TEST(Lu, DeterminantOfIdentity) {
+  auto lu = lu_decompose(Matrix::identity(4));
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_DOUBLE_EQ(lu->determinant(), 1.0);
+}
+
+class SolveProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolveProperty, ResidualTiny) {
+  common::Rng rng(GetParam());
+  const std::size_t n = 4 + GetParam() * 7;
+  Matrix a = Matrix::random_diag_dominant(n, rng);
+  Vector b(n);
+  for (double& v : b) v = rng.uniform(-5, 5);
+  auto x = solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_LT(residual_inf(a, *x, b), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+TEST(Solve, PipelineStagesMatchDirectSolve) {
+  // The Figure-1 decomposition: lu -> forward -> backward equals solve().
+  common::Rng rng(9);
+  Matrix a = Matrix::random_diag_dominant(12, rng);
+  Vector b(12);
+  for (double& v : b) v = rng.uniform(-1, 1);
+  auto lu = lu_decompose(a);
+  ASSERT_TRUE(lu.has_value());
+  Vector y = forward_substitute(*lu, b);
+  Vector x1 = backward_substitute(*lu, y);
+  auto x2 = solve(a, b);
+  ASSERT_TRUE(x2.has_value());
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(x1[i], (*x2)[i], 1e-12);
+}
+
+TEST(Solve, RhsLengthMismatch) {
+  EXPECT_FALSE(solve(Matrix::identity(3), Vector{1, 2}).has_value());
+}
+
+// ---- signal ----------------------------------------------------------------------
+
+TEST(Fft, RejectsNonPowerOfTwoInPlace) {
+  Spectrum s(3);
+  EXPECT_FALSE(fft_inplace(s).ok());
+  Spectrum empty;
+  EXPECT_FALSE(fft_inplace(empty).ok());
+}
+
+TEST(Fft, PadsToPowerOfTwo) {
+  Signal s(5, 1.0);
+  auto spec = fft(s);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->size(), 8u);
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  common::Rng rng(5);
+  Signal s(64);
+  for (double& v : s) v = rng.uniform(-1, 1);
+  auto spec = fft(s);
+  ASSERT_TRUE(spec.has_value());
+  auto back = ifft_real(*spec);
+  ASSERT_TRUE(back.has_value());
+  for (std::size_t i = 0; i < s.size(); ++i) EXPECT_NEAR((*back)[i], s[i], 1e-10);
+}
+
+TEST(Fft, PureToneConcentratesAtBin) {
+  const std::size_t n = 128;
+  Signal s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = std::sin(2.0 * std::numbers::pi * 8.0 * static_cast<double>(i) /
+                    static_cast<double>(n));
+  }
+  auto spec = fft(s);
+  ASSERT_TRUE(spec.has_value());
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < n / 2; ++i) {
+    if (std::abs((*spec)[i]) > std::abs((*spec)[peak])) peak = i;
+  }
+  EXPECT_EQ(peak, 8u);
+}
+
+TEST(Fft, ParsevalHolds) {
+  common::Rng rng(6);
+  Signal s(256);
+  for (double& v : s) v = rng.uniform(-1, 1);
+  auto spec = fft(s);
+  ASSERT_TRUE(spec.has_value());
+  double freq_energy = 0.0;
+  for (const auto& c : *spec) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / 256.0, energy(s), 1e-8);
+}
+
+TEST(Fir, ImpulseResponseIsTaps) {
+  Signal taps{0.5, 0.25, 0.125};
+  Signal impulse(8, 0.0);
+  impulse[0] = 1.0;
+  Signal out = fir_filter(impulse, taps);
+  EXPECT_DOUBLE_EQ(out[0], 0.5);
+  EXPECT_DOUBLE_EQ(out[1], 0.25);
+  EXPECT_DOUBLE_EQ(out[2], 0.125);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+}
+
+TEST(Fir, LowpassAttenuatesHighFrequency) {
+  auto taps = design_lowpass(0.1, 63);
+  ASSERT_TRUE(taps.has_value());
+  const std::size_t n = 512;
+  Signal low(n), high(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    low[i] = std::sin(2.0 * std::numbers::pi * 0.02 * static_cast<double>(i));
+    high[i] = std::sin(2.0 * std::numbers::pi * 0.4 * static_cast<double>(i));
+  }
+  // Compare steady-state energy (skip the filter warm-up).
+  auto tail_energy = [](const Signal& s) {
+    double acc = 0;
+    for (std::size_t i = 100; i < s.size(); ++i) acc += s[i] * s[i];
+    return acc;
+  };
+  double low_pass = tail_energy(fir_filter(low, *taps));
+  double high_pass = tail_energy(fir_filter(high, *taps));
+  EXPECT_GT(low_pass, 100.0 * high_pass);
+}
+
+TEST(Fir, LowpassDesignValidation) {
+  EXPECT_FALSE(design_lowpass(0.0, 21).has_value());
+  EXPECT_FALSE(design_lowpass(0.5, 21).has_value());
+  EXPECT_FALSE(design_lowpass(0.1, 2).has_value());
+}
+
+TEST(Beamform, AlignedDelaysReinforce) {
+  // Three copies of a pulse at offsets 0,1,2; delays undo the offsets.
+  Signal base(16, 0.0);
+  base[5] = 1.0;
+  std::vector<Signal> channels(3, Signal(16, 0.0));
+  channels[0][5] = 1.0;
+  channels[1][6] = 1.0;
+  channels[2][7] = 1.0;
+  auto out = beamform(channels, {0, -1, -2});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ((*out)[5], 1.0);  // perfect coherent sum / 3 * 3
+}
+
+TEST(Beamform, Validation) {
+  EXPECT_FALSE(beamform({}, {}).has_value());
+  EXPECT_FALSE(beamform({Signal(4)}, {0, 1}).has_value());
+  EXPECT_FALSE(beamform({Signal(4), Signal(5)}, {0, 0}).has_value());
+}
+
+TEST(Detect, FindsThresholdCrossings) {
+  Signal s{0.1, -0.9, 0.2, 0.95, -0.05};
+  auto hits = detect(s, 0.5);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_EQ(hits[1], 3u);
+}
+
+TEST(Signal, TestSignalContainsTone) {
+  common::Rng rng(7);
+  Signal s = make_test_signal(256, {0.1}, 0.01, rng);
+  auto spec = fft(s);
+  ASSERT_TRUE(spec.has_value());
+  std::size_t expected_bin = static_cast<std::size_t>(0.1 * 256);
+  std::size_t peak = 1;
+  for (std::size_t i = 1; i < 128; ++i) {
+    if (std::abs((*spec)[i]) > std::abs((*spec)[peak])) peak = i;
+  }
+  EXPECT_NEAR(static_cast<double>(peak), static_cast<double>(expected_bin), 1.0);
+}
+
+TEST(Signal, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+// ---- registry -----------------------------------------------------------------------
+
+TEST(Registry, StandardLibrariesPresent) {
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  auto libs = registry.libraries();
+  ASSERT_EQ(libs.size(), 3u);
+  EXPECT_EQ(libs[0], "image");
+  EXPECT_EQ(libs[1], "matrix");
+  EXPECT_EQ(libs[2], "signal");
+  EXPECT_GE(registry.tasks_in_library("matrix").size(), 5u);
+  EXPECT_GE(registry.tasks_in_library("signal").size(), 4u);
+}
+
+TEST(Registry, FindsRegisteredAndRejectsUnknown) {
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  EXPECT_TRUE(registry.find("matrix.multiply").has_value());
+  EXPECT_FALSE(registry.find("matrix.nope").has_value());
+}
+
+TEST(Registry, SynthesizesSyntheticTasks) {
+  TaskRegistry registry;
+  auto impl = registry.find("synthetic.w500");
+  ASSERT_TRUE(impl.has_value());
+  EXPECT_DOUBLE_EQ(impl->perf.computation_mflop, 500.0);
+  EXPECT_DOUBLE_EQ(impl->perf.base_exec_time, 5.0);  // 500 / base 100
+  ASSERT_TRUE(impl->kernel);
+  auto out = impl->kernel({Value(42)});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::any_cast<int>((*out)[0]), 42);
+}
+
+TEST(Registry, ParseSyntheticName) {
+  EXPECT_DOUBLE_EQ(parse_synthetic_mflop("lib.w250").value(), 250.0);
+  EXPECT_FALSE(parse_synthetic_mflop("matrix.multiply").has_value());
+  EXPECT_FALSE(parse_synthetic_mflop("lib.w-5").has_value());
+  EXPECT_FALSE(parse_synthetic_mflop("w100").has_value());
+}
+
+TEST(Registry, SeedsDatabase) {
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  db::TaskPerformanceDb database;
+  registry.seed_database(database);
+  EXPECT_EQ(database.size(), registry.size());
+  EXPECT_TRUE(database.contains("matrix.lu_decomposition"));
+}
+
+TEST(Registry, MatrixMultiplyKernelComputes) {
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  auto impl = registry.find("matrix.multiply");
+  ASSERT_TRUE(impl.has_value());
+  Matrix a = Matrix::identity(3);
+  a(0, 0) = 2.0;
+  auto out = impl->kernel({Value(a), Value(Matrix::identity(3))});
+  ASSERT_TRUE(out.has_value());
+  auto c = std::any_cast<Matrix>((*out)[0]);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+}
+
+TEST(Registry, KernelRejectsWrongArity) {
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  auto impl = registry.find("matrix.multiply");
+  auto out = impl->kernel({Value(Matrix::identity(2))});
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST(Registry, KernelRejectsWrongType) {
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  auto impl = registry.find("signal.fft");
+  auto out = impl->kernel({Value(Matrix::identity(2))});
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().code, common::ErrorCode::kInvalidArgument);
+}
+
+TEST(Registry, SolverChainThroughKernels) {
+  // Drive the Figure-1 pipeline purely through registry kernels.
+  TaskRegistry registry;
+  register_standard_libraries(registry);
+  common::Rng rng(11);
+  Matrix a = Matrix::random_diag_dominant(6, rng);
+  Vector b(6);
+  for (double& v : b) v = rng.uniform(-1, 1);
+
+  auto lu_impl = registry.find("matrix.lu_decomposition");
+  auto fwd_impl = registry.find("matrix.forward_substitution");
+  auto bwd_impl = registry.find("matrix.backward_substitution");
+  auto lu_out = lu_impl->kernel({Value(a)});
+  ASSERT_TRUE(lu_out.has_value());
+  auto fwd_out = fwd_impl->kernel({(*lu_out)[0], Value(b)});
+  ASSERT_TRUE(fwd_out.has_value());
+  auto bwd_out = bwd_impl->kernel({(*fwd_out)[0]});
+  ASSERT_TRUE(bwd_out.has_value());
+  auto x = std::any_cast<Vector>((*bwd_out)[0]);
+  EXPECT_LT(residual_inf(a, x, b), 1e-9);
+}
+
+}  // namespace
+}  // namespace vdce::tasklib
