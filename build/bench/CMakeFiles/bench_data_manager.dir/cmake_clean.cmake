@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_manager.dir/bench_data_manager.cpp.o"
+  "CMakeFiles/bench_data_manager.dir/bench_data_manager.cpp.o.d"
+  "bench_data_manager"
+  "bench_data_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

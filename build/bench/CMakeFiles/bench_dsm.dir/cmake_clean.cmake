@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsm.dir/bench_dsm.cpp.o"
+  "CMakeFiles/bench_dsm.dir/bench_dsm.cpp.o.d"
+  "bench_dsm"
+  "bench_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_end_to_end.cpp" "bench/CMakeFiles/bench_end_to_end.dir/bench_end_to_end.cpp.o" "gcc" "bench/CMakeFiles/bench_end_to_end.dir/bench_end_to_end.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vdce/CMakeFiles/vdce_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/editor/CMakeFiles/vdce_editor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/vdce_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vdce_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/vdce_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/afg/CMakeFiles/vdce_afg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsm/CMakeFiles/vdce_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasklib/CMakeFiles/vdce_tasklib.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vdce_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdce_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdce_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vdce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_end_to_end.dir/bench_end_to_end.cpp.o"
+  "CMakeFiles/bench_end_to_end.dir/bench_end_to_end.cpp.o.d"
+  "bench_end_to_end"
+  "bench_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_detection.dir/bench_failure_detection.cpp.o"
+  "CMakeFiles/bench_failure_detection.dir/bench_failure_detection.cpp.o.d"
+  "bench_failure_detection"
+  "bench_failure_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_afg.dir/bench_fig1_afg.cpp.o"
+  "CMakeFiles/bench_fig1_afg.dir/bench_fig1_afg.cpp.o.d"
+  "bench_fig1_afg"
+  "bench_fig1_afg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_afg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_site_scheduler.dir/bench_fig2_site_scheduler.cpp.o"
+  "CMakeFiles/bench_fig2_site_scheduler.dir/bench_fig2_site_scheduler.cpp.o.d"
+  "bench_fig2_site_scheduler"
+  "bench_fig2_site_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_site_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_host_selection.dir/bench_fig3_host_selection.cpp.o"
+  "CMakeFiles/bench_fig3_host_selection.dir/bench_fig3_host_selection.cpp.o.d"
+  "bench_fig3_host_selection"
+  "bench_fig3_host_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_host_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_resource_controller.dir/bench_fig4_resource_controller.cpp.o"
+  "CMakeFiles/bench_fig4_resource_controller.dir/bench_fig4_resource_controller.cpp.o.d"
+  "bench_fig4_resource_controller"
+  "bench_fig4_resource_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_resource_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_levels_ablation.dir/bench_levels_ablation.cpp.o"
+  "CMakeFiles/bench_levels_ablation.dir/bench_levels_ablation.cpp.o.d"
+  "bench_levels_ablation"
+  "bench_levels_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_levels_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

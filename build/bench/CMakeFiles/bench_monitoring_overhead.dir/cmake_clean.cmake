@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitoring_overhead.dir/bench_monitoring_overhead.cpp.o"
+  "CMakeFiles/bench_monitoring_overhead.dir/bench_monitoring_overhead.cpp.o.d"
+  "bench_monitoring_overhead"
+  "bench_monitoring_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitoring_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prediction.dir/bench_prediction.cpp.o"
+  "CMakeFiles/bench_prediction.dir/bench_prediction.cpp.o.d"
+  "bench_prediction"
+  "bench_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

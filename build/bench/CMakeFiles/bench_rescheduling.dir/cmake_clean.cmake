@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rescheduling.dir/bench_rescheduling.cpp.o"
+  "CMakeFiles/bench_rescheduling.dir/bench_rescheduling.cpp.o.d"
+  "bench_rescheduling"
+  "bench_rescheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rescheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schedule_length.dir/bench_schedule_length.cpp.o"
+  "CMakeFiles/bench_schedule_length.dir/bench_schedule_length.cpp.o.d"
+  "bench_schedule_length"
+  "bench_schedule_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schedule_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

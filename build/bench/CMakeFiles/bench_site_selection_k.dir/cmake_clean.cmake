@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_site_selection_k.dir/bench_site_selection_k.cpp.o"
+  "CMakeFiles/bench_site_selection_k.dir/bench_site_selection_k.cpp.o.d"
+  "bench_site_selection_k"
+  "bench_site_selection_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_site_selection_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c3i_pipeline.dir/c3i_pipeline.cpp.o"
+  "CMakeFiles/c3i_pipeline.dir/c3i_pipeline.cpp.o.d"
+  "c3i_pipeline"
+  "c3i_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c3i_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

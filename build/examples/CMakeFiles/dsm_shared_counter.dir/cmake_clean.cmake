@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_shared_counter.dir/dsm_shared_counter.cpp.o"
+  "CMakeFiles/dsm_shared_counter.dir/dsm_shared_counter.cpp.o.d"
+  "dsm_shared_counter"
+  "dsm_shared_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_shared_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dsm_shared_counter.
+# This may be replaced when dependencies are built.

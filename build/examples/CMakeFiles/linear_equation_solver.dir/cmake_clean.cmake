@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_equation_solver.dir/linear_equation_solver.cpp.o"
+  "CMakeFiles/linear_equation_solver.dir/linear_equation_solver.cpp.o.d"
+  "linear_equation_solver"
+  "linear_equation_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_equation_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdcec.dir/vdcec.cpp.o"
+  "CMakeFiles/vdcec.dir/vdcec.cpp.o.d"
+  "vdcec"
+  "vdcec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdcec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

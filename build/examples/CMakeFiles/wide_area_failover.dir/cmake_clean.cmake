@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wide_area_failover.dir/wide_area_failover.cpp.o"
+  "CMakeFiles/wide_area_failover.dir/wide_area_failover.cpp.o.d"
+  "wide_area_failover"
+  "wide_area_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wide_area_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wide_area_failover.
+# This may be replaced when dependencies are built.

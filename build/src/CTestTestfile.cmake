@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("db")
+subdirs("afg")
+subdirs("tasklib")
+subdirs("predict")
+subdirs("editor")
+subdirs("dsm")
+subdirs("sched")
+subdirs("runtime")
+subdirs("vdce")

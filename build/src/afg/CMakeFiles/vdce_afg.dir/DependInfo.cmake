@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/afg/generate.cpp" "src/afg/CMakeFiles/vdce_afg.dir/generate.cpp.o" "gcc" "src/afg/CMakeFiles/vdce_afg.dir/generate.cpp.o.d"
+  "/root/repo/src/afg/graph.cpp" "src/afg/CMakeFiles/vdce_afg.dir/graph.cpp.o" "gcc" "src/afg/CMakeFiles/vdce_afg.dir/graph.cpp.o.d"
+  "/root/repo/src/afg/levels.cpp" "src/afg/CMakeFiles/vdce_afg.dir/levels.cpp.o" "gcc" "src/afg/CMakeFiles/vdce_afg.dir/levels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_afg.dir/generate.cpp.o"
+  "CMakeFiles/vdce_afg.dir/generate.cpp.o.d"
+  "CMakeFiles/vdce_afg.dir/graph.cpp.o"
+  "CMakeFiles/vdce_afg.dir/graph.cpp.o.d"
+  "CMakeFiles/vdce_afg.dir/levels.cpp.o"
+  "CMakeFiles/vdce_afg.dir/levels.cpp.o.d"
+  "libvdce_afg.a"
+  "libvdce_afg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_afg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vdce_afg.
+# This may be replaced when dependencies are built.

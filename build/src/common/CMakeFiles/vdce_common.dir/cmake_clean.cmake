@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_common.dir/logging.cpp.o"
+  "CMakeFiles/vdce_common.dir/logging.cpp.o.d"
+  "CMakeFiles/vdce_common.dir/rng.cpp.o"
+  "CMakeFiles/vdce_common.dir/rng.cpp.o.d"
+  "CMakeFiles/vdce_common.dir/stats.cpp.o"
+  "CMakeFiles/vdce_common.dir/stats.cpp.o.d"
+  "CMakeFiles/vdce_common.dir/strings.cpp.o"
+  "CMakeFiles/vdce_common.dir/strings.cpp.o.d"
+  "libvdce_common.a"
+  "libvdce_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

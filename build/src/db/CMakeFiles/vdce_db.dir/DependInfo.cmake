@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/resource_perf.cpp" "src/db/CMakeFiles/vdce_db.dir/resource_perf.cpp.o" "gcc" "src/db/CMakeFiles/vdce_db.dir/resource_perf.cpp.o.d"
+  "/root/repo/src/db/site_repository.cpp" "src/db/CMakeFiles/vdce_db.dir/site_repository.cpp.o" "gcc" "src/db/CMakeFiles/vdce_db.dir/site_repository.cpp.o.d"
+  "/root/repo/src/db/task_constraints.cpp" "src/db/CMakeFiles/vdce_db.dir/task_constraints.cpp.o" "gcc" "src/db/CMakeFiles/vdce_db.dir/task_constraints.cpp.o.d"
+  "/root/repo/src/db/task_perf.cpp" "src/db/CMakeFiles/vdce_db.dir/task_perf.cpp.o" "gcc" "src/db/CMakeFiles/vdce_db.dir/task_perf.cpp.o.d"
+  "/root/repo/src/db/user_accounts.cpp" "src/db/CMakeFiles/vdce_db.dir/user_accounts.cpp.o" "gcc" "src/db/CMakeFiles/vdce_db.dir/user_accounts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdce_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdce_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdce_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_db.dir/resource_perf.cpp.o"
+  "CMakeFiles/vdce_db.dir/resource_perf.cpp.o.d"
+  "CMakeFiles/vdce_db.dir/site_repository.cpp.o"
+  "CMakeFiles/vdce_db.dir/site_repository.cpp.o.d"
+  "CMakeFiles/vdce_db.dir/task_constraints.cpp.o"
+  "CMakeFiles/vdce_db.dir/task_constraints.cpp.o.d"
+  "CMakeFiles/vdce_db.dir/task_perf.cpp.o"
+  "CMakeFiles/vdce_db.dir/task_perf.cpp.o.d"
+  "CMakeFiles/vdce_db.dir/user_accounts.cpp.o"
+  "CMakeFiles/vdce_db.dir/user_accounts.cpp.o.d"
+  "libvdce_db.a"
+  "libvdce_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

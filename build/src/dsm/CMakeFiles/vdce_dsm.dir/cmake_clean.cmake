@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_dsm.dir/dsm.cpp.o"
+  "CMakeFiles/vdce_dsm.dir/dsm.cpp.o.d"
+  "libvdce_dsm.a"
+  "libvdce_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/editor/app_store.cpp" "src/editor/CMakeFiles/vdce_editor.dir/app_store.cpp.o" "gcc" "src/editor/CMakeFiles/vdce_editor.dir/app_store.cpp.o.d"
+  "/root/repo/src/editor/builder.cpp" "src/editor/CMakeFiles/vdce_editor.dir/builder.cpp.o" "gcc" "src/editor/CMakeFiles/vdce_editor.dir/builder.cpp.o.d"
+  "/root/repo/src/editor/dsl.cpp" "src/editor/CMakeFiles/vdce_editor.dir/dsl.cpp.o" "gcc" "src/editor/CMakeFiles/vdce_editor.dir/dsl.cpp.o.d"
+  "/root/repo/src/editor/panels.cpp" "src/editor/CMakeFiles/vdce_editor.dir/panels.cpp.o" "gcc" "src/editor/CMakeFiles/vdce_editor.dir/panels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdce_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/afg/CMakeFiles/vdce_afg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasklib/CMakeFiles/vdce_tasklib.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vdce_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdce_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdce_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

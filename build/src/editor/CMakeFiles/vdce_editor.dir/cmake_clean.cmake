@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_editor.dir/app_store.cpp.o"
+  "CMakeFiles/vdce_editor.dir/app_store.cpp.o.d"
+  "CMakeFiles/vdce_editor.dir/builder.cpp.o"
+  "CMakeFiles/vdce_editor.dir/builder.cpp.o.d"
+  "CMakeFiles/vdce_editor.dir/dsl.cpp.o"
+  "CMakeFiles/vdce_editor.dir/dsl.cpp.o.d"
+  "CMakeFiles/vdce_editor.dir/panels.cpp.o"
+  "CMakeFiles/vdce_editor.dir/panels.cpp.o.d"
+  "libvdce_editor.a"
+  "libvdce_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_net.dir/fabric.cpp.o"
+  "CMakeFiles/vdce_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/vdce_net.dir/topology.cpp.o"
+  "CMakeFiles/vdce_net.dir/topology.cpp.o.d"
+  "libvdce_net.a"
+  "libvdce_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_predict.dir/model.cpp.o"
+  "CMakeFiles/vdce_predict.dir/model.cpp.o.d"
+  "libvdce_predict.a"
+  "libvdce_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/app_controller.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/app_controller.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/app_controller.cpp.o.d"
+  "/root/repo/src/runtime/data_manager.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/data_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/data_manager.cpp.o.d"
+  "/root/repo/src/runtime/execution.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/execution.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/execution.cpp.o.d"
+  "/root/repo/src/runtime/group_manager.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/group_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/group_manager.cpp.o.d"
+  "/root/repo/src/runtime/host_agent.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/host_agent.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/host_agent.cpp.o.d"
+  "/root/repo/src/runtime/load_generator.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/load_generator.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/load_generator.cpp.o.d"
+  "/root/repo/src/runtime/monitor.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/monitor.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/monitor.cpp.o.d"
+  "/root/repo/src/runtime/services.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/services.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/services.cpp.o.d"
+  "/root/repo/src/runtime/site_manager.cpp" "src/runtime/CMakeFiles/vdce_runtime.dir/site_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/vdce_runtime.dir/site_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdce_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdce_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdce_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vdce_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/afg/CMakeFiles/vdce_afg.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/vdce_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vdce_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasklib/CMakeFiles/vdce_tasklib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_runtime.dir/app_controller.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/app_controller.cpp.o.d"
+  "CMakeFiles/vdce_runtime.dir/data_manager.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/data_manager.cpp.o.d"
+  "CMakeFiles/vdce_runtime.dir/execution.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/execution.cpp.o.d"
+  "CMakeFiles/vdce_runtime.dir/group_manager.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/group_manager.cpp.o.d"
+  "CMakeFiles/vdce_runtime.dir/host_agent.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/host_agent.cpp.o.d"
+  "CMakeFiles/vdce_runtime.dir/load_generator.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/load_generator.cpp.o.d"
+  "CMakeFiles/vdce_runtime.dir/monitor.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/monitor.cpp.o.d"
+  "CMakeFiles/vdce_runtime.dir/services.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/services.cpp.o.d"
+  "CMakeFiles/vdce_runtime.dir/site_manager.cpp.o"
+  "CMakeFiles/vdce_runtime.dir/site_manager.cpp.o.d"
+  "libvdce_runtime.a"
+  "libvdce_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

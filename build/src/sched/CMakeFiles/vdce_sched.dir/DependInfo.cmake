@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baselines.cpp" "src/sched/CMakeFiles/vdce_sched.dir/baselines.cpp.o" "gcc" "src/sched/CMakeFiles/vdce_sched.dir/baselines.cpp.o.d"
+  "/root/repo/src/sched/heft.cpp" "src/sched/CMakeFiles/vdce_sched.dir/heft.cpp.o" "gcc" "src/sched/CMakeFiles/vdce_sched.dir/heft.cpp.o.d"
+  "/root/repo/src/sched/host_selection.cpp" "src/sched/CMakeFiles/vdce_sched.dir/host_selection.cpp.o" "gcc" "src/sched/CMakeFiles/vdce_sched.dir/host_selection.cpp.o.d"
+  "/root/repo/src/sched/schedule_builder.cpp" "src/sched/CMakeFiles/vdce_sched.dir/schedule_builder.cpp.o" "gcc" "src/sched/CMakeFiles/vdce_sched.dir/schedule_builder.cpp.o.d"
+  "/root/repo/src/sched/site_scheduler.cpp" "src/sched/CMakeFiles/vdce_sched.dir/site_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/vdce_sched.dir/site_scheduler.cpp.o.d"
+  "/root/repo/src/sched/support.cpp" "src/sched/CMakeFiles/vdce_sched.dir/support.cpp.o" "gcc" "src/sched/CMakeFiles/vdce_sched.dir/support.cpp.o.d"
+  "/root/repo/src/sched/types.cpp" "src/sched/CMakeFiles/vdce_sched.dir/types.cpp.o" "gcc" "src/sched/CMakeFiles/vdce_sched.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vdce_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/afg/CMakeFiles/vdce_afg.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/vdce_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vdce_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/vdce_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasklib/CMakeFiles/vdce_tasklib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vdce_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

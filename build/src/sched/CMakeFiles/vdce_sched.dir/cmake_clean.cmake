@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_sched.dir/baselines.cpp.o"
+  "CMakeFiles/vdce_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/vdce_sched.dir/heft.cpp.o"
+  "CMakeFiles/vdce_sched.dir/heft.cpp.o.d"
+  "CMakeFiles/vdce_sched.dir/host_selection.cpp.o"
+  "CMakeFiles/vdce_sched.dir/host_selection.cpp.o.d"
+  "CMakeFiles/vdce_sched.dir/schedule_builder.cpp.o"
+  "CMakeFiles/vdce_sched.dir/schedule_builder.cpp.o.d"
+  "CMakeFiles/vdce_sched.dir/site_scheduler.cpp.o"
+  "CMakeFiles/vdce_sched.dir/site_scheduler.cpp.o.d"
+  "CMakeFiles/vdce_sched.dir/support.cpp.o"
+  "CMakeFiles/vdce_sched.dir/support.cpp.o.d"
+  "CMakeFiles/vdce_sched.dir/types.cpp.o"
+  "CMakeFiles/vdce_sched.dir/types.cpp.o.d"
+  "libvdce_sched.a"
+  "libvdce_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

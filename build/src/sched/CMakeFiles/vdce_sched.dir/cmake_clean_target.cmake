@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvdce_sched.a"
+)

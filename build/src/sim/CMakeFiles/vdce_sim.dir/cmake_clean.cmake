@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_sim.dir/engine.cpp.o"
+  "CMakeFiles/vdce_sim.dir/engine.cpp.o.d"
+  "libvdce_sim.a"
+  "libvdce_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

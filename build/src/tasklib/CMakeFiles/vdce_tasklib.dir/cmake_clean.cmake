@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_tasklib.dir/image.cpp.o"
+  "CMakeFiles/vdce_tasklib.dir/image.cpp.o.d"
+  "CMakeFiles/vdce_tasklib.dir/matrix.cpp.o"
+  "CMakeFiles/vdce_tasklib.dir/matrix.cpp.o.d"
+  "CMakeFiles/vdce_tasklib.dir/registry.cpp.o"
+  "CMakeFiles/vdce_tasklib.dir/registry.cpp.o.d"
+  "CMakeFiles/vdce_tasklib.dir/signal.cpp.o"
+  "CMakeFiles/vdce_tasklib.dir/signal.cpp.o.d"
+  "libvdce_tasklib.a"
+  "libvdce_tasklib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_tasklib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

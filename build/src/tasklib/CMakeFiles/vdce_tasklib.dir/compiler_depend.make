@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vdce_tasklib.
+# This may be replaced when dependencies are built.

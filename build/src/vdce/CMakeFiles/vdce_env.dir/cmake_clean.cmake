@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdce_env.dir/environment.cpp.o"
+  "CMakeFiles/vdce_env.dir/environment.cpp.o.d"
+  "CMakeFiles/vdce_env.dir/testbed.cpp.o"
+  "CMakeFiles/vdce_env.dir/testbed.cpp.o.d"
+  "libvdce_env.a"
+  "libvdce_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdce_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_afg.dir/test_afg.cpp.o"
+  "CMakeFiles/test_afg.dir/test_afg.cpp.o.d"
+  "test_afg"
+  "test_afg.pdb"
+  "test_afg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_afg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

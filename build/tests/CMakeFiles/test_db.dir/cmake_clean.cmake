@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db.dir/test_db.cpp.o"
+  "CMakeFiles/test_db.dir/test_db.cpp.o.d"
+  "test_db"
+  "test_db.pdb"
+  "test_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_editor.dir/test_editor.cpp.o"
+  "CMakeFiles/test_editor.dir/test_editor.cpp.o.d"
+  "test_editor"
+  "test_editor.pdb"
+  "test_editor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image.dir/test_image.cpp.o"
+  "CMakeFiles/test_image.dir/test_image.cpp.o.d"
+  "test_image"
+  "test_image.pdb"
+  "test_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

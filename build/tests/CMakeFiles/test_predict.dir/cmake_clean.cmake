@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict.dir/test_predict.cpp.o"
+  "CMakeFiles/test_predict.dir/test_predict.cpp.o.d"
+  "test_predict"
+  "test_predict.pdb"
+  "test_predict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tasklib.dir/test_tasklib.cpp.o"
+  "CMakeFiles/test_tasklib.dir/test_tasklib.cpp.o.d"
+  "test_tasklib"
+  "test_tasklib.pdb"
+  "test_tasklib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tasklib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
