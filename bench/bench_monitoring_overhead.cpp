@@ -28,6 +28,9 @@ int main() {
     options.load.mean_load = 0.5;
     options.runtime.monitor_period = 1.0;
     options.runtime.significant_change = threshold;
+    // Cross-check the fabric's per-type message counts against the daemons'
+    // own meters (monitor.samples / monitor.reports_forwarded).
+    options.metrics.enabled = true;
     TestbedSpec spec;
     spec.sites = 2;
     spec.hosts_per_site = 8;
@@ -44,11 +47,20 @@ int main() {
 
     // Staleness: compare every host's db-recorded load to ground truth.
     common::Stats error;
-    for (const net::Host& h : env.topology().hosts()) {
+    for (const net::Host& h : env.hosts()) {
       auto rec = env.repo(h.site).resources().find(h.id);
       if (rec && !rec->workload_history.empty()) {
         error.add(std::fabs(rec->current_load() - h.state.cpu_load));
       }
+    }
+
+    // The daemon meters and the wire counts must agree: every sample is one
+    // mon.report message, every forwarded report one gm.report.
+    const std::uint64_t samples = env.metrics().counter_value("monitor.samples");
+    const std::uint64_t forwarded =
+        env.metrics().counter_value("monitor.reports_forwarded");
+    if (samples != count("mon.report") || forwarded != count("gm.report")) {
+      bench::print_note("WARNING: obs meters disagree with fabric counts");
     }
 
     table.add_row(

@@ -11,8 +11,12 @@
 int main() {
   using namespace vdce;
 
-  // 1. A simulated deployment: two campus sites, six hosts each.
-  VdceEnvironment env(make_campus_pair());
+  // 1. A simulated deployment: two campus sites, six hosts each — with the
+  //    observability layer on, so the run leaves a trace behind.
+  EnvironmentOptions options;
+  options.metrics.enabled = true;
+  options.trace.enabled = true;
+  VdceEnvironment env(make_campus_pair(), options);
   env.bring_up();
 
   // 2. Accounts live in the user-accounts database; login authenticates
@@ -54,5 +58,16 @@ int main() {
     return 1;
   }
   std::puts(report->describe(graph).c_str());
+
+  // 6. Where did the simulated seconds go?  The breakdown splits the
+  //    end-to-end latency into phases; the Chrome trace shows every task
+  //    span and fabric transfer (open it in chrome://tracing or Perfetto).
+  auto phases = report->breakdown();
+  std::printf("setup %.3fs | execution %.3fs | task-busy %.3fs\n",
+              phases.setup, phases.execution, phases.task_busy);
+  if (env.trace().write_chrome_trace("quickstart_trace.json").ok()) {
+    std::printf("wrote quickstart_trace.json (%zu trace events)\n",
+                env.trace().events().size());
+  }
   return report->success ? 0 : 1;
 }

@@ -16,12 +16,12 @@
 int main() {
   using namespace vdce;
 
-  // Narrate the runtime protocol while this demo runs.
-  common::Logger::instance().set_level(common::LogLevel::kInfo);
-
   EnvironmentOptions options;
   options.runtime.echo_period = 1.0;
   options.runtime.progress_period = 2.0;
+  // Narrate the runtime protocol while this demo runs.
+  options.log_level = common::LogLevel::kInfo;
+  options.metrics.enabled = true;
   VdceEnvironment env(make_campus_pair(23), options);
   env.bring_up();
   env.add_user("operator", "pw");
@@ -55,7 +55,7 @@ int main() {
   RunOptions run;
   run.real_kernels = false;
   auto report = env.execute_with_table(graph, *table, session, run);
-  common::Logger::instance().set_level(common::LogLevel::kOff);
+  env.set_log_level(common::LogLevel::kOff);
   if (!report) {
     std::fprintf(stderr, "execution failed: %s\n",
                  report.error().to_string().c_str());
@@ -68,5 +68,10 @@ int main() {
               rec && rec->up ? "true" : "false");
   std::printf("failures survived: %d, reschedules: %d\n",
               report->failures_survived, report->reschedules);
+  std::printf("recovery counters: marked_down=%llu reschedules=%llu\n",
+              static_cast<unsigned long long>(
+                  env.metrics().counter_value("recovery.hosts_marked_down")),
+              static_cast<unsigned long long>(
+                  env.metrics().counter_value("recovery.reschedules")));
   return report->success && report->failures_survived > 0 ? 0 : 1;
 }

@@ -5,6 +5,30 @@
 
 namespace vdce::net {
 
+void Fabric::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ != nullptr && obs_->metrics_on()) {
+    static const char* kBytes[3] = {"fabric.transfer_bytes.loopback",
+                                    "fabric.transfer_bytes.lan",
+                                    "fabric.transfer_bytes.wan"};
+    static const char* kLatency[3] = {"fabric.transfer_seconds.loopback",
+                                      "fabric.transfer_seconds.lan",
+                                      "fabric.transfer_seconds.wan"};
+    for (int i = 0; i < 3; ++i) {
+      bytes_hist_[i] = &obs_->metrics().histogram(kBytes[i]);
+      latency_hist_[i] = &obs_->metrics().histogram(kLatency[i]);
+    }
+  } else {
+    for (int i = 0; i < 3; ++i) bytes_hist_[i] = latency_hist_[i] = nullptr;
+  }
+}
+
+Fabric::LinkClass Fabric::link_class(HostId src, HostId dst) const {
+  if (src == dst) return LinkClass::kLoopback;
+  return topology_.host(src).site == topology_.host(dst).site ? LinkClass::kLan
+                                                              : LinkClass::kWan;
+}
+
 void Fabric::bind(HostId host, Handler handler) {
   assert(handler);
   handlers_[host] = std::move(handler);
@@ -39,6 +63,19 @@ common::Expected<common::SimTime> Fabric::send(Message msg) {
   } else {
     when = engine_.now() +
            topology_.transfer_time(msg.src, msg.dst, msg.size_bytes);
+  }
+  if (obs_ != nullptr) {
+    const auto cls = static_cast<int>(link_class(msg.src, msg.dst));
+    if (bytes_hist_[cls] != nullptr) {
+      bytes_hist_[cls]->add(msg.size_bytes);
+      latency_hist_[cls]->add(when - engine_.now());
+    }
+    if (obs_->trace_on()) {
+      obs_->trace().span(
+          "fabric", "fabric.transfer", engine_.now(), when, msg.src.value(),
+          {obs::arg("type", msg.type), obs::arg("bytes", msg.size_bytes),
+           obs::arg("src", msg.src.value()), obs::arg("dst", msg.dst.value())});
+    }
   }
   engine_.schedule(when - engine_.now(),
                    [this, m = std::move(msg)]() mutable { deliver(std::move(m)); });

@@ -25,6 +25,7 @@
 
 #include "common/ids.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "sim/engine.hpp"
 
 namespace vdce::net {
@@ -94,6 +95,12 @@ class Fabric {
   [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// Attach the environment's observability instance (null detaches).  With
+  /// metrics on, every send feeds per-link-class transfer histograms; with
+  /// tracing on, every send records a `fabric.transfer` span from emission
+  /// to scheduled delivery.  Disabled observability costs one branch.
+  void set_observability(obs::Observability* obs);
+
   /// Enable/disable shared-segment contention (see class comment).
   void set_shared_segments(bool on) { shared_segments_ = on; }
   [[nodiscard]] bool shared_segments() const noexcept {
@@ -109,10 +116,19 @@ class Fabric {
   /// Segment identity for contention: one per site LAN, one per WAN pair.
   [[nodiscard]] std::uint64_t segment_key(HostId src, HostId dst) const;
 
+  /// Link class of a (src, dst) pair for per-link metric breakdown.
+  enum class LinkClass { kLoopback, kLan, kWan };
+  [[nodiscard]] LinkClass link_class(HostId src, HostId dst) const;
+
   sim::Engine& engine_;
   Topology& topology_;
   std::unordered_map<HostId, Handler> handlers_;
   FabricStats stats_;
+  obs::Observability* obs_ = nullptr;
+  /// Cached metric handles (valid for the registry's lifetime), so the send
+  /// hot path never performs a name lookup.
+  common::Stats* bytes_hist_[3] = {nullptr, nullptr, nullptr};
+  common::Stats* latency_hist_[3] = {nullptr, nullptr, nullptr};
   bool shared_segments_ = false;
   /// When shared_segments_: time each segment finishes its queued transfers.
   std::unordered_map<std::uint64_t, common::SimTime> segment_busy_until_;

@@ -1,0 +1,92 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace vdce::obs {
+
+namespace {
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const common::Stats* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::reset() {
+  // Values are reset in place so handles cached by instrumented components
+  // remain valid (map nodes are never erased).
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.set(0.0);
+  for (auto& [name, h] : histograms_) h = common::Stats{};
+}
+
+std::string MetricsRegistry::to_jsonl() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "{\"kind\":\"counter\",\"name\":\"" + json_escape(name) +
+           "\",\"value\":" + std::to_string(c.value()) + "}\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "{\"kind\":\"gauge\",\"name\":\"" + json_escape(name) +
+           "\",\"value\":" + json_number(g.value()) + "}\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "{\"kind\":\"histogram\",\"name\":\"" + json_escape(name) +
+           "\",\"count\":" + std::to_string(h.count());
+    if (!h.empty()) {
+      out += ",\"mean\":" + json_number(h.mean()) +
+             ",\"min\":" + json_number(h.min()) +
+             ",\"p50\":" + json_number(h.percentile(50)) +
+             ",\"p99\":" + json_number(h.percentile(99)) +
+             ",\"max\":" + json_number(h.max());
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "  " + name + " = " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "  " + name + " = " + common::format_double(g.value(), 3) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "  " + name + ": " + h.summary() + "\n";
+  }
+  return out;
+}
+
+}  // namespace vdce::obs

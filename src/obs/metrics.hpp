@@ -1,0 +1,95 @@
+// Metrics half of the observability layer (docs/OBSERVABILITY.md).
+//
+// A MetricsRegistry is a name-indexed set of counters, gauges, and
+// Stats-backed histograms, instance-scoped (one per VdceEnvironment) so two
+// environments in one process never share state.  Instrumentation sites in
+// the hot path cache the Counter*/Stats* returned by the registry once, so
+// recording is a guarded pointer increment — no map lookup per event.
+//
+// Everything recorded here is derived from simulated time and seeded
+// randomness only (never the wall clock), so exports are byte-identical
+// across identical-seed runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace vdce::obs {
+
+/// Monotonic event count (messages sent, samples taken, reschedules, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written instantaneous value (queue depth, clock, bytes in flight).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Name-indexed metric store.  Handles returned by counter()/gauge()/
+/// histogram() stay valid for the registry's lifetime (node-based map), so
+/// they may be cached by instrumented components.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  common::Stats& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  /// Read helpers that never create the metric: 0 / empty when absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  [[nodiscard]] double gauge_value(const std::string& name) const;
+  [[nodiscard]] const common::Stats* find_histogram(
+      const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const
+      noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, common::Stats>& histograms() const
+      noexcept {
+    return histograms_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Zero every metric but keep the registered names (cached handles stay
+  /// valid) — the analogue of Fabric::reset_stats for a measurement window.
+  void reset();
+
+  /// One JSON object per line, metrics in name order within each kind
+  /// (counters, then gauges, then histograms).  Example:
+  ///   {"kind":"counter","name":"monitor.samples","value":1920}
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Human-readable table for examples and bench footers.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, common::Stats> histograms_;
+};
+
+}  // namespace vdce::obs

@@ -1,0 +1,46 @@
+// vdce::obs — the observability subsystem (docs/OBSERVABILITY.md).
+//
+// One Observability instance per VdceEnvironment bundles the metrics
+// registry and the trace sink.  Components receive a (possibly null)
+// Observability* at wiring time and guard every record with the cheap
+// metrics_on()/trace_on() checks, so a run with observability disabled pays
+// one branch per instrumentation site and allocates nothing.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace vdce::obs {
+
+struct MetricsOptions {
+  bool enabled = false;
+};
+
+class Observability {
+ public:
+  Observability() = default;
+  Observability(const MetricsOptions& metrics, const TraceOptions& trace)
+      : metrics_on_(metrics.enabled), trace_(trace) {}
+
+  [[nodiscard]] bool metrics_on() const noexcept { return metrics_on_; }
+  [[nodiscard]] bool trace_on() const noexcept { return trace_.enabled(); }
+  [[nodiscard]] bool any_on() const noexcept {
+    return metrics_on_ || trace_on();
+  }
+
+  void set_metrics_on(bool on) noexcept { metrics_on_ = on; }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] TraceSink& trace() noexcept { return trace_; }
+  [[nodiscard]] const TraceSink& trace() const noexcept { return trace_; }
+
+ private:
+  bool metrics_on_ = false;
+  MetricsRegistry metrics_;
+  TraceSink trace_;
+};
+
+}  // namespace vdce::obs

@@ -1,0 +1,255 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace vdce::obs {
+
+namespace {
+
+/// Deterministic JSON number rendering: shortest-ish fixed form via %.9g.
+/// The same binary over the same event sequence renders identical bytes,
+/// which is what the determinism guarantee needs.
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_args_object(std::string& out, const std::vector<TraceArg>& args) {
+  out += '{';
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += json_escape(args[i].key);
+    out += "\":";
+    if (args[i].is_number) {
+      out += args[i].value;
+    } else {
+      out += '"';
+      out += json_escape(args[i].value);
+      out += '"';
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceArg arg(std::string key, std::string value) {
+  return TraceArg{std::move(key), std::move(value), false};
+}
+TraceArg arg(std::string key, const char* value) {
+  return TraceArg{std::move(key), value, false};
+}
+TraceArg arg(std::string key, double value) {
+  return TraceArg{std::move(key), json_number(value), true};
+}
+TraceArg arg(std::string key, std::uint64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+TraceArg arg(std::string key, std::uint32_t value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+TraceArg arg(std::string key, std::int64_t value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+TraceArg arg(std::string key, int value) {
+  return TraceArg{std::move(key), std::to_string(value), true};
+}
+TraceArg arg(std::string key, bool value) {
+  return TraceArg{std::move(key), value ? "true" : "false", true};
+}
+
+void TraceSink::push(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceSink::span(std::string category, std::string name,
+                     common::SimTime start, common::SimTime end,
+                     std::uint32_t track, std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.phase = TracePhase::kSpan;
+  ev.category = std::move(category);
+  ev.name = std::move(name);
+  ev.start = start;
+  ev.duration = end - start;
+  ev.track = track;
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceSink::instant(std::string category, std::string name,
+                        common::SimTime time, std::uint32_t track,
+                        std::vector<TraceArg> args) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.phase = TracePhase::kInstant;
+  ev.category = std::move(category);
+  ev.name = std::move(name);
+  ev.start = time;
+  ev.track = track;
+  ev.args = std::move(args);
+  push(std::move(ev));
+}
+
+void TraceSink::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::size_t TraceSink::count(std::string_view name_prefix) const {
+  std::size_t n = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.name.size() >= name_prefix.size() &&
+        std::string_view(ev.name).substr(0, name_prefix.size()) ==
+            name_prefix) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string TraceSink::to_jsonl() const {
+  std::string out;
+  for (const TraceEvent& ev : events_) {
+    out += "{\"phase\":\"";
+    out += to_string(ev.phase);
+    out += "\",\"cat\":\"";
+    out += json_escape(ev.category);
+    out += "\",\"name\":\"";
+    out += json_escape(ev.name);
+    out += "\",\"t\":";
+    out += json_number(ev.start);
+    if (ev.phase == TracePhase::kSpan) {
+      out += ",\"dur\":";
+      out += json_number(ev.duration);
+    }
+    out += ",\"track\":";
+    out += std::to_string(ev.track);
+    if (!ev.args.empty()) {
+      out += ",\"args\":";
+      append_args_object(out, ev.args);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string TraceSink::to_chrome_trace() const {
+  // Timestamps are simulated seconds; Chrome expects microseconds.
+  constexpr double kUsPerSecond = 1e6;
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  // thread_name metadata so tracks read "host 3" / "control" in the viewer.
+  std::vector<std::uint32_t> tracks;
+  for (const TraceEvent& ev : events_) {
+    bool seen = false;
+    for (std::uint32_t t : tracks) {
+      if (t == ev.track) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) tracks.push_back(ev.track);
+  }
+  for (std::uint32_t track : tracks) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":";
+    out += std::to_string(track);
+    out += ",\"args\":{\"name\":\"";
+    out += track == kControlTrack ? "control"
+                                  : "host " + std::to_string(track);
+    out += "\"}}";
+  }
+
+  for (const TraceEvent& ev : events_) {
+    comma();
+    out += "{\"name\":\"";
+    out += json_escape(ev.name);
+    out += "\",\"cat\":\"";
+    out += json_escape(ev.category);
+    out += "\",\"ph\":\"";
+    out += ev.phase == TracePhase::kSpan ? 'X' : 'i';
+    out += "\",\"ts\":";
+    out += json_number(ev.start * kUsPerSecond);
+    if (ev.phase == TracePhase::kSpan) {
+      out += ",\"dur\":";
+      out += json_number(ev.duration * kUsPerSecond);
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    out += ",\"pid\":0,\"tid\":";
+    out += std::to_string(ev.track);
+    if (!ev.args.empty()) {
+      out += ",\"args\":";
+      append_args_object(out, ev.args);
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+namespace {
+
+common::Status write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::Error{common::ErrorCode::kIoError,
+                         "cannot open for writing: " + path};
+  }
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out) {
+    return common::Error{common::ErrorCode::kIoError,
+                         "short write to: " + path};
+  }
+  return common::Status::success();
+}
+
+}  // namespace
+
+common::Status TraceSink::write_jsonl(const std::string& path) const {
+  return write_file(path, to_jsonl());
+}
+
+common::Status TraceSink::write_chrome_trace(const std::string& path) const {
+  return write_file(path, to_chrome_trace());
+}
+
+}  // namespace vdce::obs

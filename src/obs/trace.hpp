@@ -1,0 +1,127 @@
+// Structured trace half of the observability layer (docs/OBSERVABILITY.md).
+//
+// A TraceSink collects typed span/instant records stamped with *simulated*
+// time: scheduler phases, fabric transfers, daemon heartbeats, task
+// executions, recovery actions.  Records are appended in the order the
+// simulation produces them, which — because the engine is deterministic —
+// makes the exported trace byte-identical across identical-seed runs.
+//
+// Two exporters:
+//  * JSONL: one JSON object per record, for diffing and ad-hoc analysis;
+//  * Chrome trace_event JSON: open the file in chrome://tracing or
+//    https://ui.perfetto.dev to see per-host timelines of a run.
+//
+// Zero-cost discipline: every instrumentation site guards on
+// `sink.enabled()` (a single bool load) before building any record, so a
+// disabled sink costs one predictable branch per site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/time.hpp"
+
+namespace vdce::obs {
+
+/// Track identity: which simulated entity an event happened on.  Host-side
+/// events use the host id; coordinator/control-plane events that have no
+/// single host use kControlTrack (rendered as the "control" timeline).
+inline constexpr std::uint32_t kControlTrack = 0xFFFFFFFFu;
+
+enum class TracePhase { kSpan, kInstant };
+
+[[nodiscard]] constexpr const char* to_string(TracePhase phase) {
+  return phase == TracePhase::kSpan ? "span" : "instant";
+}
+
+/// A key/value annotation.  The value is pre-rendered; numbers are emitted
+/// unquoted in JSON (rendering happens at record time so exports are pure
+/// serialization).
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool is_number = false;
+};
+
+[[nodiscard]] TraceArg arg(std::string key, std::string value);
+[[nodiscard]] TraceArg arg(std::string key, const char* value);
+[[nodiscard]] TraceArg arg(std::string key, double value);
+[[nodiscard]] TraceArg arg(std::string key, std::uint64_t value);
+[[nodiscard]] TraceArg arg(std::string key, std::uint32_t value);
+[[nodiscard]] TraceArg arg(std::string key, std::int64_t value);
+[[nodiscard]] TraceArg arg(std::string key, int value);
+[[nodiscard]] TraceArg arg(std::string key, bool value);
+
+struct TraceEvent {
+  TracePhase phase = TracePhase::kInstant;
+  std::string category;  ///< "sched", "fabric", "exec", "monitor", "recovery", "app"
+  std::string name;      ///< e.g. "fabric.transfer", "sched.bid_gather"
+  common::SimTime start = 0.0;
+  common::SimDuration duration = 0.0;  ///< 0 for instants
+  std::uint32_t track = kControlTrack;
+  std::vector<TraceArg> args;
+};
+
+struct TraceOptions {
+  bool enabled = false;
+  /// Hard cap on retained events; past it, new records are counted in
+  /// dropped() instead of stored (bounded memory on long runs).
+  std::size_t capacity = 1u << 20;
+};
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  explicit TraceSink(TraceOptions options)
+      : enabled_(options.enabled), capacity_(options.capacity) {}
+
+  /// The guard every instrumentation site checks before building a record.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  /// Record a span covering [start, end] in simulated time.  No-op (plus a
+  /// drop count once full) when disabled or at capacity.
+  void span(std::string category, std::string name, common::SimTime start,
+            common::SimTime end, std::uint32_t track,
+            std::vector<TraceArg> args = {});
+
+  /// Record a point event at `time`.
+  void instant(std::string category, std::string name, common::SimTime time,
+               std::uint32_t track, std::vector<TraceArg> args = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  void clear();
+
+  /// Count of retained events whose name starts with `name_prefix`.
+  [[nodiscard]] std::size_t count(std::string_view name_prefix) const;
+
+  /// One JSON object per event, in recording order, e.g.
+  ///   {"phase":"span","cat":"exec","name":"combine","t":3.25,"dur":1.5,
+  ///    "track":4,"args":{"app":1}}
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// Chrome trace_event "JSON Object Format": {"traceEvents":[...]} with
+  /// complete ("X") and instant ("i") events, timestamps in microseconds of
+  /// simulated time, plus thread_name metadata per track.
+  [[nodiscard]] std::string to_chrome_trace() const;
+
+  common::Status write_jsonl(const std::string& path) const;
+  common::Status write_chrome_trace(const std::string& path) const;
+
+ private:
+  void push(TraceEvent event);
+
+  bool enabled_ = false;
+  std::size_t capacity_ = 1u << 20;
+  std::size_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace vdce::obs

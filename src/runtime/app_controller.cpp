@@ -58,6 +58,16 @@ void AppController::check_load() {
         << common::format_double(h.state.cpu_load, 2)
         << "); terminating task " << aborted.task.value()
         << " and requesting reschedule";
+    if (core_.metering()) {
+      core_.meters().counter("recovery.overload_terminations").add();
+    }
+    if (core_.tracing()) {
+      core_.trace_sink().instant(
+          "recovery", "recovery.overload", core_.now(), host_.value(),
+          {obs::arg("app", aborted.app.value()),
+           obs::arg("task", aborted.task.value()),
+           obs::arg("load", h.state.cpu_load)});
+    }
     (void)core_.fabric().send(net::Message{
         host_, aborted.origin, msg::kAcOverload, wire::kSmall,
         std::any(OverloadNotice{aborted.app, aborted.task, host_,

@@ -13,6 +13,7 @@
 #include "db/site_repository.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "predict/model.hpp"
 #include "sim/engine.hpp"
 
@@ -86,6 +87,24 @@ class RuntimeCore {
 
   [[nodiscard]] common::SimTime now() const noexcept { return engine_.now(); }
 
+  // --- observability -------------------------------------------------------
+  /// Attach the environment's Observability (null detaches).  Daemons guard
+  /// every record with tracing()/metering(), so a core without observability
+  /// pays one branch per instrumentation site.
+  void set_observability(obs::Observability* obs) noexcept { obs_ = obs; }
+  [[nodiscard]] obs::Observability* obs() const noexcept { return obs_; }
+  [[nodiscard]] bool tracing() const noexcept {
+    return obs_ != nullptr && obs_->trace_on();
+  }
+  [[nodiscard]] bool metering() const noexcept {
+    return obs_ != nullptr && obs_->metrics_on();
+  }
+  /// Valid only when tracing()/metering() respectively returned true.
+  [[nodiscard]] obs::TraceSink& trace_sink() noexcept { return obs_->trace(); }
+  [[nodiscard]] obs::MetricsRegistry& meters() noexcept {
+    return obs_->metrics();
+  }
+
  private:
   sim::Engine& engine_;
   net::Fabric& fabric_;
@@ -95,6 +114,7 @@ class RuntimeCore {
   predict::Predictor predictor_;
   predict::GroundTruthModel ground_truth_;
   common::Rng rng_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace vdce::runtime

@@ -253,8 +253,20 @@ void DataManager::finish_task(common::AppId app, std::uint32_t task_value) {
   task.done = true;
   const common::SimDuration elapsed = core_.now() - state.run_started;
 
-  // Run the real kernel, if the application carries one.
   const afg::TaskNode& node = plan.graph.task(task.id);
+  if (core_.metering()) {
+    core_.meters().counter("exec.tasks_completed").add();
+    core_.meters().histogram("exec.task_seconds").add(elapsed);
+  }
+  if (core_.tracing()) {
+    core_.trace_sink().span(
+        "exec", "exec.task", state.run_started, core_.now(), host_.value(),
+        {obs::arg("task", node.instance_name),
+         obs::arg("app", plan.app.value()),
+         obs::arg("host", host_.value())});
+  }
+
+  // Run the real kernel, if the application carries one.
   std::vector<tasklib::Value> outputs(
       static_cast<std::size_t>(node.out_ports()));
   const tasklib::Kernel& kernel = plan.kernels[task_value];

@@ -50,6 +50,34 @@ struct ExecutionReport {
   int reschedules = 0;                ///< overload-triggered task restarts
   int failures_survived = 0;          ///< host deaths recovered from
 
+  /// Simulated time the distributed scheduling phase took before the
+  /// execution request was issued.  Filled by VdceEnvironment's
+  /// run_application; stays 0 when the allocation table was supplied
+  /// externally (execute_with_table).
+  common::SimDuration scheduling_time = 0.0;
+
+  /// Phase decomposition of the end-to-end latency, for makespan
+  /// attribution: where did the simulated seconds go?
+  struct PhaseBreakdown {
+    common::SimDuration scheduling = 0.0;  ///< Fig. 2 bid gather + assignment
+    common::SimDuration setup = 0.0;       ///< RAT fan-out, channels, staging
+    common::SimDuration execution = 0.0;   ///< startup signal -> last task
+    /// Sum of per-task compute times; execution minus this is transfer +
+    /// queueing + recovery overhead.
+    common::SimDuration task_busy = 0.0;
+    [[nodiscard]] common::SimDuration total() const {
+      return scheduling + setup + execution;
+    }
+  };
+  [[nodiscard]] PhaseBreakdown breakdown() const {
+    PhaseBreakdown b;
+    b.scheduling = scheduling_time;
+    b.setup = setup_time();
+    b.execution = makespan();
+    for (const TaskOutcome& o : outcomes) b.task_busy += o.finished - o.started;
+    return b;
+  }
+
   /// QoS: the deadline the user requested (0 = none) and whether the
   /// achieved makespan met it.
   common::SimDuration deadline = 0.0;

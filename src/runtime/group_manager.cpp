@@ -30,6 +30,7 @@ void GroupManager::handle(const net::Message& message) {
 void GroupManager::on_mon_report(const net::Message& message) {
   const auto& report = std::any_cast<const MonReport&>(message.payload);
   ++reports_received_;
+  if (core_.metering()) core_.meters().counter("monitor.reports_received").add();
 
   // Any traffic from a host is proof of life: without this, an echo round
   // that straddles a host's recovery would declare it down again right
@@ -50,6 +51,9 @@ void GroupManager::on_mon_report(const net::Message& message) {
 
   last_forwarded_load_[report.host] = report.sample.cpu_load;
   ++reports_forwarded_;
+  if (core_.metering()) {
+    core_.meters().counter("monitor.reports_forwarded").add();
+  }
   GmReport batch;
   batch.changed.push_back(report);
   (void)core_.fabric().send(net::Message{leader_, site_server_, msg::kGmReport,
@@ -71,6 +75,14 @@ void GroupManager::echo_tick() {
       VDCE_LOG(kInfo, "group-mgr", core_.now())
           << "host " << core_.topology().host(member).spec.name
           << " failed echo round " << echo_seq_;
+      if (core_.metering()) {
+        core_.meters().counter("monitor.failures_detected").add();
+      }
+      if (core_.tracing()) {
+        core_.trace_sink().instant(
+            "monitor", "monitor.failure_detected", core_.now(), leader_.value(),
+            {obs::arg("host", member.value()), obs::arg("round", echo_seq_)});
+      }
       (void)core_.fabric().send(net::Message{leader_, site_server_,
                                              msg::kGmHostDown, wire::kSmall,
                                              std::any(HostDownNotice{member})});
@@ -81,6 +93,13 @@ void GroupManager::echo_tick() {
   ++echo_seq_;
   echo_replied_.clear();
   echo_outstanding_ = true;
+  if (core_.metering()) core_.meters().counter("monitor.echo_rounds").add();
+  if (core_.tracing()) {
+    core_.trace_sink().instant("monitor", "monitor.echo_round", core_.now(),
+                               leader_.value(),
+                               {obs::arg("group", group_.value()),
+                                obs::arg("round", echo_seq_)});
+  }
   for (common::HostId member : group.members) {
     if (member == leader_) continue;
     (void)core_.fabric().send(net::Message{leader_, member, msg::kGmEcho,

@@ -23,6 +23,8 @@ void MonitorDaemon::sample_and_report() {
   const net::Host& h = core_.topology().host(host_);
   if (!h.state.up) return;  // a dead host measures nothing
 
+  if (core_.metering()) core_.meters().counter("monitor.samples").add();
+
   MonReport report;
   report.host = host_;
   report.sample.time = core_.now();

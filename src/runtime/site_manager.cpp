@@ -71,6 +71,8 @@ sched::SchedulerContext SiteManager::make_context() const {
   ctx.predictor = &core_.predictor();
   ctx.local_site = site_;
   ctx.k_nearest = core_.options().k_nearest;
+  ctx.obs = core_.obs();
+  ctx.now = core_.now();
   return ctx;
 }
 
@@ -122,6 +124,13 @@ void SiteManager::on_gm_host_down(const net::Message& message) {
   VDCE_LOG(kInfo, "site-mgr", core_.now())
       << "site " << site_.value() << " marks host " << notice.host.value()
       << " down";
+  if (core_.metering()) core_.meters().counter("recovery.hosts_marked_down").add();
+  if (core_.tracing()) {
+    core_.trace_sink().instant("recovery", "recovery.host_down", core_.now(),
+                               obs::kControlTrack,
+                               {obs::arg("host", notice.host.value()),
+                                obs::arg("site", site_.value())});
+  }
   (void)core_.repo(site_).resources().set_host_up(notice.host, false);
 
   // Inter-site coordination: tell the other Site Managers.
@@ -173,6 +182,8 @@ void SiteManager::schedule_application(common::AppId app,
   pending.options = options;
   pending.sites = sched::candidate_site_set(ctx, options);
   pending.callback = std::move(callback);
+  pending.started = core_.now();
+  if (core_.metering()) core_.meters().counter("sched.requests").add();
 
   // Local host selection runs in place (Fig. 2 step 4, local half).
   auto local = sched::HostSelectionAlgorithm::run(*graph, site_,
@@ -182,6 +193,12 @@ void SiteManager::schedule_application(common::AppId app,
     auto cb = std::move(pending.callback);
     core_.engine().schedule(0.0, [cb, err = local.error()] { cb(err); });
     return;
+  }
+  if (core_.tracing()) {
+    core_.trace_sink().instant(
+        "sched", "sched.host_selection", core_.now(), server_.value(),
+        {obs::arg("site", site_.value()),
+         obs::arg("bids", std::uint64_t{local->bids.size()})});
   }
   pending.outputs.emplace(site_, std::move(*local));
 
@@ -220,6 +237,12 @@ void SiteManager::on_sm_afg(const net::Message& message) {
   auto output = sched::HostSelectionAlgorithm::run(
       *request.graph, site_, core_.repo(site_), core_.predictor());
   if (!output) return;  // cannot bid; origin proceeds without this site
+  if (core_.tracing()) {
+    core_.trace_sink().instant(
+        "sched", "sched.host_selection", core_.now(), server_.value(),
+        {obs::arg("site", site_.value()),
+         obs::arg("bids", std::uint64_t{output->bids.size()})});
+  }
   double size = wire::bids(*output);
   (void)core_.fabric().send(net::Message{
       server_, request.reply_to, msg::kSmBids, size,
@@ -246,6 +269,19 @@ void SiteManager::finish_schedule(std::uint32_t app_value) {
   for (common::SiteId s : pending.sites) {
     auto found = pending.outputs.find(s);
     if (found != pending.outputs.end()) outputs.push_back(found->second);
+  }
+  if (core_.tracing()) {
+    core_.trace_sink().span(
+        "sched", "sched.bid_gather", pending.started, core_.now(),
+        obs::kControlTrack,
+        {obs::arg("app", app_value),
+         obs::arg("sites", std::uint64_t{pending.sites.size()}),
+         obs::arg("replies", std::uint64_t{outputs.size()})});
+  }
+  if (core_.metering()) {
+    core_.meters()
+        .histogram("sched.bid_gather_seconds")
+        .add(core_.now() - pending.started);
   }
   auto ctx = make_context();
   auto result = sched::assign_with_outputs(
@@ -434,6 +470,7 @@ void SiteManager::on_ac_overload(const net::Message& message) {
     VDCE_LOG(kInfo, "site-mgr", core_.now())
         << "task " << app.plan->graph.task(notice.task).instance_name
         << " hit the attempt cap; pinning on host " << notice.host.value();
+    if (core_.metering()) core_.meters().counter("recovery.task_pins").add();
     ++app.attempts[notice.task.value()];
     dispatch_updated_plan(app, notice.task, /*pin=*/true);
     return;
@@ -536,6 +573,14 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
       << "rescheduling " << node.instance_name << " to host "
       << chosen.primary_host().value() << " (site " << chosen.site.value()
       << ")";
+  if (core_.metering()) core_.meters().counter("recovery.reschedules").add();
+  if (core_.tracing()) {
+    core_.trace_sink().instant(
+        "recovery", "recovery.reschedule", core_.now(), obs::kControlTrack,
+        {obs::arg("task", node.instance_name),
+         obs::arg("from", bad_host.value()),
+         obs::arg("to", chosen.primary_host().value())});
+  }
 
   app.current[task.value()] = chosen;
   ++app.attempts[task.value()];
@@ -635,6 +680,29 @@ void SiteManager::complete_app(ActiveApp& app, bool success,
     if (it != app.outcomes.end()) report.outcomes.push_back(it->second);
   }
   report.exit_outputs = app.exit_outputs;
+
+  if (core_.metering()) {
+    obs::MetricsRegistry& m = core_.meters();
+    m.counter(success ? "app.completed" : "app.failed").add();
+    if (success) {
+      m.histogram("app.setup_seconds").add(report.setup_time());
+      m.histogram("app.makespan").add(report.makespan());
+    }
+  }
+  if (core_.tracing()) {
+    obs::TraceSink& sink = core_.trace_sink();
+    sink.span("app", "app.setup", report.submitted, report.exec_started,
+              obs::kControlTrack, {obs::arg("app", report.app.value())});
+    sink.span("app", "app.run", report.exec_started, report.completed,
+              obs::kControlTrack,
+              {obs::arg("app", report.app.value()),
+               obs::arg("name", report.app_name),
+               obs::arg("success", success),
+               obs::arg("reschedules", std::int64_t{report.reschedules}),
+               obs::arg("failures_survived",
+                        std::int64_t{report.failures_survived})});
+  }
+
   if (app.callback) app.callback(std::move(report));
 }
 

@@ -99,6 +99,7 @@ class SiteManager {
     std::vector<common::SiteId> sites;  ///< candidate set, local first
     std::map<common::SiteId, sched::HostSelectionOutput> outputs;
     ScheduleCallback callback;
+    common::SimTime started = 0;  ///< when the request arrived (bid-gather span)
   };
 
   struct ActiveApp {

@@ -113,6 +113,7 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
 
   const common::HostId staging = topology.site(context.local_site).server;
   std::size_t placed = 0;
+  std::size_t candidates_evaluated = 0;
 
   while (!ready.empty()) {
     // Highest level first; ties by id.
@@ -141,6 +142,7 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
       SiteCandidate cand;
       cand.site = s;
       cand.valid = true;
+      ++candidates_evaluated;
 
       if (options.objective == SiteObjective::kPaperObjective) {
         cand.hosts = bid_it->second.hosts;
@@ -235,7 +237,28 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
                          "scheduler placed " + std::to_string(placed) + " of " +
                              std::to_string(graph.task_count()) + " tasks"};
   }
-  return builder.build(graph.name(), scheduler_name);
+  auto table = builder.build(graph.name(), scheduler_name);
+
+  if (context.obs != nullptr) {
+    if (context.obs->metrics_on()) {
+      obs::MetricsRegistry& m = context.obs->metrics();
+      m.counter("sched.assign.runs").add();
+      m.counter("sched.assign.tasks_placed").add(placed);
+      m.histogram("sched.assign.site_candidates_per_task")
+          .add(static_cast<double>(candidates_evaluated) /
+               static_cast<double>(placed));
+      m.histogram("sched.schedule_length").add(table.schedule_length);
+    }
+    if (context.obs->trace_on()) {
+      context.obs->trace().instant(
+          "sched", "sched.assign", context.now, obs::kControlTrack,
+          {obs::arg("scheduler", scheduler_name),
+           obs::arg("tasks", std::uint64_t{placed}),
+           obs::arg("sites", std::uint64_t{outputs.size()}),
+           obs::arg("schedule_length", table.schedule_length)});
+    }
+  }
+  return table;
 }
 
 common::Expected<ResourceAllocationTable> VdceSiteScheduler::schedule(

@@ -9,8 +9,10 @@
 #include "afg/graph.hpp"
 #include "common/expected.hpp"
 #include "common/rng.hpp"
+#include "common/time.hpp"
 #include "db/site_repository.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "predict/model.hpp"
 #include "sched/types.hpp"
 
@@ -26,6 +28,12 @@ struct SchedulerContext {
   const predict::Predictor* predictor = nullptr;
   common::SiteId local_site;   ///< where the execution request arrived
   std::size_t k_nearest = 2;   ///< size of S_remote in Fig. 2, step 2
+
+  /// Observability hooks (optional).  When set, the assignment phase feeds
+  /// candidate counts and phase records; `now` stamps trace events with the
+  /// caller's simulated time (0 for synchronous, out-of-simulation runs).
+  obs::Observability* obs = nullptr;
+  common::SimTime now = 0.0;
 
   [[nodiscard]] const db::SiteRepository& repo(common::SiteId site) const {
     return *repos.at(site.value());

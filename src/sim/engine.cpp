@@ -31,6 +31,7 @@ EventHandle Engine::schedule_at(common::SimTime when, Callback fn) {
   assert(fn);
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
   return EventHandle(std::move(cancelled));
 }
 

@@ -102,6 +102,14 @@ class Engine {
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t total_fired() const noexcept { return fired_; }
+  [[nodiscard]] std::uint64_t total_scheduled() const noexcept {
+    return next_seq_;
+  }
+  /// High-water mark of the event queue — the observability layer exports
+  /// this as the `sim.max_queue_depth` gauge.
+  [[nodiscard]] std::size_t max_queue_depth() const noexcept {
+    return max_depth_;
+  }
 
  private:
   struct Event {
@@ -123,6 +131,7 @@ class Engine {
   common::SimTime now_ = common::kSimStart;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::size_t max_depth_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -1,6 +1,8 @@
 #include "vdce/environment.hpp"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 #include "sched/support.hpp"
 
@@ -10,8 +12,11 @@ VdceEnvironment::VdceEnvironment(net::Topology topology,
                                  EnvironmentOptions options)
     : topology_(std::move(topology)),
       options_(options),
+      obs_(options.metrics, options.trace),
       engine_(),
       fabric_(engine_, topology_) {
+  set_log_level(options_.log_level);
+  fabric_.set_observability(&obs_);
   tasklib::register_standard_libraries(registry_);
 }
 
@@ -36,6 +41,7 @@ void VdceEnvironment::bring_up() {
 
   core_ = std::make_unique<runtime::RuntimeCore>(
       engine_, fabric_, topology_, std::move(repo_ptrs), options_.runtime);
+  core_->set_observability(&obs_);
 
   for (const net::Host& host : topology_.hosts()) {
     agents_.push_back(std::make_unique<runtime::HostAgent>(*core_, host.id));
@@ -60,17 +66,75 @@ void VdceEnvironment::bring_up() {
   }
 }
 
+common::Expected<std::reference_wrapper<db::SiteRepository>>
+VdceEnvironment::try_repo(common::SiteId site) {
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "repo(): environment not brought up"};
+  }
+  if (site.value() >= repos_.size()) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "repo(): unknown site id " +
+                             std::to_string(site.value()) + " (environment has " +
+                             std::to_string(repos_.size()) + " sites)"};
+  }
+  return std::ref(*repos_[site.value()]);
+}
+
+common::Expected<std::reference_wrapper<runtime::SiteManager>>
+VdceEnvironment::try_site_manager(common::SiteId site) {
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "site_manager(): environment not brought up"};
+  }
+  if (site.value() >= repos_.size()) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "site_manager(): unknown site id " +
+                             std::to_string(site.value())};
+  }
+  common::HostId server = topology_.site(site).server;
+  runtime::SiteManager* manager = agents_.at(server.value())->site_manager();
+  if (manager == nullptr) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "site_manager(): server host " +
+                             std::to_string(server.value()) +
+                             " runs no Site Manager"};
+  }
+  return std::ref(*manager);
+}
+
+namespace {
+
+[[noreturn]] void accessor_abort(const common::Error& error) {
+  std::fprintf(stderr, "VdceEnvironment: %s\n", error.to_string().c_str());
+  std::abort();
+}
+
+}  // namespace
+
 db::SiteRepository& VdceEnvironment::repo(common::SiteId site) {
-  assert(up_);
-  return *repos_.at(site.value());
+  auto r = try_repo(site);
+  if (!r) accessor_abort(r.error());
+  return r->get();
 }
 
 runtime::SiteManager& VdceEnvironment::site_manager(common::SiteId site) {
-  assert(up_);
-  common::HostId server = topology_.site(site).server;
-  runtime::SiteManager* manager = agents_.at(server.value())->site_manager();
-  assert(manager != nullptr);
-  return *manager;
+  auto r = try_site_manager(site);
+  if (!r) accessor_abort(r.error());
+  return r->get();
+}
+
+obs::MetricsRegistry& VdceEnvironment::metrics() {
+  obs::MetricsRegistry& m = obs_.metrics();
+  m.gauge("sim.now").set(engine_.now());
+  m.gauge("sim.events_fired").set(static_cast<double>(engine_.total_fired()));
+  m.gauge("sim.events_scheduled")
+      .set(static_cast<double>(engine_.total_scheduled()));
+  m.gauge("sim.max_queue_depth")
+      .set(static_cast<double>(engine_.max_queue_depth()));
+  m.gauge("sim.pending_events")
+      .set(static_cast<double>(engine_.pending_events()));
+  return m;
 }
 
 runtime::BackgroundLoadGenerator& VdceEnvironment::background() {
@@ -165,8 +229,10 @@ common::Expected<sched::ResourceAllocationTable> VdceEnvironment::schedule(
 
 common::Expected<runtime::ExecutionReport> VdceEnvironment::run_application(
     const afg::Afg& graph, const Session& session, RunOptions options) {
+  const common::SimTime sched_started = engine_.now();
   auto table = schedule(graph, session, options.sched);
   if (!table) return table.error();
+  const common::SimDuration scheduling_time = engine_.now() - sched_started;
   if (options.enforce_admission && options.deadline > 0.0 &&
       table->schedule_length > options.deadline) {
     return common::Error{
@@ -176,7 +242,9 @@ common::Expected<runtime::ExecutionReport> VdceEnvironment::run_application(
             "s exceeds the " + common::format_double(options.deadline, 3) +
             "s deadline"};
   }
-  return execute_plan(graph, std::move(*table), session, options);
+  auto report = execute_plan(graph, std::move(*table), session, options);
+  if (report) report->scheduling_time = scheduling_time;
+  return report;
 }
 
 common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_with_table(

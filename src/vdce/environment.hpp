@@ -21,13 +21,16 @@
 // recovery, and returns the ExecutionReport.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "afg/graph.hpp"
 #include "common/expected.hpp"
+#include "common/logging.hpp"
 #include "db/site_repository.hpp"
+#include "obs/obs.hpp"
 #include "dsm/dsm.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
@@ -56,6 +59,18 @@ struct EnvironmentOptions {
   runtime::LoadGeneratorOptions load;
   /// Abort a synchronous wait after this much simulated time.
   common::SimDuration sync_timeout = 24.0 * 3600.0;
+
+  /// Structured metrics (counters / gauges / histograms over the daemons,
+  /// fabric, scheduler, and executions).  Read them via env.metrics().
+  obs::MetricsOptions metrics;
+  /// Structured tracing: typed span/instant records stamped with simulated
+  /// time.  Export via env.trace().write_chrome_trace(path) and open in
+  /// chrome://tracing or Perfetto.  Off by default — when disabled every
+  /// instrumentation site is a single predictable branch.
+  obs::TraceOptions trace;
+  /// Console log verbosity for the whole environment.  Prefer this (and
+  /// set_log_level()) over poking common::Logger::instance() directly.
+  common::LogLevel log_level = common::LogLevel::kOff;
 };
 
 struct RunOptions {
@@ -88,11 +103,48 @@ class VdceEnvironment {
   [[nodiscard]] net::Topology& topology() noexcept { return topology_; }
   [[nodiscard]] net::Fabric& fabric() noexcept { return fabric_; }
   [[nodiscard]] tasklib::TaskRegistry& registry() noexcept { return registry_; }
-  [[nodiscard]] db::SiteRepository& repo(common::SiteId site);
-  [[nodiscard]] runtime::SiteManager& site_manager(common::SiteId site);
   [[nodiscard]] runtime::ObjectStore& store() noexcept { return store_; }
   [[nodiscard]] runtime::BackgroundLoadGenerator& background();
   [[nodiscard]] runtime::RuntimeCore& core();
+
+  /// Checked accessors: an unknown site id or an environment that has not
+  /// been brought up yields a descriptive error instead of undefined
+  /// behaviour.
+  [[nodiscard]] common::Expected<std::reference_wrapper<db::SiteRepository>>
+  try_repo(common::SiteId site);
+  [[nodiscard]] common::Expected<std::reference_wrapper<runtime::SiteManager>>
+  try_site_manager(common::SiteId site);
+
+  /// Unchecked forms of the above: print a diagnostic and abort on misuse
+  /// (never silently corrupt).
+  [[nodiscard]] db::SiteRepository& repo(common::SiteId site);
+  [[nodiscard]] runtime::SiteManager& site_manager(common::SiteId site);
+
+  /// Deployment enumeration, for tooling that walks the testbed without
+  /// reaching into the topology object.
+  [[nodiscard]] const std::vector<net::Site>& sites() const noexcept {
+    return topology_.sites();
+  }
+  [[nodiscard]] const std::vector<net::Host>& hosts() const noexcept {
+    return topology_.hosts();
+  }
+
+  // --- observability -------------------------------------------------------
+  /// The environment's metrics/trace bundle (shared with every daemon).
+  [[nodiscard]] obs::Observability& observability() noexcept { return obs_; }
+  /// Metrics registry; refreshes the `sim.*` gauges (clock, event counts,
+  /// queue high-water mark) so a snapshot or export is current.
+  [[nodiscard]] obs::MetricsRegistry& metrics();
+  [[nodiscard]] obs::TraceSink& trace() noexcept { return obs_.trace(); }
+
+  /// Console log verbosity (the supported replacement for poking
+  /// common::Logger::instance() in user code).
+  void set_log_level(common::LogLevel level) {
+    common::Logger::instance().set_level(level);
+  }
+  [[nodiscard]] common::LogLevel log_level() const {
+    return common::Logger::instance().level();
+  }
 
   /// Start the distributed-shared-memory service (the paper's §5 future
   /// work) across every host.  Idempotent; returns the runtime for defining
@@ -140,6 +192,7 @@ class VdceEnvironment {
 
   net::Topology topology_;
   EnvironmentOptions options_;
+  obs::Observability obs_;
   sim::Engine engine_;
   net::Fabric fabric_;
   tasklib::TaskRegistry registry_;
