@@ -1,0 +1,396 @@
+#include "chaos/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace vdce::chaos {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kHostCrash: return "crash";
+    case FaultKind::kLinkDegrade: return "degrade";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kMessageLoss: return "loss";
+    case FaultKind::kLoadSpike: return "slow";
+    case FaultKind::kStaleMonitor: return "stale";
+  }
+  return "unknown";
+}
+
+void FaultPlan::fail(std::string message) {
+  errors_.push_back(std::move(message));
+}
+
+common::Status FaultPlan::validate() const {
+  if (errors_.empty()) return common::Status::success();
+  return common::Error{common::ErrorCode::kInvalidArgument,
+                       "fault plan '" + name_ + "': " + errors_.front()};
+}
+
+FaultPlan& FaultPlan::crash(HostRef host, common::SimTime at,
+                            common::SimDuration down_for) {
+  FaultEvent e;
+  e.kind = FaultKind::kHostCrash;
+  e.at = at;
+  e.duration = down_for;
+  e.host = std::move(host);
+  if (e.host.empty()) fail("crash: host reference is empty");
+  if (at < 0.0 || down_for < 0.0) fail("crash: negative time");
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade(std::int64_t site_a, std::int64_t site_b,
+                              common::SimTime at, common::SimDuration duration,
+                              double latency_x, double bandwidth_x) {
+  FaultEvent e;
+  e.kind = FaultKind::kLinkDegrade;
+  e.at = at;
+  e.duration = duration;
+  e.site_a = site_a;
+  e.site_b = site_b;
+  e.latency_x = latency_x;
+  e.bandwidth_x = bandwidth_x;
+  if (site_a < 0 || site_b < 0) fail("degrade: negative site id");
+  if (duration <= 0.0) fail("degrade: duration must be positive");
+  if (latency_x < 1.0 || bandwidth_x <= 0.0 || bandwidth_x > 1.0) {
+    fail("degrade: latency_x must be >= 1 and bandwidth_x in (0, 1]");
+  }
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::int64_t site_a, std::int64_t site_b,
+                                common::SimTime at,
+                                common::SimDuration duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kPartition;
+  e.at = at;
+  e.duration = duration;
+  e.site_a = site_a;
+  e.site_b = site_b;
+  if (site_a < 0 || site_b < 0) fail("partition: negative site id");
+  if (site_a == site_b) fail("partition: sites must differ");
+  if (duration <= 0.0) fail("partition: duration must be positive");
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss(double rate, common::SimTime at,
+                           common::SimDuration duration,
+                           std::string type_prefix, std::int64_t site) {
+  FaultEvent e;
+  e.kind = FaultKind::kMessageLoss;
+  e.at = at;
+  e.duration = duration;
+  e.rate = rate;
+  e.type_prefix = std::move(type_prefix);
+  e.site_a = site;
+  if (rate <= 0.0 || rate > 1.0) fail("loss: rate must be in (0, 1]");
+  if (duration <= 0.0) fail("loss: duration must be positive");
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow(HostRef host, common::SimTime at,
+                           common::SimDuration duration, double load) {
+  FaultEvent e;
+  e.kind = FaultKind::kLoadSpike;
+  e.at = at;
+  e.duration = duration;
+  e.host = std::move(host);
+  e.load = load;
+  if (e.host.empty()) fail("slow: host reference is empty");
+  if (duration <= 0.0) fail("slow: duration must be positive");
+  if (load <= 0.0) fail("slow: load must be positive");
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::stale_host(HostRef host, common::SimTime at,
+                                 common::SimDuration duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kStaleMonitor;
+  e.at = at;
+  e.duration = duration;
+  e.host = std::move(host);
+  if (e.host.empty()) fail("stale: host reference is empty");
+  if (duration <= 0.0) fail("stale: duration must be positive");
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::stale_site(std::int64_t site, common::SimTime at,
+                                 common::SimDuration duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kStaleMonitor;
+  e.at = at;
+  e.duration = duration;
+  e.site_a = site;
+  if (site < 0) fail("stale: negative site id");
+  if (duration <= 0.0) fail("stale: duration must be positive");
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+// ---- text format -----------------------------------------------------------
+
+namespace {
+
+std::string quoted(const std::string& text) { return "\"" + text + "\""; }
+
+std::string num(double v) {
+  std::string s = common::format_double(v, 6);
+  // Canonical form: strip trailing zeros (but keep one digit after '.').
+  if (s.find('.') != std::string::npos) {
+    while (s.size() > 1 && s.back() == '0' && s[s.size() - 2] != '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+std::string host_ref(const HostRef& ref) {
+  return ref.name.empty() ? std::to_string(ref.id) : quoted(ref.name);
+}
+
+/// Tokenize one line, honouring double quotes; '#' starts a comment.
+common::Expected<std::vector<std::string>> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  auto flush = [&] {
+    if (!current.empty() || was_quoted) tokens.push_back(current);
+    current.clear();
+    was_quoted = false;
+  };
+  for (char c : line) {
+    if (in_quotes) {
+      if (c == '"') {
+        in_quotes = false;
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+      was_quoted = true;
+    } else if (c == '#') {
+      break;
+    } else if (c == ' ' || c == '\t' || c == '\r') {
+      flush();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (in_quotes) {
+    return common::Error{common::ErrorCode::kParseError, "unterminated quote"};
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace
+
+std::string FaultPlan::write() const {
+  std::string out = "faultplan " + quoted(name_) + "\n";
+  out += "seed " + std::to_string(seed_) + "\n\n";
+  for (const FaultEvent& e : events_) {
+    switch (e.kind) {
+      case FaultKind::kHostCrash:
+        out += "crash host " + host_ref(e.host) + " at " + num(e.at);
+        if (e.duration > 0.0) out += " down_for " + num(e.duration);
+        break;
+      case FaultKind::kLinkDegrade:
+        out += "degrade site " + std::to_string(e.site_a) + " site " +
+               std::to_string(e.site_b) + " at " + num(e.at) + " for " +
+               num(e.duration) + " latency_x " + num(e.latency_x) +
+               " bandwidth_x " + num(e.bandwidth_x);
+        break;
+      case FaultKind::kPartition:
+        out += "partition site " + std::to_string(e.site_a) + " site " +
+               std::to_string(e.site_b) + " at " + num(e.at) + " for " +
+               num(e.duration);
+        break;
+      case FaultKind::kMessageLoss:
+        out += "loss rate " + num(e.rate) + " at " + num(e.at) + " for " +
+               num(e.duration);
+        if (!e.type_prefix.empty()) out += " type " + quoted(e.type_prefix);
+        if (e.site_a >= 0) out += " site " + std::to_string(e.site_a);
+        break;
+      case FaultKind::kLoadSpike:
+        out += "slow host " + host_ref(e.host) + " at " + num(e.at) + " for " +
+               num(e.duration) + " load " + num(e.load);
+        break;
+      case FaultKind::kStaleMonitor:
+        if (!e.host.empty()) {
+          out += "stale host " + host_ref(e.host);
+        } else {
+          out += "stale site " + std::to_string(e.site_a);
+        }
+        out += " at " + num(e.at) + " for " + num(e.duration);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+common::Expected<FaultPlan> FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  int line_number = 0;
+  auto parse_error = [&](const std::string& message) {
+    return common::Error{common::ErrorCode::kParseError,
+                         "fault plan line " + std::to_string(line_number) +
+                             ": " + message};
+  };
+
+  for (std::string_view rest = text; !rest.empty();) {
+    ++line_number;
+    std::size_t eol = rest.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 1);
+
+    auto tokens = tokenize(line);
+    if (!tokens) return parse_error(tokens.error().message);
+    if (tokens->empty()) continue;
+    const std::vector<std::string>& t = *tokens;
+    const std::string& verb = t[0];
+
+    // Key/value pairs after the verb; the leading positional tokens of each
+    // verb are also keyed ("host", "site", "rate"), so one map serves all.
+    auto value_of = [&](std::string_view key,
+                        int nth = 0) -> const std::string* {
+      int seen = 0;
+      for (std::size_t i = 1; i + 1 < t.size(); i += 2) {
+        if (t[i] == key) {
+          if (seen == nth) return &t[i + 1];
+          ++seen;
+        }
+      }
+      return nullptr;
+    };
+    if (verb != "faultplan" && verb != "seed" && (t.size() % 2) != 1) {
+      return parse_error("expected '" + verb + " key value ...' pairs");
+    }
+    auto number = [&](std::string_view key,
+                      int nth = 0) -> common::Expected<double> {
+      const std::string* v = value_of(key, nth);
+      if (v == nullptr) {
+        return common::Error{common::ErrorCode::kParseError,
+                             "missing '" + std::string(key) + "'"};
+      }
+      return common::parse_double(*v);
+    };
+    auto host_of = [&]() -> common::Expected<HostRef> {
+      const std::string* v = value_of("host");
+      if (v == nullptr) {
+        return common::Error{common::ErrorCode::kParseError, "missing 'host'"};
+      }
+      if (auto id = common::parse_uint(*v)) {
+        return HostRef(common::HostId(static_cast<std::uint32_t>(*id)));
+      }
+      return HostRef(*v);
+    };
+
+    if (verb == "faultplan") {
+      if (t.size() != 2) return parse_error("expected: faultplan \"name\"");
+      plan.name(t[1]);
+    } else if (verb == "seed") {
+      if (t.size() != 2) return parse_error("expected: seed <n>");
+      auto s = common::parse_uint(t[1]);
+      if (!s) return parse_error("bad seed: " + t[1]);
+      plan.seed(*s);
+    } else if (verb == "crash") {
+      auto host = host_of();
+      auto at = number("at");
+      if (!host) return parse_error(host.error().message);
+      if (!at) return parse_error(at.error().message);
+      double down_for = 0.0;
+      if (value_of("down_for") != nullptr) {
+        auto d = number("down_for");
+        if (!d) return parse_error(d.error().message);
+        down_for = *d;
+      }
+      plan.crash(std::move(*host), *at, down_for);
+    } else if (verb == "degrade") {
+      auto a = number("site", 0);
+      auto b = number("site", 1);
+      auto at = number("at");
+      auto dur = number("for");
+      auto lat = number("latency_x");
+      auto bw = number("bandwidth_x");
+      for (const auto* v :
+           {&a, &b, &at, &dur, &lat, &bw}) {
+        if (!*v) return parse_error(v->error().message);
+      }
+      plan.degrade(static_cast<std::int64_t>(*a),
+                   static_cast<std::int64_t>(*b), *at, *dur, *lat, *bw);
+    } else if (verb == "partition") {
+      auto a = number("site", 0);
+      auto b = number("site", 1);
+      auto at = number("at");
+      auto dur = number("for");
+      for (const auto* v : {&a, &b, &at, &dur}) {
+        if (!*v) return parse_error(v->error().message);
+      }
+      plan.partition(static_cast<std::int64_t>(*a),
+                     static_cast<std::int64_t>(*b), *at, *dur);
+    } else if (verb == "loss") {
+      auto rate = number("rate");
+      auto at = number("at");
+      auto dur = number("for");
+      for (const auto* v : {&rate, &at, &dur}) {
+        if (!*v) return parse_error(v->error().message);
+      }
+      std::string type_prefix;
+      if (const std::string* v = value_of("type")) type_prefix = *v;
+      std::int64_t site = -1;
+      if (value_of("site") != nullptr) {
+        auto s = number("site");
+        if (!s) return parse_error(s.error().message);
+        site = static_cast<std::int64_t>(*s);
+      }
+      plan.loss(*rate, *at, *dur, std::move(type_prefix), site);
+    } else if (verb == "slow") {
+      auto host = host_of();
+      auto at = number("at");
+      auto dur = number("for");
+      auto load = number("load");
+      if (!host) return parse_error(host.error().message);
+      for (const auto* v : {&at, &dur, &load}) {
+        if (!*v) return parse_error(v->error().message);
+      }
+      plan.slow(std::move(*host), *at, *dur, *load);
+    } else if (verb == "stale") {
+      auto at = number("at");
+      auto dur = number("for");
+      for (const auto* v : {&at, &dur}) {
+        if (!*v) return parse_error(v->error().message);
+      }
+      if (value_of("host") != nullptr) {
+        auto host = host_of();
+        if (!host) return parse_error(host.error().message);
+        plan.stale_host(std::move(*host), *at, *dur);
+      } else if (value_of("site") != nullptr) {
+        auto s = number("site");
+        if (!s) return parse_error(s.error().message);
+        plan.stale_site(static_cast<std::int64_t>(*s), *at, *dur);
+      } else {
+        return parse_error("stale: expected 'host' or 'site'");
+      }
+    } else {
+      return parse_error("unknown verb '" + verb + "'");
+    }
+  }
+  if (auto valid = plan.validate(); !valid.ok()) {
+    return common::Error{common::ErrorCode::kParseError,
+                         valid.error().message};
+  }
+  return plan;
+}
+
+}  // namespace vdce::chaos

@@ -1,0 +1,159 @@
+// FaultPlan — the declarative half of the vdce::chaos fault-injection plane.
+//
+// A plan is an ordered list of fault events scheduled in *simulated* time:
+// host crashes (with optional reboot), link degradation, site partitions,
+// transient message loss, load spikes (task slowdowns up to overload-driven
+// hangs), and stale-monitor-data windows.  Plans are built either through
+// the fluent builder API or parsed from a line-oriented text format that
+// parallels the AFG DSL (editor/dsl.hpp):
+//
+//   faultplan "campus-meltdown"
+//   seed 42
+//
+//   crash host 3 at 5.0 down_for 10.0
+//   crash host "lynx2.site1.vdce.edu" at 8.0
+//   degrade site 0 site 1 at 10.0 for 5.0 latency_x 4.0 bandwidth_x 0.25
+//   partition site 0 site 1 at 20.0 for 4.0
+//   loss rate 0.25 at 2.0 for 6.0 type "dm." site 0
+//   slow host 4 at 3.0 for 5.0 load 2.0
+//   stale host 4 at 3.0 for 5.0
+//   stale site 1 at 6.0 for 8.0
+//
+// Plans are pure data: no topology is consulted until a ChaosInjector arms
+// the plan, so the same plan file can drive differently sized testbeds (a
+// dangling host name is an arm-time error).  Determinism guarantee: a given
+// (plan, seed, environment seed) triple always injects the same faults at
+// the same simulated instants and drops the same messages — see
+// docs/FAULT_INJECTION.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace vdce::chaos {
+
+/// Reference to a host by id or by DNS name; resolved against the topology
+/// when the plan is armed.
+struct HostRef {
+  std::int64_t id = -1;    ///< >= 0: direct host id
+  std::string name;        ///< non-empty: resolve via Topology::find_host
+
+  HostRef() = default;
+  HostRef(common::HostId host) : id(host.value()) {}  // NOLINT(google-explicit-constructor)
+  HostRef(std::string host_name) : name(std::move(host_name)) {}  // NOLINT(google-explicit-constructor)
+  HostRef(const char* host_name) : name(host_name) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool empty() const { return id < 0 && name.empty(); }
+};
+
+enum class FaultKind {
+  kHostCrash,    ///< host goes down at `at`; reboots after `duration` (>0)
+  kLinkDegrade,  ///< WAN/LAN between site_a/site_b degraded for `duration`
+  kPartition,    ///< all traffic between site_a and site_b dropped
+  kMessageLoss,  ///< each matching message dropped with probability `rate`
+  kLoadSpike,    ///< `load` extra CPUs of work on `host` (slowdown / hang)
+  kStaleMonitor, ///< monitor daemons of host/site stop reporting
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault.  Which fields matter depends on `kind`; unused
+/// fields keep their defaults so the text round-trip stays canonical.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kHostCrash;
+  common::SimTime at = 0.0;            ///< injection time (simulated seconds)
+  common::SimDuration duration = 0.0;  ///< window length; 0 = permanent
+
+  HostRef host;                        ///< crash / slow / stale-by-host
+  std::int64_t site_a = -1;            ///< degrade / partition / loss / stale
+  std::int64_t site_b = -1;            ///< degrade / partition
+
+  double latency_x = 1.0;              ///< degrade: latency multiplier
+  double bandwidth_x = 1.0;            ///< degrade: bandwidth multiplier
+  double rate = 0.0;                   ///< loss: drop probability in [0,1]
+  std::string type_prefix;             ///< loss: restrict to message types
+  double load = 0.0;                   ///< spike: CPUs of injected load
+};
+
+/// Builder + container.  All builder methods validate eagerly and return
+/// *this for chaining; a malformed call records an error retrievable via
+/// validate() instead of aborting, so plan construction is Expected-first.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& name(std::string plan_name) {
+    name_ = std::move(plan_name);
+    return *this;
+  }
+  FaultPlan& seed(std::uint64_t s) {
+    seed_ = s;
+    return *this;
+  }
+
+  /// Crash `host` at `at`; reboot `down_for` seconds later (0 = forever).
+  FaultPlan& crash(HostRef host, common::SimTime at,
+                   common::SimDuration down_for = 0.0);
+
+  /// Degrade the link between two sites (same site twice = its LAN):
+  /// latency is multiplied by `latency_x`, bandwidth by `bandwidth_x`.
+  FaultPlan& degrade(std::int64_t site_a, std::int64_t site_b,
+                     common::SimTime at, common::SimDuration duration,
+                     double latency_x, double bandwidth_x);
+
+  /// Drop every message crossing between the two sites during the window.
+  FaultPlan& partition(std::int64_t site_a, std::int64_t site_b,
+                       common::SimTime at, common::SimDuration duration);
+
+  /// Drop matching messages with probability `rate`.  `type_prefix` limits
+  /// the loss to message types starting with it ("" = all); `site` limits
+  /// it to traffic touching that site (-1 = anywhere).
+  FaultPlan& loss(double rate, common::SimTime at, common::SimDuration duration,
+                  std::string type_prefix = "", std::int64_t site = -1);
+
+  /// Park `load` CPUs of competing work on `host` for the window — slows
+  /// running tasks (the quantum execution model re-reads load) and, past
+  /// the overload threshold, gets them terminated and rescheduled.
+  FaultPlan& slow(HostRef host, common::SimTime at,
+                  common::SimDuration duration, double load);
+
+  /// Mute the monitor daemon of one host for the window.
+  FaultPlan& stale_host(HostRef host, common::SimTime at,
+                        common::SimDuration duration);
+  /// Mute every monitor daemon of a site for the window.
+  FaultPlan& stale_site(std::int64_t site, common::SimTime at,
+                        common::SimDuration duration);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// First builder error, if any malformed event was added (the event is
+  /// still recorded so the error message can point at it).
+  [[nodiscard]] common::Status validate() const;
+
+  /// Serialize to the text format (round-trips through parse).
+  [[nodiscard]] std::string write() const;
+
+  /// Parse the text format.  Errors carry the offending line number.
+  static common::Expected<FaultPlan> parse(const std::string& text);
+
+ private:
+  void fail(std::string message);
+
+  std::string name_;
+  std::uint64_t seed_ = 1;
+  std::vector<FaultEvent> events_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace vdce::chaos

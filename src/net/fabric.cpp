@@ -50,19 +50,28 @@ common::Expected<common::SimTime> Fabric::send(Message msg) {
   stats_.bytes_sent += msg.size_bytes;
   ++stats_.sent_by_type[msg.type];
 
+  LinkSpec link = topology_.link_between(msg.src, msg.dst);
+  if (fault_ != nullptr) {
+    link = fault_->adjust_link(msg.src, msg.dst, link);
+    if (fault_->should_drop(msg)) {
+      // The sender observes a normal send (a lossy wire gives no feedback);
+      // the message simply never arrives.
+      ++stats_.dropped_injected;
+      return engine_.now() + link.transfer_time(msg.size_bytes);
+    }
+  }
+
   common::SimTime when;
   if (shared_segments_ && msg.src != msg.dst) {
     // Queue behind earlier transfers on the same segment; occupy it for
     // the serialization time, then propagate.
-    LinkSpec link = topology_.link_between(msg.src, msg.dst);
     double serialization = msg.size_bytes / link.bandwidth_bps;
     common::SimTime& busy = segment_busy_until_[segment_key(msg.src, msg.dst)];
     common::SimTime start = std::max(engine_.now(), busy);
     busy = start + serialization;
     when = busy + link.latency;
   } else {
-    when = engine_.now() +
-           topology_.transfer_time(msg.src, msg.dst, msg.size_bytes);
+    when = engine_.now() + link.transfer_time(msg.size_bytes);
   }
   if (obs_ != nullptr) {
     const auto cls = static_cast<int>(link_class(msg.src, msg.dst));

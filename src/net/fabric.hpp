@@ -47,10 +47,30 @@ struct FabricStats {
   std::uint64_t dropped_dst_down = 0;
   std::uint64_t dropped_src_down = 0;
   std::uint64_t dropped_unbound = 0;
+  /// Messages dropped by an installed FaultInterceptor (partitions and
+  /// transient-loss windows of the chaos plane).
+  std::uint64_t dropped_injected = 0;
   double bytes_sent = 0.0;
   std::map<std::string, std::uint64_t> sent_by_type;
 
   void reset() { *this = FabricStats{}; }
+};
+
+/// Fault-injection hook (implemented by chaos::ChaosInjector).  Consulted on
+/// every send: the interceptor may drop the message outright (a partition or
+/// a transient-loss window) or degrade the link spec used to time the
+/// transfer.  An interface so the net layer stays independent of the chaos
+/// subsystem above it.
+class FaultInterceptor {
+ public:
+  virtual ~FaultInterceptor() = default;
+
+  /// True = silently drop this message (the sender still observes a normal
+  /// send, exactly like a lossy wire).
+  virtual bool should_drop(const Message& msg) = 0;
+
+  /// Return the (possibly degraded) link spec to use for this transfer.
+  virtual LinkSpec adjust_link(HostId src, HostId dst, LinkSpec link) = 0;
 };
 
 /// The fabric.  One per simulated environment; not thread-safe (runs inside
@@ -95,6 +115,11 @@ class Fabric {
   [[nodiscard]] const FabricStats& stats() const noexcept { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// Attach a fault interceptor (null detaches).  See FaultInterceptor.
+  void set_fault_interceptor(FaultInterceptor* interceptor) {
+    fault_ = interceptor;
+  }
+
   /// Attach the environment's observability instance (null detaches).  With
   /// metrics on, every send feeds per-link-class transfer histograms; with
   /// tracing on, every send records a `fabric.transfer` span from emission
@@ -124,6 +149,7 @@ class Fabric {
   Topology& topology_;
   std::unordered_map<HostId, Handler> handlers_;
   FabricStats stats_;
+  FaultInterceptor* fault_ = nullptr;
   obs::Observability* obs_ = nullptr;
   /// Cached metric handles (valid for the registry's lifetime), so the send
   /// hot path never performs a name lookup.

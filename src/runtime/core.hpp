@@ -6,6 +6,8 @@
 // and the per-site repositories the daemons read and write.
 #pragma once
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -32,6 +34,23 @@ struct RuntimeOptions {
   /// the task in place instead of moving it again (anti-livelock).
   int max_task_attempts = 4;
   common::SimDuration progress_period = 5.0;  ///< coordinator stall sweep
+  // --- hardened recovery (fault-injection plane) ---
+  /// Data Manager channel setup: resend an unacknowledged dm.setup after
+  /// this long (covers setup/ack messages lost to partitions or transient
+  /// loss).  0 disables the retry.
+  common::SimDuration channel_retry_timeout = 1.0;
+  /// Give up on a peer's ack after this many resends and proceed without it
+  /// (a permanently partitioned peer must not wedge channel setup forever).
+  int channel_max_retries = 3;
+  /// Each retry waits `channel_backoff` times longer than the previous one.
+  double channel_backoff = 2.0;
+  /// Coordinator recovery budget per application: after this many recovery
+  /// actions (reschedules, stall resends) the app is failed with a
+  /// descriptive report instead of looping forever.
+  int max_app_recovery_actions = 64;
+  /// Coordinator stall handling: a task with no progress for this many
+  /// progress sweeps gets its start message and inputs re-sent.
+  int stall_sweeps = 2;
   // --- execution model ---
   double exec_noise_cv = 0.05;  ///< run-to-run execution time variation
   /// Execution proceeds in quanta: each boundary re-reads live host load,
@@ -87,6 +106,18 @@ class RuntimeCore {
 
   [[nodiscard]] common::SimTime now() const noexcept { return engine_.now(); }
 
+  // --- fault injection ------------------------------------------------------
+  /// Install the chaos plane's monitor-mute predicate (null detaches).  A
+  /// muted host's monitor daemon skips its samples, so the repositories
+  /// serve progressively staler data (the stale-monitor fault).  A callback
+  /// rather than a ChaosInjector* keeps runtime independent of vdce::chaos.
+  void set_monitor_mute(std::function<bool(common::HostId)> muted) {
+    monitor_muted_ = std::move(muted);
+  }
+  [[nodiscard]] bool monitor_muted(common::HostId host) const {
+    return monitor_muted_ && monitor_muted_(host);
+  }
+
   // --- observability -------------------------------------------------------
   /// Attach the environment's Observability (null detaches).  Daemons guard
   /// every record with tracing()/metering(), so a core without observability
@@ -115,6 +146,7 @@ class RuntimeCore {
   predict::GroundTruthModel ground_truth_;
   common::Rng rng_;
   obs::Observability* obs_ = nullptr;
+  std::function<bool(common::HostId)> monitor_muted_;
 };
 
 }  // namespace vdce::runtime

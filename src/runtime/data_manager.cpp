@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <any>
 #include <cassert>
+#include <cmath>
 #include <set>
 
 #include "common/logging.hpp"
@@ -32,15 +33,25 @@ void DataManager::activate(const PlanPtr& plan,
   if (first_activation) {
     state.on_ready = std::move(on_channels_ready);
     setup_channels(state);
-    if (state.setups_pending == 0 && !state.ready_fired) {
-      state.ready_fired = true;
-      if (state.on_ready) state.on_ready();
-    }
+    if (state.pending_setups.empty() && !state.ready_fired) fire_ready(state);
   } else if (was_started) {
     // Reschedule merge on an already-running app: newly ready tasks may
     // start immediately.
     maybe_start(plan->app);
+  } else {
+    // Re-activation before start: the coordinator re-dispatched gm.exec
+    // (its copy of our readiness report may have been lost).  Don't redo
+    // the handshake, but honour the new callback — if channels are already
+    // up, re-announce readiness immediately (the coordinator's ready set
+    // dedupes).
+    if (on_channels_ready) state.on_ready = std::move(on_channels_ready);
+    if (state.ready_fired && state.on_ready) state.on_ready();
   }
+}
+
+void DataManager::fire_ready(AppState& state) {
+  state.ready_fired = true;
+  if (state.on_ready) state.on_ready();
 }
 
 void DataManager::merge_local_tasks(AppState& state) {
@@ -79,24 +90,92 @@ void DataManager::setup_channels(AppState& state) {
   std::set<common::HostId> peers;
   for (const auto& [task_value, task] : state.tasks) {
     for (const afg::Edge& e : plan.graph.out_edges(task.id)) {
-      common::HostId dst = plan.assignment(e.to).primary_host();
+      const sched::Assignment* a = plan.find_assignment(e.to);
+      if (a == nullptr) continue;  // consumer unassigned: nothing to set up
+      common::HostId dst = a->primary_host();
       if (dst != host_) peers.insert(dst);
     }
   }
-  state.setups_pending = static_cast<int>(peers.size());
   common::ChannelId::value_type channel_seq = 0;
   for (common::HostId peer : peers) {
-    (void)core_.fabric().send(net::Message{
-        host_, peer, msg::kDmSetup, wire::kSmall,
-        std::any(ChannelSetup{plan.app, host_,
-                              common::ChannelId(channel_seq++)})});
+    state.pending_setups[peer] =
+        AppState::PendingSetup{common::ChannelId(channel_seq++), 0};
   }
+  for (common::HostId peer : peers) send_setup(plan.app, peer);
+}
+
+void DataManager::send_setup(common::AppId app, common::HostId peer) {
+  auto it = apps_.find(app.value());
+  if (it == apps_.end()) return;
+  AppState& state = it->second;
+  auto pending = state.pending_setups.find(peer);
+  if (pending == state.pending_setups.end()) return;  // acked meanwhile
+
+  (void)core_.fabric().send(net::Message{
+      host_, peer, msg::kDmSetup, wire::kSmall,
+      std::any(ChannelSetup{app, host_, pending->second.channel})});
+
+  // Retry with exponential backoff: the setup or its ack may be lost to a
+  // partition or a transient-loss window; a bounded number of resends keeps
+  // readiness from wedging on a permanently unreachable peer.
+  const RuntimeOptions& opt = core_.options();
+  if (opt.channel_retry_timeout <= 0.0) return;
+  const int attempt = pending->second.resends;
+  const common::SimDuration wait =
+      opt.channel_retry_timeout *
+      std::pow(std::max(opt.channel_backoff, 1.0), attempt);
+  core_.engine().schedule(wait, [this, app, peer] {
+    auto app_it = apps_.find(app.value());
+    if (app_it == apps_.end()) return;
+    AppState& st = app_it->second;
+    auto p = st.pending_setups.find(peer);
+    if (p == st.pending_setups.end()) return;  // acked: nothing to do
+    if (!core_.topology().host_up(host_)) return;
+    if (p->second.resends >= core_.options().channel_max_retries) {
+      // Abandon the peer: report readiness anyway so the application can
+      // proceed; if the peer matters, task-level recovery takes over later.
+      st.pending_setups.erase(p);
+      if (core_.metering()) {
+        core_.meters().counter("recovery.channel_abandoned").add();
+      }
+      if (core_.tracing()) {
+        core_.trace_sink().instant(
+            "recovery", "recovery.channel_abandoned", core_.now(),
+            host_.value(),
+            {obs::arg("app", app.value()), obs::arg("peer", peer.value())});
+      }
+      if (st.pending_setups.empty() && !st.ready_fired) fire_ready(st);
+      return;
+    }
+    ++p->second.resends;
+    if (core_.metering()) {
+      core_.meters().counter("recovery.channel_retries").add();
+    }
+    if (core_.tracing()) {
+      core_.trace_sink().instant(
+          "recovery", "recovery.channel_retry", core_.now(), host_.value(),
+          {obs::arg("app", app.value()), obs::arg("peer", peer.value()),
+           obs::arg("attempt", p->second.resends)});
+    }
+    send_setup(app, peer);
+  });
 }
 
 void DataManager::start_app(common::AppId app) {
   auto it = apps_.find(app.value());
   if (it == apps_.end()) return;
-  it->second.started = true;
+  AppState& state = it->second;
+  if (state.started) {
+    // A repeated sm.start is the coordinator's stall recovery probing us:
+    // re-send every completion notice it may have missed (at-least-once;
+    // the coordinator dedupes on task id).
+    for (const TaskDone& done : state.done_log) {
+      (void)core_.fabric().send(net::Message{host_, state.plan->origin,
+                                             msg::kAcTaskDone, wire::kSmall,
+                                             std::any(done)});
+    }
+  }
+  state.started = true;
   maybe_start(app);
 }
 
@@ -318,7 +397,9 @@ void DataManager::send_edge(AppState& state, const afg::Edge& edge,
   if (auto r = state.redirects.find(key); r != state.redirects.end()) {
     dst = r->second;
   } else {
-    dst = plan.assignment(edge.to).primary_host();
+    const sched::Assignment* a = plan.find_assignment(edge.to);
+    if (a == nullptr) return;  // consumer unassigned: drop, resend heals later
+    dst = a->primary_host();
   }
   double bytes = std::max(plan.graph.edge_bytes(edge), 64.0);
   (void)core_.fabric().send(net::Message{
@@ -326,7 +407,7 @@ void DataManager::send_edge(AppState& state, const afg::Edge& edge,
       std::any(DataDelivery{plan.app, edge.to, edge.to_port, value})});
 }
 
-void DataManager::send_task_done(const AppState& state, afg::TaskId task,
+void DataManager::send_task_done(AppState& state, afg::TaskId task,
                                  common::SimDuration elapsed, bool failed,
                                  const std::string& error,
                                  tasklib::Value exit_output) {
@@ -340,6 +421,8 @@ void DataManager::send_task_done(const AppState& state, afg::TaskId task,
   done.failed = failed;
   done.error = error;
   done.exit_output = std::move(exit_output);
+  // Keep a copy for at-least-once re-delivery on repeated sm.start.
+  state.done_log.push_back(done);
   (void)core_.fabric().send(net::Message{host_, state.plan->origin,
                                          msg::kAcTaskDone, wire::kSmall,
                                          std::any(std::move(done))});
@@ -374,10 +457,8 @@ void DataManager::handle(const net::Message& message) {
     auto it = apps_.find(ack.app.value());
     if (it == apps_.end()) return;
     AppState& state = it->second;
-    if (--state.setups_pending == 0 && !state.ready_fired) {
-      state.ready_fired = true;
-      if (state.on_ready) state.on_ready();
-    }
+    state.pending_setups.erase(ack.from);  // duplicate acks are no-ops
+    if (state.pending_setups.empty() && !state.ready_fired) fire_ready(state);
     return;
   }
   if (message.type == msg::kDmData || message.type == msg::kDmInput) {

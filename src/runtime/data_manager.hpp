@@ -28,6 +28,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -117,9 +118,20 @@ class DataManager {
     std::uint32_t running_task = 0;
     common::SimTime run_started = 0;
     sim::EventHandle completion;
-    int setups_pending = 0;
+    /// Channel setup in flight: peer host -> (channel id, resend count).
+    /// Unacknowledged setups are resent with exponential backoff and
+    /// eventually abandoned, so a partitioned peer cannot wedge readiness.
+    struct PendingSetup {
+      common::ChannelId channel;
+      int resends = 0;
+    };
+    std::map<common::HostId, PendingSetup> pending_setups;
     bool ready_fired = false;
     std::function<void()> on_ready;
+    /// Completion notices already sent, kept for at-least-once re-delivery
+    /// when the coordinator re-sends sm.start (its copy may have been lost;
+    /// the coordinator dedupes on task id).
+    std::vector<TaskDone> done_log;
     /// Cached outputs of completed local tasks (for resends).
     std::unordered_map<std::uint32_t, std::vector<tasklib::Value>> outputs;
     std::unordered_map<EdgeKey, common::HostId, EdgeKeyHash> redirects;
@@ -129,6 +141,8 @@ class DataManager {
 
   void merge_local_tasks(AppState& state);
   void setup_channels(AppState& state);
+  void send_setup(common::AppId app, common::HostId peer);
+  void fire_ready(AppState& state);
   void maybe_start(common::AppId app);
   /// Run one execution quantum of the current task; re-evaluates the live
   /// progress rate at each boundary and finishes when work is exhausted.
@@ -138,7 +152,7 @@ class DataManager {
                const tasklib::Value& value, common::AppId app);
   void send_edge(AppState& state, const afg::Edge& edge,
                  const tasklib::Value& value);
-  void send_task_done(const AppState& state, afg::TaskId task,
+  void send_task_done(AppState& state, afg::TaskId task,
                       common::SimDuration elapsed, bool failed,
                       const std::string& error, tasklib::Value exit_output);
 

@@ -26,6 +26,19 @@ std::string ExecutionReport::describe(const afg::Afg& graph) const {
     if (o.attempts > 1) out += "  [attempts " + std::to_string(o.attempts) + "]";
     out += "\n";
   }
+  for (const RecoveryEvent& r : recoveries) {
+    out += "  recovery[" + r.reason + "] at " +
+           common::format_double(r.detected_at, 4) + "s";
+    if (r.task.valid()) out += " " + graph.task(r.task).instance_name;
+    if (r.from_host.valid()) {
+      out += " host " + std::to_string(r.from_host.value());
+    }
+    if (r.to_host.valid()) out += " -> " + std::to_string(r.to_host.value());
+    if (r.downtime > 0.0) {
+      out += " (downtime " + common::format_double(r.downtime, 4) + "s)";
+    }
+    out += "\n";
+  }
 
   // ASCII Gantt, one row per task, scaled to the makespan.
   if (success && !outcomes.empty() && completed > exec_started) {

@@ -27,6 +27,21 @@ struct TaskOutcome {
   int attempts = 1;             ///< 1 + number of reschedules of this task
 };
 
+/// One recovery action the coordinator took while the application ran —
+/// the per-fault outcome record surfaced through ExecutionReport.
+struct RecoveryEvent {
+  afg::TaskId task;       ///< invalid for app-level actions (stall resends)
+  /// Why: "host_down", "overload", "cascade", "pin", "stall", "relaunch".
+  std::string reason;
+  common::SimTime detected_at = 0;  ///< when the coordinator acted
+  common::HostId from_host;         ///< the machine being abandoned (if any)
+  common::HostId to_host;           ///< where the task went (if re-placed)
+  int attempt = 0;                  ///< task attempt count after this action
+  /// detected_at -> start of the attempt that finally completed the task;
+  /// 0 until that attempt succeeds (or for app-level actions).
+  common::SimDuration downtime = 0.0;
+};
+
 struct ExecutionReport {
   common::AppId app;
   std::string app_name;
@@ -49,6 +64,9 @@ struct ExecutionReport {
   std::vector<TaskOutcome> outcomes;  ///< task-id order
   int reschedules = 0;                ///< overload-triggered task restarts
   int failures_survived = 0;          ///< host deaths recovered from
+  /// Every recovery action, in the order taken (reschedules, pins, stall
+  /// resends), each with detection time, destination, and downtime.
+  std::vector<RecoveryEvent> recoveries;
 
   /// Simulated time the distributed scheduling phase took before the
   /// execution request was issued.  Filled by VdceEnvironment's

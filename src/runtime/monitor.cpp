@@ -22,6 +22,12 @@ void MonitorDaemon::stop() { timer_.cancel(); }
 void MonitorDaemon::sample_and_report() {
   const net::Host& h = core_.topology().host(host_);
   if (!h.state.up) return;  // a dead host measures nothing
+  // Stale-monitor fault window: the daemon is alive (echoes still answer)
+  // but its samples go missing, so repository data for this host ages.
+  if (core_.monitor_muted(host_)) {
+    if (core_.metering()) core_.meters().counter("monitor.samples_muted").add();
+    return;
+  }
 
   if (core_.metering()) core_.meters().counter("monitor.samples").add();
 

@@ -127,10 +127,17 @@ struct ExecutionPlan {
   std::unordered_map<std::uint32_t, std::unordered_map<int, tasklib::Value>>
       initial_inputs;
 
-  [[nodiscard]] const sched::Assignment& assignment(afg::TaskId t) const {
+  /// Non-aborting lookup: null when `t` has no assignment (a malformed or
+  /// partially rebuilt table).  Prefer this on paths fed by the network.
+  [[nodiscard]] const sched::Assignment* find_assignment(afg::TaskId t) const {
     for (const sched::Assignment& a : rat.assignments) {
-      if (a.task == t) return a;
+      if (a.task == t) return &a;
     }
+    return nullptr;
+  }
+
+  [[nodiscard]] const sched::Assignment& assignment(afg::TaskId t) const {
+    if (const sched::Assignment* a = find_assignment(t)) return *a;
     // Every task is assigned by construction.
     std::abort();
   }

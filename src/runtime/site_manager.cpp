@@ -9,6 +9,14 @@
 
 namespace vdce::runtime {
 
+namespace {
+
+/// Consecutive no-progress stall recoveries (resends / RAT re-multicasts)
+/// before the coordinator stops repeating them until something completes.
+constexpr int kMaxQuietStalls = 5;
+
+}  // namespace
+
 void SiteManager::start() {
   if (started_) return;
   started_ = true;
@@ -163,7 +171,7 @@ void SiteManager::on_sm_host_down(const net::Message& message) {
     }
     for (afg::TaskId t : hit) {
       ++app.failures_survived;
-      reschedule_task(app, t, notice.host);
+      reschedule_task(app, t, notice.host, "host_down");
       if (app.finished) break;
     }
     if (!app.finished && !app.started) maybe_launch(app);
@@ -434,6 +442,14 @@ void SiteManager::on_ac_task_done(const net::Message& message) {
   app.outcomes[done.task.value()] = outcome;
   (void)assignment;
 
+  // Close out this task's recovery events: downtime runs from detection to
+  // the start of the attempt that finally completed it.
+  for (RecoveryEvent& r : app.recoveries) {
+    if (r.task == done.task && r.downtime == 0.0) {
+      r.downtime = std::max(0.0, done.started - r.detected_at);
+    }
+  }
+
   // "updates the task-performance database with the execution time after an
   // application execution is completed" — each execution sharpens the
   // hosting site's measured history.  Tasks unknown to that site (e.g.
@@ -472,17 +488,44 @@ void SiteManager::on_ac_overload(const net::Message& message) {
         << " hit the attempt cap; pinning on host " << notice.host.value();
     if (core_.metering()) core_.meters().counter("recovery.task_pins").add();
     ++app.attempts[notice.task.value()];
+    RecoveryEvent pinned;
+    pinned.task = notice.task;
+    pinned.reason = "pin";
+    pinned.detected_at = core_.now();
+    pinned.from_host = notice.host;
+    pinned.to_host = notice.host;
+    pinned.attempt = app.attempts[notice.task.value()];
+    app.recoveries.push_back(std::move(pinned));
     dispatch_updated_plan(app, notice.task, /*pin=*/true);
     return;
   }
-  reschedule_task(app, notice.task, notice.host);
+  reschedule_task(app, notice.task, notice.host, "overload");
 }
 
 // ---- recovery ----------------------------------------------------------------
 
+bool SiteManager::consume_recovery_budget(ActiveApp& app, const char* action) {
+  if (++app.recovery_actions <= core_.options().max_app_recovery_actions) {
+    return true;
+  }
+  if (core_.metering()) core_.meters().counter("recovery.escalations").add();
+  if (core_.tracing()) {
+    core_.trace_sink().instant(
+        "recovery", "recovery.escalation", core_.now(), obs::kControlTrack,
+        {obs::arg("app", app.plan->app.value()), obs::arg("action", action),
+         obs::arg("actions", std::int64_t{app.recovery_actions - 1})});
+  }
+  complete_app(app, false,
+               "recovery budget exhausted after " +
+                   std::to_string(app.recovery_actions - 1) +
+                   " actions (last attempted: " + std::string(action) + ")");
+  return false;
+}
+
 void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
-                                  common::HostId bad_host) {
+                                  common::HostId bad_host, const char* reason) {
   if (app.finished || app.done.contains(task.value())) return;
+  if (!consume_recovery_budget(app, reason)) return;
   app.excluded[task.value()].insert(bad_host);
 
   const afg::TaskNode& node = app.plan->graph.task(task);
@@ -586,6 +629,15 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
   ++app.attempts[task.value()];
   for (common::HostId h : chosen.hosts) app.involved.insert(h);
 
+  RecoveryEvent ev;
+  ev.task = task;
+  ev.reason = reason;
+  ev.detected_at = core_.now();
+  ev.from_host = bad_host;
+  ev.to_host = chosen.primary_host();
+  ev.attempt = app.attempts[task.value()];
+  app.recoveries.push_back(std::move(ev));
+
   // Parents whose cached outputs lived on a failed host must re-execute
   // before they can feed the moved task (cascading recovery).
   for (const afg::Edge& e : app.plan->graph.in_edges(task)) {
@@ -594,7 +646,7 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
         app.done.contains(e.from.value())) {
       app.done.erase(e.from.value());
       app.outcomes.erase(e.from.value());
-      reschedule_task(app, e.from, parent.primary_host());
+      reschedule_task(app, e.from, parent.primary_host(), "cascade");
       if (app.finished) return;
     }
   }
@@ -655,10 +707,82 @@ void SiteManager::progress_sweep() {
     }
     for (const auto& [task, host] : stranded) {
       ++app.failures_survived;
-      reschedule_task(app, task, host);
+      reschedule_task(app, task, host, "host_down");
       if (app.finished) break;
     }
-    if (!app.finished && !app.started) maybe_launch(app);
+    if (app.finished) continue;
+
+    if (!app.started) {
+      maybe_launch(app);
+      if (app.started || app.finished) continue;
+      // Still waiting for readiness reports: after stall_sweeps quiet
+      // sweeps, assume the allocation-table fan-out (or the readiness
+      // replies) were lost and re-multicast the RAT.  Re-activation is
+      // idempotent at every hop.
+      if (++app.prestart_sweeps < core_.options().stall_sweeps) continue;
+      app.prestart_sweeps = 0;
+      if (++app.quiet_stalls > kMaxQuietStalls) continue;  // stop spamming
+      if (core_.metering()) core_.meters().counter("recovery.relaunches").add();
+      if (core_.tracing()) {
+        core_.trace_sink().instant(
+            "recovery", "recovery.relaunch", core_.now(), obs::kControlTrack,
+            {obs::arg("app", app.plan->app.value())});
+      }
+      RecoveryEvent ev;
+      ev.reason = "relaunch";
+      ev.detected_at = core_.now();
+      app.recoveries.push_back(std::move(ev));
+      PlanPtr plan = current_plan(app);
+      for (common::SiteId s : plan->rat.sites_used()) {
+        (void)core_.fabric().send(net::Message{
+            server_, core_.topology().site(s).server, msg::kSmRat,
+            wire::rat(plan->rat), std::any(RatMulticast{plan})});
+      }
+      continue;
+    }
+
+    // Running but nothing newly finished: after stall_sweeps quiet sweeps,
+    // re-send start signals and inputs (lost-message safety net).
+    if (app.done.size() != app.last_done_count) {
+      app.last_done_count = app.done.size();
+      app.stalled_sweeps = 0;
+      app.quiet_stalls = 0;
+    } else if (++app.stalled_sweeps >= core_.options().stall_sweeps) {
+      app.stalled_sweeps = 0;
+      stall_recover(app);
+    }
+  }
+}
+
+void SiteManager::stall_recover(ActiveApp& app) {
+  // A quiet period is not proof of a wedge — a long task completes nothing
+  // for many sweeps — and every resend is idempotent, so stalls do not
+  // charge the recovery budget.  They are merely rate-capped: if repeated
+  // resends change nothing, more of them will not either.
+  if (++app.quiet_stalls > kMaxQuietStalls) return;
+  if (core_.metering()) core_.meters().counter("recovery.stall_resends").add();
+  if (core_.tracing()) {
+    core_.trace_sink().instant(
+        "recovery", "recovery.stall", core_.now(), obs::kControlTrack,
+        {obs::arg("app", app.plan->app.value()),
+         obs::arg("done", std::uint64_t{app.done.size()}),
+         obs::arg("tasks",
+                  std::uint64_t{app.plan->graph.task_count()})});
+  }
+  RecoveryEvent ev;
+  ev.reason = "stall";
+  ev.detected_at = core_.now();
+  app.recoveries.push_back(std::move(ev));
+
+  // Re-dispatch every unfinished task to its current host: re-activates the
+  // Data Manager (idempotent merge), repeats the start signal (which also
+  // replays completion notices we may have missed), re-stages file inputs
+  // (duplicate deliveries are dropped on filled ports), and pulls dataflow
+  // inputs from finished parents again.
+  for (const auto& [task_value, assignment] : app.current) {
+    if (app.done.contains(task_value)) continue;
+    if (!core_.topology().host_up(assignment.primary_host())) continue;
+    dispatch_updated_plan(app, assignment.task);
   }
 }
 
@@ -675,6 +799,7 @@ void SiteManager::complete_app(ActiveApp& app, bool success,
   report.completed = core_.now();
   report.reschedules = app.reschedules;
   report.failures_survived = app.failures_survived;
+  report.recoveries = app.recoveries;
   for (const afg::TaskNode& t : app.plan->graph.tasks()) {
     auto it = app.outcomes.find(t.id.value());
     if (it != app.outcomes.end()) report.outcomes.push_back(it->second);

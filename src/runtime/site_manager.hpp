@@ -120,6 +120,22 @@ class SiteManager {
     common::SimTime exec_started = 0;
     ReportCallback callback;
     std::unordered_map<std::uint32_t, tasklib::Value> exit_outputs;
+    /// Per-fault recovery outcomes, surfaced through ExecutionReport.
+    std::vector<RecoveryEvent> recoveries;
+    /// Bounded-recovery accounting: actions taken so far; past
+    /// RuntimeOptions::max_app_recovery_actions the app is failed with a
+    /// descriptive report instead of looping forever.
+    int recovery_actions = 0;
+    /// Stall detection (progress sweeps with nothing newly done / not yet
+    /// launched).  Past RuntimeOptions::stall_sweeps the coordinator
+    /// re-sends start signals and inputs (pre-launch: re-multicasts the
+    /// allocation table) — the lost-message safety net.
+    std::size_t last_done_count = 0;
+    int stalled_sweeps = 0;
+    int prestart_sweeps = 0;
+    /// Stall recoveries since the last completed task; capped so a slow but
+    /// healthy application is not spammed with resends.
+    int quiet_stalls = 0;
   };
 
   [[nodiscard]] sched::SchedulerContext make_context() const;
@@ -140,9 +156,18 @@ class SiteManager {
   void stage_file_inputs(ActiveApp& app, afg::TaskId task);
   /// Re-place one task after an overload or host failure.  `bad_host` joins
   /// the task's exclusion set.  Cascades to parents whose cached outputs
-  /// died with a failed host.
+  /// died with a failed host.  `reason` labels the RecoveryEvent recorded
+  /// for the report ("host_down", "overload", "cascade", ...).
   void reschedule_task(ActiveApp& app, afg::TaskId task,
-                       common::HostId bad_host);
+                       common::HostId bad_host, const char* reason);
+  /// Charge one action against the app's recovery budget; when exhausted,
+  /// fails the app (descriptive report + recovery.escalation trace) and
+  /// returns false.
+  [[nodiscard]] bool consume_recovery_budget(ActiveApp& app,
+                                             const char* action);
+  /// Lost-message safety net: re-send start signals, staged inputs, and
+  /// dataflow pulls for every unfinished task.
+  void stall_recover(ActiveApp& app);
   void dispatch_updated_plan(ActiveApp& app, afg::TaskId task,
                              bool pin = false);
   void progress_sweep();

@@ -56,12 +56,35 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
     const afg::Afg& graph, const SchedulerContext& context,
     const std::vector<HostSelectionOutput>& outputs,
     const SiteSchedulerOptions& options, const std::string& scheduler_name) {
-  assert(context.topology != nullptr && context.predictor != nullptr);
-  assert(!outputs.empty());
-  assert(outputs.front().site == context.local_site);
+  if (context.topology == nullptr || context.predictor == nullptr) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "scheduler context lacks a topology or predictor"};
+  }
+  if (outputs.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "no host-selection outputs supplied"};
+  }
+  if (outputs.front().site != context.local_site) {
+    return common::Error{
+        common::ErrorCode::kInvalidArgument,
+        "host-selection outputs must lead with the local site"};
+  }
 
   const net::Topology& topology = *context.topology;
   const db::SiteRepository& local_repo = context.repo(context.local_site);
+
+  // Graceful degradation under stale monitoring data: a prediction built on
+  // an old sample is optimistic about the host's current load, so inflate
+  // it — fresh information wins and muted monitors stop attracting work.
+  std::size_t stale_hosts_seen = 0;
+  auto staleness = [&](const db::ResourceRecord& record) {
+    if (options.stale_after <= 0.0) return 1.0;
+    if (context.now - record.last_sample_time() <= options.stale_after) {
+      return 1.0;
+    }
+    ++stale_hosts_seen;
+    return options.stale_penalty;
+  };
 
   // --- priorities: level of each node, computed before scheduling (§3) ---
   common::Error cost_error{common::ErrorCode::kInternal, ""};
@@ -167,13 +190,14 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
           double best_finish = 0.0;
           for (const RankedHost& rh : ranked) {
             std::vector<common::HostId> hs{rh.record.host};
+            const double predicted = rh.predicted * staleness(rh.record);
             double finish =
-                builder.earliest_start(task, hs, staging) + rh.predicted;
+                builder.earliest_start(task, hs, staging) + predicted;
             if (!have || finish < best_finish) {
               have = true;
               best_finish = finish;
               cand.hosts = hs;
-              cand.predicted = rh.predicted;
+              cand.predicted = predicted;
             }
           }
           cand.objective = best_finish;
@@ -199,7 +223,11 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
           auto predicted = context.predictor->predict(*perf, group,
                                                       &context.repo(s).tasks());
           if (!predicted) continue;
-          cand.predicted = *predicted;
+          double penalty = 1.0;
+          for (const db::ResourceRecord& r : group) {
+            penalty = std::max(penalty, staleness(r));
+          }
+          cand.predicted = *predicted * penalty;
           cand.objective =
               builder.earliest_start(task, cand.hosts, staging) + cand.predicted;
         }
@@ -248,6 +276,9 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
           .add(static_cast<double>(candidates_evaluated) /
                static_cast<double>(placed));
       m.histogram("sched.schedule_length").add(table.schedule_length);
+      if (stale_hosts_seen > 0) {
+        m.counter("sched.stale_hosts_penalized").add(stale_hosts_seen);
+      }
     }
     if (context.obs->trace_on()) {
       context.obs->trace().instant(

@@ -55,6 +55,14 @@ struct SiteSchedulerOptions {
   /// Honour the user's access-domain restriction (local / neighbours /
   /// global) when forming the candidate site set.
   db::AccessDomain access = db::AccessDomain::kGlobal;
+  /// Graceful degradation under stale monitoring data: a host whose last
+  /// repository sample is older than `stale_after` (relative to
+  /// SchedulerContext::now) has its predicted times multiplied by
+  /// `stale_penalty`, so fresh information wins ties and silently muted
+  /// monitors stop attracting work.  0 disables the check (default — the
+  /// offline planners have no meaningful clock).
+  common::SimDuration stale_after = 0.0;
+  double stale_penalty = 1.5;
 };
 
 /// The assignment phase of Fig. 2 (steps 6-7), taking host-selection

@@ -24,8 +24,14 @@ VdceEnvironment::~VdceEnvironment() {
   for (auto& agent : agents_) agent->stop();
 }
 
-void VdceEnvironment::bring_up() {
-  assert(!up_);
+common::Status VdceEnvironment::try_bring_up() {
+  if (up_) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "bring_up(): environment is already up"};
+  }
+  if (common::Status plan_ok = options_.faults.validate(); !plan_ok.ok()) {
+    return plan_ok;
+  }
   up_ = true;
 
   // One repository per site, populated with its hosts and the standard
@@ -64,6 +70,20 @@ void VdceEnvironment::bring_up() {
         engine_, topology_, core_->rng().fork(), options_.load);
     load_generator_->start();
   }
+
+  // Arm the fault plan last, so injected events find a fully wired runtime.
+  if (!options_.faults.empty()) {
+    chaos_ = std::make_unique<chaos::ChaosInjector>(engine_, topology_, &obs_,
+                                                    options_.faults);
+    if (common::Status armed = chaos_->arm(); !armed.ok()) {
+      chaos_.reset();
+      return armed;
+    }
+    fabric_.set_fault_interceptor(chaos_.get());
+    core_->set_monitor_mute(
+        [this](common::HostId h) { return chaos_->monitor_muted(h); });
+  }
+  return common::Status::success();
 }
 
 common::Expected<std::reference_wrapper<db::SiteRepository>>
@@ -111,6 +131,11 @@ namespace {
 }
 
 }  // namespace
+
+void VdceEnvironment::bring_up() {
+  auto st = try_bring_up();
+  if (!st.ok()) accessor_abort(st.error());
+}
 
 db::SiteRepository& VdceEnvironment::repo(common::SiteId site) {
   auto r = try_repo(site);
@@ -165,20 +190,34 @@ dsm::DsmRuntime& VdceEnvironment::enable_dsm() {
   return *dsm_;
 }
 
+common::Status VdceEnvironment::try_add_user(const std::string& name,
+                                             const std::string& password,
+                                             int priority,
+                                             db::AccessDomain domain) {
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "add_user(): environment not brought up"};
+  }
+  for (auto& repo : repos_) {
+    auto added = repo->users().add_user(name, password, priority, domain);
+    if (!added.has_value()) return added.error();
+  }
+  return common::Status::success();
+}
+
 void VdceEnvironment::add_user(const std::string& name,
                                const std::string& password, int priority,
                                db::AccessDomain domain) {
-  assert(up_);
-  for (auto& repo : repos_) {
-    (void)repo->users().add_user(name, password, priority, domain);
-  }
+  auto st = try_add_user(name, password, priority, domain);
+  if (!st.ok()) accessor_abort(st.error());
 }
 
 common::Expected<Session> VdceEnvironment::login(common::SiteId site,
                                                  const std::string& name,
                                                  const std::string& password) {
-  assert(up_);
-  auto account = repo(site).users().authenticate(name, password);
+  auto site_repo = try_repo(site);
+  if (!site_repo) return site_repo.error();
+  auto account = site_repo->get().users().authenticate(name, password);
   if (!account) return account.error();
   return Session{site, *account};
 }
@@ -201,12 +240,37 @@ common::Status VdceEnvironment::drive_until(const bool& flag) {
   return common::Status::success();
 }
 
+common::Status VdceEnvironment::validate_tasks(const afg::Afg& graph,
+                                               const Session& session) {
+  auto site_repo = try_repo(session.site);
+  if (!site_repo) return site_repo.error();
+  const db::TaskPerformanceDb& tasks = site_repo->get().tasks();
+  for (const afg::TaskNode& node : graph.tasks()) {
+    if (tasks.contains(node.task_name)) continue;
+    if (registry_.find(node.task_name).has_value()) continue;
+    return common::Error{
+        common::ErrorCode::kNotFound,
+        "task \"" + node.task_name + "\" (instance \"" + node.instance_name +
+            "\") is not registered in site " +
+            std::to_string(session.site.value()) +
+            "'s task library or the kernel registry; register the task "
+            "before running the application"};
+  }
+  return common::Status::success();
+}
+
 common::Expected<sched::ResourceAllocationTable> VdceEnvironment::schedule(
     const afg::Afg& graph, const Session& session,
     sched::SiteSchedulerOptions options) {
-  assert(up_);
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "schedule(): environment not brought up"};
+  }
   auto valid = graph.validate();
   if (!valid.ok()) return valid.error();
+  if (auto tasks_ok = validate_tasks(graph, session); !tasks_ok.ok()) {
+    return tasks_ok.error();
+  }
 
   // Clip the candidate set to what this user may touch.
   options.access = session.account.domain;
@@ -256,7 +320,13 @@ common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_with_table(
 common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_plan(
     const afg::Afg& graph, sched::ResourceAllocationTable table,
     const Session& session, const RunOptions& options) {
-  assert(up_);
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "execute(): environment not brought up"};
+  }
+  if (auto tasks_ok = validate_tasks(graph, session); !tasks_ok.ok()) {
+    return tasks_ok.error();
+  }
 
   // Resolve per-task performance records and kernels.
   std::vector<db::TaskPerfRecord> perf;

@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "afg/graph.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/injector.hpp"
 #include "common/expected.hpp"
 #include "common/logging.hpp"
 #include "db/site_repository.hpp"
@@ -44,6 +46,36 @@
 #include "tasklib/registry.hpp"
 
 namespace vdce {
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+//
+// Every fallible entry point returns common::Expected<T> (or common::Status)
+// carrying a common::Error{code, message}.  The codes mean, across this API:
+//
+//   kInvalidArgument     — the call itself is malformed: bring-up repeated,
+//                          a malformed fault plan, bad options.
+//   kNotFound            — a named thing does not exist: unknown site id,
+//                          unknown user, a task name absent from both the
+//                          task library and the kernel registry, a fault
+//                          plan referencing a host/site the topology lacks,
+//                          a missing input object.
+//   kPermissionDenied    — authentication failed or the access domain
+//                          forbids the operation.
+//   kNoFeasibleResource  — scheduling found no machine satisfying the
+//                          task's constraints, or admission control
+//                          rejected the deadline.
+//   kHostDown            — a required host is down right now.
+//   kTimeout             — a synchronous wait exceeded
+//                          EnvironmentOptions::sync_timeout.
+//   kParseError          — DSL / fault-plan text did not parse.
+//   kInternal            — an invariant broke (the environment is not up,
+//                          the simulation drained mid-operation); a bug or
+//                          misuse, not a user-data problem.
+//
+// Messages always name the offending entity (task, host, site, user), so
+// they can be surfaced to users verbatim.
+// ---------------------------------------------------------------------------
 
 /// An authenticated editor session (the result of the paper's "user
 /// authentication" step before the Application Editor is served).
@@ -71,6 +103,13 @@ struct EnvironmentOptions {
   /// Console log verbosity for the whole environment.  Prefer this (and
   /// set_log_level()) over poking common::Logger::instance() directly.
   common::LogLevel log_level = common::LogLevel::kOff;
+
+  /// Deterministic fault injection: when non-empty, bring-up arms this plan
+  /// against the environment (crashes, partitions, loss, slowdowns, stale
+  /// monitors fire at their simulated instants).  Identical (plan, seeds)
+  /// produce byte-identical fault/recovery traces — see
+  /// docs/FAULT_INJECTION.md.  Inspect the injector via env.chaos().
+  chaos::FaultPlan faults;
 };
 
 struct RunOptions {
@@ -95,7 +134,14 @@ class VdceEnvironment {
   VdceEnvironment& operator=(const VdceEnvironment&) = delete;
 
   /// Create repositories, seed them from the task registry, start every
-  /// daemon.  Must be called exactly once before any other operation.
+  /// daemon, and arm the fault plan (if EnvironmentOptions::faults is
+  /// non-empty).  Must be called exactly once before any other operation.
+  /// Fails (kInvalidArgument / kNotFound) on a repeated call or a fault
+  /// plan that is malformed or references hosts/sites this topology lacks.
+  [[nodiscard]] common::Status try_bring_up();
+
+  /// Deprecated shim over try_bring_up(): prints the error and aborts on
+  /// failure.  Prefer try_bring_up() in new code.
   void bring_up();
 
   // --- component access --------------------------------------------------
@@ -151,8 +197,21 @@ class VdceEnvironment {
   /// objects and creating per-host clients.
   dsm::DsmRuntime& enable_dsm();
 
+  // --- fault injection ------------------------------------------------------
+  /// The armed chaos injector (its deterministic log, drop counters, plan),
+  /// or null when EnvironmentOptions::faults was empty.
+  [[nodiscard]] chaos::ChaosInjector* chaos() noexcept { return chaos_.get(); }
+
   // --- accounts & sessions -------------------------------------------------
   /// Create the account at every site (the prototype replicated accounts).
+  /// Fails when the environment is not up or any site rejects the account
+  /// (e.g. a duplicate name).
+  [[nodiscard]] common::Status try_add_user(
+      const std::string& name, const std::string& password, int priority = 1,
+      db::AccessDomain domain = db::AccessDomain::kGlobal);
+
+  /// Deprecated shim over try_add_user(): prints the error and aborts on
+  /// failure.  Prefer try_add_user() in new code.
   void add_user(const std::string& name, const std::string& password,
                 int priority = 1,
                 db::AccessDomain domain = db::AccessDomain::kGlobal);
@@ -190,6 +249,11 @@ class VdceEnvironment {
   /// Drive the engine until `*flag` is true or the sync timeout elapses.
   common::Status drive_until(const bool& flag);
 
+  /// Up-front validation: every task name in the graph must resolve against
+  /// the session site's task library or the kernel registry, so a typo'd
+  /// task fails here with its name instead of deep inside the runtime.
+  common::Status validate_tasks(const afg::Afg& graph, const Session& session);
+
   net::Topology topology_;
   EnvironmentOptions options_;
   obs::Observability obs_;
@@ -202,6 +266,7 @@ class VdceEnvironment {
   std::vector<std::unique_ptr<runtime::HostAgent>> agents_;
   std::unique_ptr<runtime::BackgroundLoadGenerator> load_generator_;
   std::unique_ptr<dsm::DsmRuntime> dsm_;
+  std::unique_ptr<chaos::ChaosInjector> chaos_;
   bool up_ = false;
   common::AppId::value_type next_app_ = 0;
 };

@@ -1,0 +1,84 @@
+// Tier-2 cascading-failure matrix: K = 1..3 hosts crash mid-run (via a
+// chaos::FaultPlan, so the whole scenario is deterministic and replayable)
+// and the application must still complete, with every reschedule recorded
+// in the ExecutionReport's recovery log.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "chaos/injector.hpp"
+#include "editor/builder.hpp"
+#include "vdce/environment.hpp"
+#include "vdce/testbed.hpp"
+
+namespace vdce {
+namespace {
+
+class CascadingFailure : public ::testing::TestWithParam<int> {};
+
+TEST_P(CascadingFailure, ApplicationCompletesWithReschedulesRecorded) {
+  const int kill_count = GetParam();
+
+  net::Topology topology = make_campus_pair(13);
+  const net::Site& site0 = topology.site(common::SiteId(0));
+
+  // Pin a three-wide parallel stage to known non-server machines, then
+  // crash the first K of them while their tasks run.
+  std::vector<std::string> pinned;
+  for (common::HostId h : site0.hosts) {
+    if (h == site0.server) continue;
+    pinned.push_back(topology.host(h).spec.name);
+    if (pinned.size() == 3) break;
+  }
+  ASSERT_EQ(pinned.size(), 3u);
+
+  chaos::FaultPlan plan;
+  plan.name("cascade-k" + std::to_string(kill_count)).seed(5);
+  for (int k = 0; k < kill_count; ++k) {
+    plan.crash(pinned[static_cast<std::size_t>(k)], 1.0 + 0.7 * k);
+  }
+
+  EnvironmentOptions options;
+  options.runtime.exec_noise_cv = 0.0;
+  options.runtime.echo_period = 0.5;
+  options.runtime.progress_period = 1.0;
+  options.faults = std::move(plan);
+  VdceEnvironment env(std::move(topology), options);
+  ASSERT_TRUE(env.try_bring_up().ok());
+  ASSERT_TRUE(env.try_add_user("u", "p").ok());
+  Session session = env.login(common::SiteId(0), "u", "p").value();
+
+  editor::AppBuilder builder("cascade");
+  auto join = builder.task("join", "synthetic.w500");
+  for (int i = 0; i < 3; ++i) {
+    auto stage = builder
+                     .task("par" + std::to_string(i), "synthetic.w2000")
+                     .prefer_machine(pinned[static_cast<std::size_t>(i)])
+                     .output_data(1e5);
+    ASSERT_TRUE(builder.link(stage, join).has_value());
+  }
+  afg::Afg graph = builder.build().value();
+
+  RunOptions run;
+  run.real_kernels = false;
+  auto report = env.run_application(graph, session, run);
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  ASSERT_TRUE(report->success) << report->failure_reason;
+  EXPECT_GE(report->failures_survived, 1);
+
+  // Every crashed host forced at least one recorded reschedule, and no
+  // task finished on a machine that was down.
+  EXPECT_GE(static_cast<int>(report->recoveries.size()), kill_count);
+  EXPECT_EQ(static_cast<int>(env.chaos()->faults_injected()), kill_count);
+  for (const auto& outcome : report->outcomes) {
+    EXPECT_TRUE(env.topology().host(outcome.host).state.up)
+        << "task finished on dead host " << outcome.host.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kills, CascadingFailure, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace vdce
