@@ -6,7 +6,11 @@
 // (real matrix kernels, verified answer) and the C3I track pipeline (real
 // signal kernels) — across 1/2/4-site deployments and reports scheduling
 // time, setup time, makespan, and wire traffic for each.
+//
+// Ends with one machine-readable JSON line (bench_fault_recovery-style);
+// `--smoke` restricts the sweep to the 1-site deployments.
 #include <cmath>
+#include <cstring>
 
 #include "bench_util.hpp"
 #include "vdce/vdce.hpp"
@@ -75,8 +79,9 @@ afg::Afg build_c3i(VdceEnvironment& env, common::Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vdce;
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   bench::print_title("E8", "end-to-end pipeline: LES + C3I across sites");
   bench::print_note(
       "Real kernels; verified outputs.  sched = simulated bid-round time;\n"
@@ -85,8 +90,12 @@ int main() {
 
   bench::Table table({"app", "sites", "sched (s)", "setup (s)",
                       "makespan (s)", "msgs", "verified"});
+  auto json_num = [](double v) { return common::format_double(v, 4); };
+  std::string json = "{\"bench\":\"end_to_end\",\"rows\":[";
+  bool first_row = true;
 
   for (std::size_t sites : {1u, 2u, 4u}) {
+    if (smoke && sites > 1u) continue;
     EnvironmentOptions options;
     options.runtime.exec_noise_cv = 0.0;
     options.runtime.k_nearest = sites - 1;
@@ -134,14 +143,25 @@ int main() {
                      bench::Table::num(report->makespan(), 2),
                      std::to_string(env.fabric().stats().sent),
                      verified ? "OK" : "FAILED"});
+      if (!first_row) json += ",";
+      first_row = false;
+      json += std::string("{\"app\":\"") + which +
+              "\",\"sites\":" + std::to_string(sites) +
+              ",\"sched_s\":" + json_num(sched_time) +
+              ",\"setup_s\":" + json_num(report->setup_time()) +
+              ",\"makespan_s\":" + json_num(report->makespan()) +
+              ",\"msgs\":" + std::to_string(env.fabric().stats().sent) +
+              ",\"verified\":" + (verified ? "true" : "false") + "}";
       if (!verified) return 1;
     }
   }
   table.print();
+  json += "]}";
 
   bench::print_note(
       "\nExpected shape: makespan is stable or improves with more sites\n"
       "(better machines to pick from); scheduling time and message counts\n"
       "grow with the candidate-site set — the cost of wide-area operation.");
+  std::printf("\n%s\n", json.c_str());
   return 0;
 }

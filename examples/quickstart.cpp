@@ -60,13 +60,28 @@ int main() {
   std::puts(report->describe(graph).c_str());
 
   // 6. Where did the simulated seconds go?  The breakdown splits the
-  //    end-to-end latency into phases; the Chrome trace shows every task
-  //    span and fabric transfer (open it in chrome://tracing or Perfetto).
+  //    end-to-end latency into phases; the causal critical path says which
+  //    chain of tasks (and which waits between them) set the makespan.
   auto phases = report->breakdown();
   std::printf("setup %.3fs | execution %.3fs | task-busy %.3fs\n",
               phases.setup, phases.execution, phases.task_busy);
-  if (env.trace().write_chrome_trace("quickstart_trace.json").ok()) {
-    std::printf("wrote quickstart_trace.json (%zu trace events)\n",
+  auto critical = report->critical_path();
+  std::printf(
+      "critical path: %zu hops through %zu tasks — compute %.3fs, "
+      "transfer+wait %.3fs, completion %.3fs\n",
+      critical.hops.size(), critical.task_chain.size(),
+      critical.phases.compute,
+      critical.phases.startup + critical.phases.transfer +
+          critical.phases.wait,
+      critical.phases.completion);
+
+  // 7. Export the run: the Chrome trace opens in chrome://tracing or
+  //    Perfetto (one process per site, one lane per host); the JSONL export
+  //    feeds `vdce-inspect quickstart_trace.jsonl` for offline analysis.
+  if (env.trace().write_chrome_trace("quickstart_trace.json").ok() &&
+      env.trace().write_jsonl("quickstart_trace.jsonl").ok()) {
+    std::printf("wrote quickstart_trace.json + quickstart_trace.jsonl "
+                "(%zu trace events)\n",
                 env.trace().events().size());
   }
   return report->success ? 0 : 1;

@@ -83,7 +83,8 @@ common::Expected<common::SimTime> Fabric::send(Message msg) {
       obs_->trace().span(
           "fabric", "fabric.transfer", engine_.now(), when, msg.src.value(),
           {obs::arg("type", msg.type), obs::arg("bytes", msg.size_bytes),
-           obs::arg("src", msg.src.value()), obs::arg("dst", msg.dst.value())});
+           obs::arg("src", msg.src.value()), obs::arg("dst", msg.dst.value())},
+          obs::Causal{msg.cause.app, msg.cause.task, msg.cause.src_task, {}});
     }
   }
   engine_.schedule(when - engine_.now(),

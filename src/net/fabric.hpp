@@ -30,12 +30,24 @@
 
 namespace vdce::net {
 
+/// Causal identity a sender may stamp on a message so the trace layer can
+/// link the resulting `fabric.transfer` span into the per-application causal
+/// DAG (obs/causal.hpp): which application the bytes belong to, which task
+/// consumes them, and which task produced them.  All-default means "control
+/// traffic" and adds nothing to the record.
+struct MessageCause {
+  std::uint32_t app = obs::kNoCausalId;
+  std::uint32_t task = obs::kNoCausalId;      ///< consumer task
+  std::uint32_t src_task = obs::kNoCausalId;  ///< producer task
+};
+
 struct Message {
   HostId src;
   HostId dst;
   std::string type;       ///< e.g. "echo", "rat", "dm.setup", "dm.data"
   double size_bytes = 64;  ///< wire size charged to the link (headers incl.)
   std::any payload;
+  MessageCause cause;     ///< optional causal tag (data-plane traffic)
 };
 
 /// Per-fabric traffic counters, broken down by message type — the raw data

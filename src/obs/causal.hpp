@@ -1,0 +1,204 @@
+// vdce::obs::causal — post-run causal analysis over trace records
+// (docs/OBSERVABILITY.md, "Causal trace analysis").
+//
+// The trace layer records *what* happened; this layer answers *why a run
+// took as long as it did*.  From causally-tagged records (or from an
+// ExecutionReport) it reconstructs the per-application causal DAG and
+// computes:
+//
+//  * the critical path — a chain of hops (startup, compute, transfer,
+//    scheduler/dependency wait, recovery, completion notice) that tiles
+//    [exec_started, completed] exactly, so hop durations sum to the
+//    makespan by construction;
+//  * per-phase breakdown — where the simulated seconds went;
+//  * per-host / per-link Gantt timelines with utilization and idle-gap
+//    attribution (idle-because-waiting vs idle-because-transferring);
+//  * what-if slack estimates — "task T 2x faster => makespan -X%",
+//    Coz-style but exact because time is simulated: a PERT-style forward
+//    pass over the reconstructed DAG with original lags preserved.
+//
+// Everything operates on the neutral AppTrace structure, which has two
+// producers: ExecutionReport (live, in-process) and extract_apps() over a
+// parsed JSONL export (offline, via tools/vdce-inspect).  Both feed the
+// same engine, which is how the offline tool reproduces the in-process
+// critical path bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "obs/trace.hpp"
+
+namespace vdce::obs::causal {
+
+/// One completed task execution (the attempt that finished).
+struct TaskExec {
+  std::uint32_t task = kNoCausalId;
+  std::string name;                       ///< instance name, or "task<N>"
+  common::SimTime started = 0.0;
+  common::SimTime finished = 0.0;
+  std::uint32_t host = kControlTrack;
+  std::vector<std::uint32_t> deps;        ///< AFG parent task ids
+  int attempts = 1;
+};
+
+/// One payload movement between tasks (dm.data delivery over the fabric).
+struct Transfer {
+  std::uint32_t src_task = kNoCausalId;   ///< producer (kNoCausalId = staging)
+  std::uint32_t dst_task = kNoCausalId;   ///< consumer
+  common::SimTime started = 0.0;
+  common::SimTime finished = 0.0;
+  std::uint32_t src_host = kControlTrack;
+  std::uint32_t dst_host = kControlTrack;
+  double bytes = 0.0;
+};
+
+/// One recovery action (reschedule, relaunch, stall resend...).
+struct RecoveryMark {
+  common::SimTime at = 0.0;
+  std::uint32_t task = kNoCausalId;
+  std::string reason;
+};
+
+/// Everything the engine needs about one application run.
+struct AppTrace {
+  std::uint32_t app = kNoCausalId;
+  std::string name;
+  common::SimTime exec_started = 0.0;  ///< startup signal (makespan origin)
+  common::SimTime completed = 0.0;     ///< coordinator saw the last task done
+  std::vector<TaskExec> tasks;
+  std::vector<Transfer> transfers;
+  std::vector<RecoveryMark> recoveries;
+
+  [[nodiscard]] common::SimDuration makespan() const noexcept {
+    return completed - exec_started;
+  }
+  [[nodiscard]] const TaskExec* find_task(std::uint32_t task) const noexcept;
+};
+
+// ---- critical path ---------------------------------------------------------
+
+enum class HopKind {
+  kStartup,     ///< startup signal -> first critical task begins
+  kCompute,     ///< a task executing
+  kTransfer,    ///< waiting on data in flight toward the next critical task
+  kWait,        ///< dependency/scheduler wait with no transfer in flight
+  kRecovery,    ///< wait attributable to a recovery action
+  kCompletion,  ///< last task finished -> coordinator saw the completion
+};
+
+[[nodiscard]] const char* to_string(HopKind kind);
+
+struct CriticalHop {
+  HopKind kind = HopKind::kWait;
+  std::uint32_t task = kNoCausalId;  ///< the task this hop executes / leads into
+  std::string label;
+  common::SimTime start = 0.0;
+  common::SimTime end = 0.0;
+  [[nodiscard]] common::SimDuration duration() const noexcept {
+    return end - start;
+  }
+};
+
+struct PhaseTotals {
+  common::SimDuration startup = 0.0;
+  common::SimDuration compute = 0.0;
+  common::SimDuration transfer = 0.0;
+  common::SimDuration wait = 0.0;
+  common::SimDuration recovery = 0.0;
+  common::SimDuration completion = 0.0;
+  [[nodiscard]] common::SimDuration total() const noexcept {
+    return startup + compute + transfer + wait + recovery + completion;
+  }
+};
+
+struct CriticalPath {
+  std::vector<CriticalHop> hops;   ///< contiguous; tiles [exec_started, completed]
+  std::vector<std::uint32_t> task_chain;  ///< critical tasks, in exec order
+  common::SimDuration makespan = 0.0;
+  PhaseTotals phases;              ///< per-kind sums; phases.total() == makespan
+};
+
+/// Reconstruct the critical path.  Walk-back rule: start from the
+/// last-finishing task; at each step follow the executed dependency with the
+/// greatest finish time.  Gaps between consecutive critical tasks are carved
+/// into transfer / recovery / wait segments using the app's transfer spans
+/// and recovery marks.  The hops tile [exec_started, completed] exactly.
+[[nodiscard]] CriticalPath critical_path(const AppTrace& app);
+
+// ---- per-resource timelines ------------------------------------------------
+
+struct TimelineSpan {
+  common::SimTime start = 0.0;
+  common::SimTime end = 0.0;
+  std::string label;
+  std::uint32_t task = kNoCausalId;
+};
+
+struct HostTimeline {
+  std::uint32_t host = kControlTrack;
+  std::string name;                  ///< from TrackInfo when available
+  std::uint32_t site = kNoCausalId;
+  std::vector<TimelineSpan> busy;    ///< task executions, time order
+  common::SimDuration busy_time = 0.0;
+  double utilization = 0.0;          ///< busy_time / makespan
+  /// Idle-gap attribution over [exec_started, completed]:
+  common::SimDuration idle_transfer = 0.0;  ///< idle with inbound data in flight
+  common::SimDuration idle_wait = 0.0;      ///< idle with nothing inbound
+};
+
+struct LinkTimeline {
+  std::uint32_t src_host = kControlTrack;
+  std::uint32_t dst_host = kControlTrack;
+  std::string name;                  ///< "src -> dst"
+  std::vector<TimelineSpan> transfers;
+  common::SimDuration busy_time = 0.0;
+  double bytes = 0.0;
+};
+
+struct Timeline {
+  common::SimTime horizon_start = 0.0;
+  common::SimTime horizon_end = 0.0;
+  std::vector<HostTimeline> hosts;   ///< host-id order
+  std::vector<LinkTimeline> links;   ///< (src, dst) order
+};
+
+/// Per-host and per-link Gantt data.  `tracks` (may be empty) supplies
+/// host / site names for labeling.
+[[nodiscard]] Timeline timeline(const AppTrace& app,
+                                const std::vector<TrackInfo>& tracks = {});
+
+// ---- what-if slack ---------------------------------------------------------
+
+struct WhatIf {
+  std::uint32_t task = kNoCausalId;
+  std::string name;
+  double speedup = 2.0;                    ///< the hypothetical factor applied
+  common::SimDuration new_makespan = 0.0;
+  double makespan_delta_pct = 0.0;         ///< negative = faster overall
+  bool on_critical_path = false;
+};
+
+/// For each task: recompute the makespan with that task `speedup`x faster,
+/// via a PERT forward pass that preserves every original scheduling /
+/// transfer lag.  Exact under the simulation's semantics as long as
+/// placements would not change.  Sorted by most-negative delta first.
+[[nodiscard]] std::vector<WhatIf> what_if(const AppTrace& app,
+                                          double speedup = 2.0);
+
+// ---- offline extraction and reporting --------------------------------------
+
+/// Rebuild AppTraces from a parsed JSONL export: app.run spans delimit
+/// applications, exec.task spans become TaskExecs (deps from their causal
+/// tags), fabric.transfer spans with a consumer tag become Transfers, and
+/// recovery.* instants become RecoveryMarks.  Apps appear in id order.
+[[nodiscard]] std::vector<AppTrace> extract_apps(const ParsedTrace& trace);
+
+/// Multi-section text report (critical path, phase totals, host/link
+/// timelines, what-if table) — what vdce-inspect prints.
+[[nodiscard]] std::string render_report(const AppTrace& app,
+                                        const std::vector<TrackInfo>& tracks);
+
+}  // namespace vdce::obs::causal

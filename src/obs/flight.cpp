@@ -1,0 +1,95 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace vdce::obs {
+
+const char* to_string(FlightCode code) {
+  switch (code) {
+    case FlightCode::kAppStart: return "app_start";
+    case FlightCode::kAppDone: return "app_done";
+    case FlightCode::kTaskStart: return "task_start";
+    case FlightCode::kTaskDone: return "task_done";
+    case FlightCode::kTransfer: return "transfer";
+    case FlightCode::kHostDown: return "host_down";
+    case FlightCode::kRecovery: return "recovery";
+    case FlightCode::kEscalation: return "escalation";
+    case FlightCode::kStall: return "stall";
+    case FlightCode::kOverload: return "overload";
+    case FlightCode::kChannelRetry: return "channel_retry";
+    case FlightCode::kSchedule: return "schedule";
+    case FlightCode::kBringUpFailed: return "bring_up_failed";
+    case FlightCode::kRunFailed: return "run_failed";
+  }
+  return "unknown";
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  std::vector<FlightRecord> out;
+  const std::size_t retained =
+      total_ < capacity_ ? static_cast<std::size_t>(total_) : capacity_;
+  out.reserve(retained);
+  // When the ring has wrapped, the oldest record sits at head_.
+  const std::size_t start = total_ < capacity_ ? 0 : head_;
+  for (std::size_t i = 0; i < retained; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::render_jsonl() const {
+  const std::vector<FlightRecord> records = snapshot();
+  std::string out;
+  for (const FlightRecord& r : records) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.9g", r.t);
+    out += "{\"t\":";
+    out += buf;
+    out += ",\"code\":\"";
+    out += to_string(r.code);
+    out += '"';
+    if (r.track != 0xFFFFFFFFu) {
+      out += ",\"track\":";
+      out += std::to_string(r.track);
+    }
+    if (r.a != 0xFFFFFFFFu) {
+      out += ",\"a\":";
+      out += std::to_string(r.a);
+    }
+    if (r.b != 0xFFFFFFFFu) {
+      out += ",\"b\":";
+      out += std::to_string(r.b);
+    }
+    if (r.v != 0.0) {
+      std::snprintf(buf, sizeof buf, "%.9g", r.v);
+      out += ",\"v\":";
+      out += buf;
+    }
+    out += "}\n";
+  }
+  out += "{\"meta\":\"flight\",\"total\":";
+  out += std::to_string(total_);
+  out += ",\"retained\":";
+  out += std::to_string(records.size());
+  out += ",\"capacity\":";
+  out += std::to_string(capacity_);
+  out += "}\n";
+  return out;
+}
+
+common::Status FlightRecorder::dump(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return common::Error{common::ErrorCode::kIoError,
+                         "cannot open for writing: " + path};
+  }
+  const std::string body = render_jsonl();
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  if (!out) {
+    return common::Error{common::ErrorCode::kIoError, "short write to: " + path};
+  }
+  return common::Status::success();
+}
+
+}  // namespace vdce::obs

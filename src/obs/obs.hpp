@@ -7,6 +7,7 @@
 // one branch per instrumentation site and allocates nothing.
 #pragma once
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -19,8 +20,9 @@ struct MetricsOptions {
 class Observability {
  public:
   Observability() = default;
-  Observability(const MetricsOptions& metrics, const TraceOptions& trace)
-      : metrics_on_(metrics.enabled), trace_(trace) {}
+  Observability(const MetricsOptions& metrics, const TraceOptions& trace,
+                const FlightOptions& flight = {})
+      : metrics_on_(metrics.enabled), trace_(trace), flight_(flight) {}
 
   [[nodiscard]] bool metrics_on() const noexcept { return metrics_on_; }
   [[nodiscard]] bool trace_on() const noexcept { return trace_.enabled(); }
@@ -37,10 +39,18 @@ class Observability {
   [[nodiscard]] TraceSink& trace() noexcept { return trace_; }
   [[nodiscard]] const TraceSink& trace() const noexcept { return trace_; }
 
+  /// The always-on ring — deliberately NOT part of any_on(): it records even
+  /// when metrics and tracing are both off (that's its job).
+  [[nodiscard]] FlightRecorder& flight() noexcept { return flight_; }
+  [[nodiscard]] const FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
+
  private:
   bool metrics_on_ = false;
   MetricsRegistry metrics_;
   TraceSink trace_;
+  FlightRecorder flight_;
 };
 
 }  // namespace vdce::obs

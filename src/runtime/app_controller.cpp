@@ -58,6 +58,8 @@ void AppController::check_load() {
         << common::format_double(h.state.cpu_load, 2)
         << "); terminating task " << aborted.task.value()
         << " and requesting reschedule";
+    core_.flight(obs::FlightCode::kOverload, host_.value(),
+                 aborted.app.value(), aborted.task.value(), h.state.cpu_load);
     if (core_.metering()) {
       core_.meters().counter("recovery.overload_terminations").add();
     }
@@ -66,7 +68,9 @@ void AppController::check_load() {
           "recovery", "recovery.overload", core_.now(), host_.value(),
           {obs::arg("app", aborted.app.value()),
            obs::arg("task", aborted.task.value()),
-           obs::arg("load", h.state.cpu_load)});
+           obs::arg("load", h.state.cpu_load)},
+          obs::Causal{.app = aborted.app.value(),
+                      .task = aborted.task.value()});
     }
     (void)core_.fabric().send(net::Message{
         host_, aborted.origin, msg::kAcOverload, wire::kSmall,

@@ -136,6 +136,15 @@ class RuntimeCore {
     return obs_->metrics();
   }
 
+  /// Always-on flight-recorder hook (obs/flight.hpp): a handful of stores
+  /// into a preallocated ring, independent of tracing()/metering().  Safe to
+  /// call unguarded from any instrumentation site.
+  void flight(obs::FlightCode code, std::uint32_t track = 0xFFFFFFFFu,
+              std::uint32_t a = 0xFFFFFFFFu, std::uint32_t b = 0xFFFFFFFFu,
+              double v = 0.0) noexcept {
+    if (obs_ != nullptr) obs_->flight().record(engine_.now(), code, track, a, b, v);
+  }
+
  private:
   sim::Engine& engine_;
   net::Fabric& fabric_;

@@ -142,12 +142,15 @@ void DataManager::send_setup(common::AppId app, common::HostId peer) {
         core_.trace_sink().instant(
             "recovery", "recovery.channel_abandoned", core_.now(),
             host_.value(),
-            {obs::arg("app", app.value()), obs::arg("peer", peer.value())});
+            {obs::arg("app", app.value()), obs::arg("peer", peer.value())},
+            obs::Causal{.app = app.value()});
       }
       if (st.pending_setups.empty() && !st.ready_fired) fire_ready(st);
       return;
     }
     ++p->second.resends;
+    core_.flight(obs::FlightCode::kChannelRetry, host_.value(), app.value(),
+                 static_cast<std::uint32_t>(p->second.resends));
     if (core_.metering()) {
       core_.meters().counter("recovery.channel_retries").add();
     }
@@ -155,7 +158,8 @@ void DataManager::send_setup(common::AppId app, common::HostId peer) {
       core_.trace_sink().instant(
           "recovery", "recovery.channel_retry", core_.now(), host_.value(),
           {obs::arg("app", app.value()), obs::arg("peer", peer.value()),
-           obs::arg("attempt", p->second.resends)});
+           obs::arg("attempt", p->second.resends)},
+          obs::Causal{.app = app.value()});
     }
     send_setup(app, peer);
   });
@@ -263,6 +267,8 @@ void DataManager::maybe_start(common::AppId app) {
   state.busy = true;
   state.running_task = task_value;
   state.run_started = core_.now();
+  core_.flight(obs::FlightCode::kTaskStart, host_.value(),
+               app.value(), task_value);
 
   const ExecutionPlan& plan = *state.plan;
   const sched::Assignment& a = plan.assignment(task.id);
@@ -337,12 +343,21 @@ void DataManager::finish_task(common::AppId app, std::uint32_t task_value) {
     core_.meters().counter("exec.tasks_completed").add();
     core_.meters().histogram("exec.task_seconds").add(elapsed);
   }
+  core_.flight(obs::FlightCode::kTaskDone, host_.value(), plan.app.value(),
+               task_value, elapsed);
   if (core_.tracing()) {
+    // Causal identity: which task this span is, and which AFG parents feed
+    // it — the task->task edges of the causal DAG (obs/causal.hpp).
+    obs::Causal causal{.app = plan.app.value(), .task = task_value};
+    for (afg::TaskId parent : plan.graph.parents(task.id)) {
+      causal.deps.push_back(parent.value());
+    }
     core_.trace_sink().span(
         "exec", "exec.task", state.run_started, core_.now(), host_.value(),
         {obs::arg("task", node.instance_name),
          obs::arg("app", plan.app.value()),
-         obs::arg("host", host_.value())});
+         obs::arg("host", host_.value())},
+        std::move(causal));
   }
 
   // Run the real kernel, if the application carries one.
@@ -404,7 +419,11 @@ void DataManager::send_edge(AppState& state, const afg::Edge& edge,
   double bytes = std::max(plan.graph.edge_bytes(edge), 64.0);
   (void)core_.fabric().send(net::Message{
       host_, dst, msg::kDmData, bytes,
-      std::any(DataDelivery{plan.app, edge.to, edge.to_port, value})});
+      std::any(DataDelivery{plan.app, edge.to, edge.to_port, value}),
+      // Causal tag: this transfer feeds `edge.to`, produced by `edge.from`
+      // (the transfer->consumer edge of the causal DAG).
+      net::MessageCause{plan.app.value(), edge.to.value(),
+                        edge.from.value()}});
 }
 
 void DataManager::send_task_done(AppState& state, afg::TaskId task,
@@ -491,7 +510,9 @@ void DataManager::handle(const net::Message& message) {
           host_, req.new_host, msg::kDmData, bytes,
           std::any(DataDelivery{
               req.app, req.to_task, req.to_port,
-              out->second[static_cast<std::size_t>(req.from_port)]})});
+              out->second[static_cast<std::size_t>(req.from_port)]}),
+          net::MessageCause{req.app.value(), req.to_task.value(),
+                            req.from_task.value()}});
     }
     return;
   }

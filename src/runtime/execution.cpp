@@ -7,6 +7,36 @@
 
 namespace vdce::runtime {
 
+obs::causal::AppTrace ExecutionReport::causal_view() const {
+  obs::causal::AppTrace view;
+  view.app = app.value();
+  view.name = app_name;
+  view.exec_started = exec_started;
+  view.completed = completed;
+  for (const TaskOutcome& o : outcomes) {
+    obs::causal::TaskExec t;
+    t.task = o.task.value();
+    t.name = o.task_name.empty() ? "task " + std::to_string(o.task.value())
+                                 : o.task_name;
+    t.started = o.started;
+    t.finished = o.finished;
+    t.host = o.host.value();
+    t.attempts = o.attempts;
+    for (const auto& [from, to] : dag_edges) {
+      if (to == o.task.value()) t.deps.push_back(from);
+    }
+    view.tasks.push_back(std::move(t));
+  }
+  for (const RecoveryEvent& r : recoveries) {
+    obs::causal::RecoveryMark mark;
+    mark.at = r.detected_at;
+    mark.task = r.task.valid() ? r.task.value() : obs::kNoCausalId;
+    mark.reason = r.reason;
+    view.recoveries.push_back(std::move(mark));
+  }
+  return view;
+}
+
 std::string ExecutionReport::describe(const afg::Afg& graph) const {
   std::string out = "Execution report for '" + app_name + "'";
   out += success ? " [SUCCESS]\n" : " [FAILED: " + failure_reason + "]\n";

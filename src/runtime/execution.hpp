@@ -14,12 +14,14 @@
 #include "afg/graph.hpp"
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "obs/causal.hpp"
 #include "tasklib/registry.hpp"
 
 namespace vdce::runtime {
 
 struct TaskOutcome {
   afg::TaskId task;
+  std::string task_name;        ///< AFG instance name, for labeling
   common::HostId host;          ///< where it finally completed
   common::SiteId site;
   common::SimTime started = 0;  ///< start of the successful attempt
@@ -62,6 +64,9 @@ struct ExecutionReport {
   }
 
   std::vector<TaskOutcome> outcomes;  ///< task-id order
+  /// AFG dependency edges (parent task id -> child task id), recorded at
+  /// completion so the report is self-contained for causal analysis.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dag_edges;
   int reschedules = 0;                ///< overload-triggered task restarts
   int failures_survived = 0;          ///< host deaths recovered from
   /// Every recovery action, in the order taken (reschedules, pins, stall
@@ -106,6 +111,26 @@ struct ExecutionReport {
   /// Output values of exit tasks (port 0), keyed by task-id value; empty
   /// for timing-only runs.
   std::unordered_map<std::uint32_t, tasklib::Value> exit_outputs;
+
+  // --- causal analysis (obs/causal.hpp) -------------------------------------
+  /// The report's causal view: tasks from outcomes, dependency edges from
+  /// dag_edges, recovery marks from recoveries.  The report does not record
+  /// individual transfers, so critical-path gaps resolve to wait/recovery
+  /// here; the trace-based offline analysis (tools/vdce-inspect) refines
+  /// them into transfer segments — the task chain and the makespan tiling
+  /// are identical either way.
+  [[nodiscard]] obs::causal::AppTrace causal_view() const;
+
+  /// Critical path through the run: hops tile [exec_started, completed]
+  /// exactly, so their durations sum to makespan().
+  [[nodiscard]] obs::causal::CriticalPath critical_path() const {
+    return obs::causal::critical_path(causal_view());
+  }
+
+  /// Per-host Gantt timelines with utilization and idle attribution.
+  [[nodiscard]] obs::causal::Timeline timeline() const {
+    return obs::causal::timeline(causal_view());
+  }
 
   /// Human-readable narrative (per-task rows + summary + ASCII Gantt).
   [[nodiscard]] std::string describe(const afg::Afg& graph) const;

@@ -78,6 +78,7 @@ void GroupManager::echo_tick() {
       if (core_.metering()) {
         core_.meters().counter("monitor.failures_detected").add();
       }
+      core_.flight(obs::FlightCode::kHostDown, member.value());
       if (core_.tracing()) {
         core_.trace_sink().instant(
             "monitor", "monitor.failure_detected", core_.now(), leader_.value(),

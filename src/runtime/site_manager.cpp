@@ -132,6 +132,7 @@ void SiteManager::on_gm_host_down(const net::Message& message) {
   VDCE_LOG(kInfo, "site-mgr", core_.now())
       << "site " << site_.value() << " marks host " << notice.host.value()
       << " down";
+  core_.flight(obs::FlightCode::kHostDown, notice.host.value());
   if (core_.metering()) core_.meters().counter("recovery.hosts_marked_down").add();
   if (core_.tracing()) {
     core_.trace_sink().instant("recovery", "recovery.host_down", core_.now(),
@@ -206,7 +207,8 @@ void SiteManager::schedule_application(common::AppId app,
     core_.trace_sink().instant(
         "sched", "sched.host_selection", core_.now(), server_.value(),
         {obs::arg("site", site_.value()),
-         obs::arg("bids", std::uint64_t{local->bids.size()})});
+         obs::arg("bids", std::uint64_t{local->bids.size()})},
+        obs::Causal{.app = app.value()});
   }
   pending.outputs.emplace(site_, std::move(*local));
 
@@ -249,7 +251,8 @@ void SiteManager::on_sm_afg(const net::Message& message) {
     core_.trace_sink().instant(
         "sched", "sched.host_selection", core_.now(), server_.value(),
         {obs::arg("site", site_.value()),
-         obs::arg("bids", std::uint64_t{output->bids.size()})});
+         obs::arg("bids", std::uint64_t{output->bids.size()})},
+        obs::Causal{.app = request.app.value()});
   }
   double size = wire::bids(*output);
   (void)core_.fabric().send(net::Message{
@@ -278,13 +281,15 @@ void SiteManager::finish_schedule(std::uint32_t app_value) {
     auto found = pending.outputs.find(s);
     if (found != pending.outputs.end()) outputs.push_back(found->second);
   }
+  core_.flight(obs::FlightCode::kSchedule, server_.value(), app_value);
   if (core_.tracing()) {
     core_.trace_sink().span(
         "sched", "sched.bid_gather", pending.started, core_.now(),
         obs::kControlTrack,
         {obs::arg("app", app_value),
          obs::arg("sites", std::uint64_t{pending.sites.size()}),
-         obs::arg("replies", std::uint64_t{outputs.size()})});
+         obs::arg("replies", std::uint64_t{outputs.size()})},
+        obs::Causal{.app = app_value});
   }
   if (core_.metering()) {
     core_.meters()
@@ -330,6 +335,7 @@ void SiteManager::execute_application(
   app.callback = std::move(callback);
   auto [it, inserted] = apps_.emplace(app_id.value(), std::move(app));
   assert(inserted);
+  core_.flight(obs::FlightCode::kAppStart, server_.value(), app_id.value());
 
   // Multicast the allocation table to every involved site's Site Manager
   // (self included: the local hop uses the loopback link).
@@ -412,7 +418,9 @@ void SiteManager::stage_file_inputs(ActiveApp& app, afg::TaskId task) {
     (void)core_.fabric().send(net::Message{
         server_, assignment.primary_host(), msg::kDmInput,
         std::max(f.size_bytes, 64.0),
-        std::any(DataDelivery{app.plan->app, task, port, std::move(value)})});
+        std::any(DataDelivery{app.plan->app, task, port, std::move(value)}),
+        // Staging transfer: feeds `task`, no producer task (src_task unset).
+        net::MessageCause{app.plan->app.value(), task.value()}});
   }
 }
 
@@ -434,6 +442,7 @@ void SiteManager::on_ac_task_done(const net::Message& message) {
   const sched::Assignment& assignment = app.current.at(done.task.value());
   TaskOutcome outcome;
   outcome.task = done.task;
+  outcome.task_name = app.plan->graph.task(done.task).instance_name;
   outcome.host = done.host;
   outcome.site = core_.topology().host(done.host).site;
   outcome.started = done.started;
@@ -508,12 +517,16 @@ bool SiteManager::consume_recovery_budget(ActiveApp& app, const char* action) {
   if (++app.recovery_actions <= core_.options().max_app_recovery_actions) {
     return true;
   }
+  core_.flight(obs::FlightCode::kEscalation, server_.value(),
+               app.plan->app.value(), 0xFFFFFFFFu,
+               static_cast<double>(app.recovery_actions - 1));
   if (core_.metering()) core_.meters().counter("recovery.escalations").add();
   if (core_.tracing()) {
     core_.trace_sink().instant(
         "recovery", "recovery.escalation", core_.now(), obs::kControlTrack,
         {obs::arg("app", app.plan->app.value()), obs::arg("action", action),
-         obs::arg("actions", std::int64_t{app.recovery_actions - 1})});
+         obs::arg("actions", std::int64_t{app.recovery_actions - 1})},
+        obs::Causal{.app = app.plan->app.value()});
   }
   complete_app(app, false,
                "recovery budget exhausted after " +
@@ -616,13 +629,18 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
       << "rescheduling " << node.instance_name << " to host "
       << chosen.primary_host().value() << " (site " << chosen.site.value()
       << ")";
+  core_.flight(obs::FlightCode::kRecovery, bad_host.value(),
+               app.plan->app.value(), task.value());
   if (core_.metering()) core_.meters().counter("recovery.reschedules").add();
   if (core_.tracing()) {
+    // Causal tag: the next exec.task span of this task is the relaunched
+    // attempt this recovery action caused.
     core_.trace_sink().instant(
         "recovery", "recovery.reschedule", core_.now(), obs::kControlTrack,
         {obs::arg("task", node.instance_name),
          obs::arg("from", bad_host.value()),
-         obs::arg("to", chosen.primary_host().value())});
+         obs::arg("to", chosen.primary_host().value())},
+        obs::Causal{.app = app.plan->app.value(), .task = task.value()});
   }
 
   app.current[task.value()] = chosen;
@@ -722,11 +740,14 @@ void SiteManager::progress_sweep() {
       if (++app.prestart_sweeps < core_.options().stall_sweeps) continue;
       app.prestart_sweeps = 0;
       if (++app.quiet_stalls > kMaxQuietStalls) continue;  // stop spamming
+      core_.flight(obs::FlightCode::kRecovery, server_.value(),
+                   app.plan->app.value());
       if (core_.metering()) core_.meters().counter("recovery.relaunches").add();
       if (core_.tracing()) {
         core_.trace_sink().instant(
             "recovery", "recovery.relaunch", core_.now(), obs::kControlTrack,
-            {obs::arg("app", app.plan->app.value())});
+            {obs::arg("app", app.plan->app.value())},
+            obs::Causal{.app = app.plan->app.value()});
       }
       RecoveryEvent ev;
       ev.reason = "relaunch";
@@ -760,6 +781,9 @@ void SiteManager::stall_recover(ActiveApp& app) {
   // charge the recovery budget.  They are merely rate-capped: if repeated
   // resends change nothing, more of them will not either.
   if (++app.quiet_stalls > kMaxQuietStalls) return;
+  core_.flight(obs::FlightCode::kStall, server_.value(),
+               app.plan->app.value(),
+               static_cast<std::uint32_t>(app.done.size()));
   if (core_.metering()) core_.meters().counter("recovery.stall_resends").add();
   if (core_.tracing()) {
     core_.trace_sink().instant(
@@ -767,7 +791,8 @@ void SiteManager::stall_recover(ActiveApp& app) {
         {obs::arg("app", app.plan->app.value()),
          obs::arg("done", std::uint64_t{app.done.size()}),
          obs::arg("tasks",
-                  std::uint64_t{app.plan->graph.task_count()})});
+                  std::uint64_t{app.plan->graph.task_count()})},
+        obs::Causal{.app = app.plan->app.value()});
   }
   RecoveryEvent ev;
   ev.reason = "stall";
@@ -804,7 +829,14 @@ void SiteManager::complete_app(ActiveApp& app, bool success,
     auto it = app.outcomes.find(t.id.value());
     if (it != app.outcomes.end()) report.outcomes.push_back(it->second);
   }
+  // Causal structure for ExecutionReport::critical_path(): the report is
+  // self-contained — no need to keep the AFG around to analyze it.
+  for (const afg::Edge& e : app.plan->graph.edges()) {
+    report.dag_edges.emplace_back(e.from.value(), e.to.value());
+  }
   report.exit_outputs = app.exit_outputs;
+  core_.flight(obs::FlightCode::kAppDone, server_.value(),
+               report.app.value(), success ? 1u : 0u, report.makespan());
 
   if (core_.metering()) {
     obs::MetricsRegistry& m = core_.meters();
@@ -817,7 +849,8 @@ void SiteManager::complete_app(ActiveApp& app, bool success,
   if (core_.tracing()) {
     obs::TraceSink& sink = core_.trace_sink();
     sink.span("app", "app.setup", report.submitted, report.exec_started,
-              obs::kControlTrack, {obs::arg("app", report.app.value())});
+              obs::kControlTrack, {obs::arg("app", report.app.value())},
+              obs::Causal{.app = report.app.value()});
     sink.span("app", "app.run", report.exec_started, report.completed,
               obs::kControlTrack,
               {obs::arg("app", report.app.value()),
@@ -825,7 +858,8 @@ void SiteManager::complete_app(ActiveApp& app, bool success,
                obs::arg("success", success),
                obs::arg("reschedules", std::int64_t{report.reschedules}),
                obs::arg("failures_survived",
-                        std::int64_t{report.failures_survived})});
+                        std::int64_t{report.failures_survived})},
+              obs::Causal{.app = report.app.value()});
   }
 
   if (app.callback) app.callback(std::move(report));

@@ -12,7 +12,7 @@ VdceEnvironment::VdceEnvironment(net::Topology topology,
                                  EnvironmentOptions options)
     : topology_(std::move(topology)),
       options_(options),
-      obs_(options.metrics, options.trace),
+      obs_(options.metrics, options.trace, options.flight),
       engine_(),
       fabric_(engine_, topology_) {
   set_log_level(options_.log_level);
@@ -49,6 +49,16 @@ common::Status VdceEnvironment::try_bring_up() {
       engine_, fabric_, topology_, std::move(repo_ptrs), options_.runtime);
   core_->set_observability(&obs_);
 
+  // Describe every host track so exporters (Chrome trace, vdce-inspect) can
+  // group rows by site and label them with real host names.
+  std::vector<obs::TrackInfo> tracks;
+  tracks.reserve(topology_.hosts().size());
+  for (const net::Host& host : topology_.hosts()) {
+    tracks.push_back(obs::TrackInfo{host.id.value(), host.site.value(),
+                                    host.spec.name});
+  }
+  obs_.trace().set_tracks(std::move(tracks));
+
   for (const net::Host& host : topology_.hosts()) {
     agents_.push_back(std::make_unique<runtime::HostAgent>(*core_, host.id));
   }
@@ -77,6 +87,8 @@ common::Status VdceEnvironment::try_bring_up() {
                                                     options_.faults);
     if (common::Status armed = chaos_->arm(); !armed.ok()) {
       chaos_.reset();
+      obs_.flight().record(engine_.now(), obs::FlightCode::kBringUpFailed);
+      dump_postmortem();
       return armed;
     }
     fabric_.set_fault_interceptor(chaos_.get());
@@ -375,9 +387,33 @@ common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_plan(
                              done = true;
                            });
   auto st = drive_until(done);
-  if (!st.ok()) return st.error();
+  if (!st.ok()) {
+    obs_.flight().record(engine_.now(), obs::FlightCode::kRunFailed,
+                         obs::kControlTrack, app.value());
+    dump_postmortem();
+    return st.error();
+  }
   report.deadline = options.deadline;
+  if (!report.success) {
+    // Recovery escalated past the budget (or the run failed outright): the
+    // coordinator already logged kEscalation / kAppDone(success=0); preserve
+    // the recent-event ring for offline diagnosis.
+    obs_.flight().record(engine_.now(), obs::FlightCode::kRunFailed,
+                         obs::kControlTrack, app.value());
+    dump_postmortem();
+  }
   return report;
+}
+
+void VdceEnvironment::dump_postmortem() {
+  obs::FlightRecorder& flight = obs_.flight();
+  if (!flight.enabled() || flight.total() == 0) return;
+  if (options_.flight.postmortem_path.empty()) return;
+  if (common::Status written = flight.dump(options_.flight.postmortem_path);
+      !written.ok()) {
+    std::fprintf(stderr, "VdceEnvironment: post-mortem dump failed: %s\n",
+                 written.error().to_string().c_str());
+  }
 }
 
 void VdceEnvironment::run_for(common::SimDuration duration) {

@@ -100,6 +100,12 @@ struct EnvironmentOptions {
   /// chrome://tracing or Perfetto.  Off by default — when disabled every
   /// instrumentation site is a single predictable branch.
   obs::TraceOptions trace;
+  /// Always-on flight recorder: a fixed-size ring of recent runtime events
+  /// kept even when tracing is off, auto-dumped to
+  /// flight.postmortem_path when recovery escalates or bring-up/run fails.
+  /// Near-zero cost (preallocated POD ring, no allocation per record) — see
+  /// docs/OBSERVABILITY.md.
+  obs::FlightOptions flight;
   /// Console log verbosity for the whole environment.  Prefer this (and
   /// set_log_level()) over poking common::Logger::instance() directly.
   common::LogLevel log_level = common::LogLevel::kOff;
@@ -182,6 +188,11 @@ class VdceEnvironment {
   /// queue high-water mark) so a snapshot or export is current.
   [[nodiscard]] obs::MetricsRegistry& metrics();
   [[nodiscard]] obs::TraceSink& trace() noexcept { return obs_.trace(); }
+  /// The always-on flight recorder (post-mortem ring); see
+  /// EnvironmentOptions::flight.
+  [[nodiscard]] obs::FlightRecorder& flight_recorder() noexcept {
+    return obs_.flight();
+  }
 
   /// Console log verbosity (the supported replacement for poking
   /// common::Logger::instance() in user code).
@@ -248,6 +259,11 @@ class VdceEnvironment {
 
   /// Drive the engine until `*flag` is true or the sync timeout elapses.
   common::Status drive_until(const bool& flag);
+
+  /// Post-mortem: dump the flight-recorder ring to
+  /// EnvironmentOptions::flight.postmortem_path (no-op when the recorder is
+  /// disabled, empty, or the path is empty).
+  void dump_postmortem();
 
   /// Up-front validation: every task name in the graph must resolve against
   /// the session site's task library or the kernel registry, so a typo'd
