@@ -1,0 +1,305 @@
+// E-scale — scale plane: scheduling time and makespan vs. grid size and
+// AFG width, optimized scheduler vs. the retained naive reference.
+//
+// Two sweeps, both over generated vdce::scale inputs:
+//
+//   * grid sweep — S×H grows from 2×4 to 32×32 with a fixed 256-task
+//     layered AFG; every candidate site participates (k_nearest = S-1);
+//   * AFG sweep — a fixed 8×16 grid with workloads from 64 to 512 tasks
+//     (bounded-fan-in random DAGs) and layer widths from 4 to 32.
+//
+// Each configuration times sched::reference::schedule_naive (the frozen
+// pre-optimization algorithm) against VdceSiteScheduler::schedule and
+// verifies the two allocation tables are bit-identical — the speedup is
+// only real if the caches change nothing.  Emits a JSON object on stdout
+// and writes it to BENCH_SCALE.json for CI artifact upload.
+//
+// Flags:
+//   --smoke   small configurations (CI per-commit signal)
+//   --check   exit non-zero unless every table pair is identical and the
+//             largest grid configuration's speedup meets the documented
+//             threshold (3x full, 2x smoke — see docs/SCALING.md)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "db/site_repository.hpp"
+#include "predict/model.hpp"
+#include "scale/generate.hpp"
+#include "sched/reference.hpp"
+#include "sched/site_scheduler.hpp"
+
+namespace {
+
+using namespace vdce;
+
+std::string json_num(double v) { return common::format_double(v, 4); }
+
+/// A topology with its per-site repositories and a ready SchedulerContext.
+struct Deployment {
+  explicit Deployment(scale::GridSpec spec)
+      : topology(scale::make_grid(spec)) {
+    for (const net::Site& site : topology.sites()) {
+      auto repo = std::make_unique<db::SiteRepository>(site.id);
+      repo->register_site_hosts(topology);
+      repos.push_back(std::move(repo));
+    }
+    context.topology = &topology;
+    for (auto& r : repos) context.repos.push_back(r.get());
+    context.predictor = &predictor;
+    context.local_site = common::SiteId(0);
+    context.k_nearest = topology.site_count() - 1;  // every site bids
+  }
+
+  net::Topology topology;
+  std::vector<std::unique_ptr<db::SiteRepository>> repos;
+  predict::Predictor predictor;
+  sched::SchedulerContext context;
+};
+
+bool tables_identical(const sched::ResourceAllocationTable& a,
+                      const sched::ResourceAllocationTable& b) {
+  if (a.assignments.size() != b.assignments.size()) return false;
+  if (a.schedule_length != b.schedule_length) return false;
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    const sched::Assignment& x = a.assignments[i];
+    const sched::Assignment& y = b.assignments[i];
+    if (x.task != y.task || x.site != y.site || x.hosts != y.hosts ||
+        x.predicted_time != y.predicted_time || x.est_start != y.est_start ||
+        x.est_finish != y.est_finish) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Measurement {
+  double naive_ms = 0.0;
+  double opt_ms = 0.0;
+  double speedup = 0.0;
+  double makespan = 0.0;
+  bool identical = false;
+};
+
+Measurement measure(Deployment& dep, const afg::Afg& graph, int opt_repeats) {
+  Measurement m;
+  sched::SiteSchedulerOptions options;  // availability-aware, paper levels
+  sched::VdceSiteScheduler scheduler(options);
+
+  double t0 = now_ms();
+  auto naive = sched::reference::schedule_naive(graph, dep.context, options);
+  m.naive_ms = now_ms() - t0;
+  if (!naive) {
+    std::fprintf(stderr, "naive schedule failed: %s\n",
+                 naive.error().to_string().c_str());
+    return m;
+  }
+
+  common::Expected<sched::ResourceAllocationTable> optimized =
+      common::Error{common::ErrorCode::kInternal, "unset"};
+  t0 = now_ms();
+  for (int r = 0; r < opt_repeats; ++r) {
+    optimized = scheduler.schedule(graph, dep.context);
+  }
+  m.opt_ms = (now_ms() - t0) / opt_repeats;
+  if (!optimized) {
+    std::fprintf(stderr, "optimized schedule failed: %s\n",
+                 optimized.error().to_string().c_str());
+    return m;
+  }
+
+  m.identical = tables_identical(*naive, *optimized) &&
+                naive->scheduler_name == optimized->scheduler_name + "-naive";
+  m.speedup = m.opt_ms > 0.0 ? m.naive_ms / m.opt_ms : 0.0;
+  m.makespan = optimized->schedule_length;
+  return m;
+}
+
+struct GridConfig {
+  std::size_t sites;
+  std::size_t hosts;
+  std::size_t tasks;
+};
+
+afg::Afg layered_workload(std::size_t tasks, std::size_t width,
+                          std::uint64_t seed) {
+  scale::WorkloadSpec w;
+  w.shape = scale::WorkloadShape::kLayered;
+  w.tasks = tasks;
+  w.width = width;
+  w.edge_density = 0.35;
+  w.seed = seed;
+  return scale::make_workload(w, "grid-sweep");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  bench::print_title("E-scale", "scheduler scaling: optimized vs naive reference");
+  bench::print_note(smoke ? "mode: smoke (small grids; CI signal)"
+                          : "mode: full (largest grid 32x32, 512-task AFG)");
+
+  const std::vector<GridConfig> grid_configs =
+      smoke ? std::vector<GridConfig>{{2, 4, 48}, {4, 8, 96}, {8, 16, 128}}
+            : std::vector<GridConfig>{{2, 4, 256},
+                                      {4, 8, 256},
+                                      {8, 16, 256},
+                                      {16, 32, 256},
+                                      {32, 32, 256}};
+  const std::vector<std::size_t> afg_tasks =
+      smoke ? std::vector<std::size_t>{32, 64}
+            : std::vector<std::size_t>{64, 128, 256, 512};
+  const std::vector<std::size_t> afg_widths =
+      smoke ? std::vector<std::size_t>{4, 8}
+            : std::vector<std::size_t>{4, 8, 16, 32};
+  const double threshold = smoke ? 2.0 : 3.0;
+  const int opt_repeats = smoke ? 3 : 5;
+
+  bool all_identical = true;
+  std::string json = "{\"bench\":\"scale\",\"mode\":\"";
+  json += smoke ? "smoke" : "full";
+  json += "\",\"threshold_speedup\":" + json_num(threshold);
+
+  // --- grid sweep ---------------------------------------------------------
+  bench::Table grid_table(
+      {"sites", "hosts/site", "tasks", "naive_ms", "opt_ms", "speedup",
+       "makespan_s", "identical"});
+  json += ",\"grid_sweep\":[";
+  double largest_speedup = 0.0;
+  for (std::size_t i = 0; i < grid_configs.size(); ++i) {
+    const GridConfig& cfg = grid_configs[i];
+    scale::GridSpec g;
+    g.sites = cfg.sites;
+    g.hosts_per_site = cfg.hosts;
+    g.seed = 11 + i;
+    Deployment dep(g);
+    afg::Afg graph = layered_workload(cfg.tasks, 16, 101 + i);
+    Measurement m = measure(dep, graph, opt_repeats);
+    all_identical = all_identical && m.identical;
+    largest_speedup = m.speedup;  // configs grow; last one is largest
+    grid_table.add_row({std::to_string(cfg.sites), std::to_string(cfg.hosts),
+                        std::to_string(cfg.tasks), bench::Table::num(m.naive_ms),
+                        bench::Table::num(m.opt_ms),
+                        bench::Table::num(m.speedup, 1),
+                        bench::Table::num(m.makespan),
+                        m.identical ? "yes" : "NO"});
+    if (i) json += ",";
+    json += "{\"sites\":" + std::to_string(cfg.sites) +
+            ",\"hosts_per_site\":" + std::to_string(cfg.hosts) +
+            ",\"tasks\":" + std::to_string(cfg.tasks) +
+            ",\"naive_ms\":" + json_num(m.naive_ms) +
+            ",\"opt_ms\":" + json_num(m.opt_ms) +
+            ",\"speedup\":" + json_num(m.speedup) +
+            ",\"makespan_s\":" + json_num(m.makespan) +
+            ",\"identical\":" + (m.identical ? "true" : "false") + "}";
+  }
+  json += "]";
+  grid_table.print();
+
+  // --- AFG sweep ----------------------------------------------------------
+  bench::Table afg_table({"shape", "tasks", "width", "naive_ms", "opt_ms",
+                          "speedup", "makespan_s", "identical"});
+  json += ",\"afg_sweep\":[";
+  bool first = true;
+  {
+    scale::GridSpec g;
+    g.sites = 8;
+    g.hosts_per_site = 16;
+    g.seed = 77;
+    Deployment dep(g);
+    for (std::size_t tasks : afg_tasks) {
+      scale::WorkloadSpec w;
+      w.shape = scale::WorkloadShape::kRandomDag;
+      w.tasks = tasks;
+      w.max_fan_in = 6;
+      w.seed = 500 + tasks;
+      afg::Afg graph = scale::make_workload(w, "afg-sweep");
+      Measurement m = measure(dep, graph, opt_repeats);
+      all_identical = all_identical && m.identical;
+      afg_table.add_row({"randomdag", std::to_string(tasks), "-",
+                         bench::Table::num(m.naive_ms),
+                         bench::Table::num(m.opt_ms),
+                         bench::Table::num(m.speedup, 1),
+                         bench::Table::num(m.makespan),
+                         m.identical ? "yes" : "NO"});
+      if (!first) json += ",";
+      first = false;
+      json += "{\"shape\":\"randomdag\",\"tasks\":" + std::to_string(tasks) +
+              ",\"naive_ms\":" + json_num(m.naive_ms) +
+              ",\"opt_ms\":" + json_num(m.opt_ms) +
+              ",\"speedup\":" + json_num(m.speedup) +
+              ",\"makespan_s\":" + json_num(m.makespan) +
+              ",\"identical\":" + (m.identical ? "true" : "false") + "}";
+    }
+    const std::size_t width_tasks = smoke ? 64 : 256;
+    for (std::size_t width : afg_widths) {
+      afg::Afg graph = layered_workload(width_tasks, width, 900 + width);
+      Measurement m = measure(dep, graph, opt_repeats);
+      all_identical = all_identical && m.identical;
+      afg_table.add_row({"layered", std::to_string(width_tasks),
+                         std::to_string(width), bench::Table::num(m.naive_ms),
+                         bench::Table::num(m.opt_ms),
+                         bench::Table::num(m.speedup, 1),
+                         bench::Table::num(m.makespan),
+                         m.identical ? "yes" : "NO"});
+      json += ",{\"shape\":\"layered\",\"tasks\":" +
+              std::to_string(width_tasks) +
+              ",\"width\":" + std::to_string(width) +
+              ",\"naive_ms\":" + json_num(m.naive_ms) +
+              ",\"opt_ms\":" + json_num(m.opt_ms) +
+              ",\"speedup\":" + json_num(m.speedup) +
+              ",\"makespan_s\":" + json_num(m.makespan) +
+              ",\"identical\":" + (m.identical ? "true" : "false") + "}";
+    }
+  }
+  json += "]";
+
+  json += ",\"largest_grid_speedup\":" + json_num(largest_speedup);
+  json += ",\"all_identical\":";
+  json += all_identical ? "true" : "false";
+  json += "}";
+  afg_table.print();
+
+  std::printf("\n%s\n", json.c_str());
+  if (FILE* f = std::fopen("BENCH_SCALE.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+
+  if (check) {
+    if (!all_identical) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: optimized schedule diverged from the naive "
+                   "reference\n");
+      return 1;
+    }
+    if (largest_speedup < threshold) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: largest-grid speedup %.2fx below the %.1fx "
+                   "threshold (see docs/SCALING.md)\n",
+                   largest_speedup, threshold);
+      return 1;
+    }
+    std::printf("check: ok (speedup %.1fx >= %.1fx, schedules identical)\n",
+                largest_speedup, threshold);
+  }
+  return 0;
+}

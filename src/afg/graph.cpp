@@ -30,6 +30,8 @@ common::Expected<TaskId> Afg::add_task(const std::string& instance_name,
   }
   TaskId id(static_cast<TaskId::value_type>(tasks_.size()));
   tasks_.push_back(TaskNode{id, instance_name, task_name, std::move(props)});
+  in_index_.emplace_back();
+  out_index_.emplace_back();
   return id;
 }
 
@@ -55,14 +57,17 @@ common::Status Afg::connect(TaskId from, int from_port, TaskId to,
                          "connect: bad input port " + std::to_string(to_port) +
                              " on " + dst.instance_name};
   }
-  for (const Edge& e : edges_) {
-    if (e.to == to && e.to_port == to_port) {
+  for (std::uint32_t idx : in_index_[to.value()]) {
+    if (edges_[idx].to_port == to_port) {
       return common::Error{common::ErrorCode::kAlreadyExists,
                            "input port " + std::to_string(to_port) + " of " +
                                dst.instance_name + " already connected"};
     }
   }
+  const auto edge_id = static_cast<std::uint32_t>(edges_.size());
   edges_.push_back(Edge{from, from_port, to, to_port});
+  out_index_[from.value()].push_back(edge_id);
+  in_index_[to.value()].push_back(edge_id);
   dst.props.inputs[static_cast<std::size_t>(to_port)].dataflow = true;
   dst.props.inputs[static_cast<std::size_t>(to_port)].path.clear();
   return common::Status::success();
@@ -89,9 +94,11 @@ common::Expected<TaskId> Afg::find_task(
 
 std::vector<TaskId> Afg::parents(TaskId id) const {
   std::vector<TaskId> out;
-  for (const Edge& e : edges_) {
-    if (e.to == id && std::find(out.begin(), out.end(), e.from) == out.end()) {
-      out.push_back(e.from);
+  out.reserve(in_index_[id.value()].size());
+  for (std::uint32_t idx : in_index_[id.value()]) {
+    TaskId from = edges_[idx].from;
+    if (std::find(out.begin(), out.end(), from) == out.end()) {
+      out.push_back(from);
     }
   }
   return out;
@@ -99,9 +106,11 @@ std::vector<TaskId> Afg::parents(TaskId id) const {
 
 std::vector<TaskId> Afg::children(TaskId id) const {
   std::vector<TaskId> out;
-  for (const Edge& e : edges_) {
-    if (e.from == id && std::find(out.begin(), out.end(), e.to) == out.end()) {
-      out.push_back(e.to);
+  out.reserve(out_index_[id.value()].size());
+  for (std::uint32_t idx : out_index_[id.value()]) {
+    TaskId to = edges_[idx].to;
+    if (std::find(out.begin(), out.end(), to) == out.end()) {
+      out.push_back(to);
     }
   }
   return out;
@@ -109,24 +118,32 @@ std::vector<TaskId> Afg::children(TaskId id) const {
 
 std::vector<Edge> Afg::in_edges(TaskId id) const {
   std::vector<Edge> out;
-  for (const Edge& e : edges_) {
-    if (e.to == id) out.push_back(e);
-  }
+  out.reserve(in_index_[id.value()].size());
+  for (std::uint32_t idx : in_index_[id.value()]) out.push_back(edges_[idx]);
   return out;
 }
 
 std::vector<Edge> Afg::out_edges(TaskId id) const {
   std::vector<Edge> out;
-  for (const Edge& e : edges_) {
-    if (e.from == id) out.push_back(e);
-  }
+  out.reserve(out_index_[id.value()].size());
+  for (std::uint32_t idx : out_index_[id.value()]) out.push_back(edges_[idx]);
   return out;
+}
+
+const std::vector<std::uint32_t>& Afg::in_edge_ids(TaskId id) const {
+  assert(id.value() < in_index_.size());
+  return in_index_[id.value()];
+}
+
+const std::vector<std::uint32_t>& Afg::out_edge_ids(TaskId id) const {
+  assert(id.value() < out_index_.size());
+  return out_index_[id.value()];
 }
 
 std::vector<TaskId> Afg::entry_tasks() const {
   std::vector<TaskId> out;
   for (const TaskNode& t : tasks_) {
-    if (parents(t.id).empty()) out.push_back(t.id);
+    if (in_index_[t.id.value()].empty()) out.push_back(t.id);
   }
   return out;
 }
@@ -134,7 +151,7 @@ std::vector<TaskId> Afg::entry_tasks() const {
 std::vector<TaskId> Afg::exit_tasks() const {
   std::vector<TaskId> out;
   for (const TaskNode& t : tasks_) {
-    if (children(t.id).empty()) out.push_back(t.id);
+    if (out_index_[t.id.value()].empty()) out.push_back(t.id);
   }
   return out;
 }
@@ -190,8 +207,9 @@ common::Expected<std::vector<TaskId>> Afg::topological_order() const {
     TaskId id = ready.top();
     ready.pop();
     order.push_back(id);
-    for (const Edge& e : edges_) {
-      if (e.from == id && --in_degree[e.to.value()] == 0) ready.push(e.to);
+    for (std::uint32_t idx : out_index_[id.value()]) {
+      const Edge& e = edges_[idx];
+      if (--in_degree[e.to.value()] == 0) ready.push(e.to);
     }
   }
   if (order.size() != tasks_.size()) {

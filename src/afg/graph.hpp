@@ -15,6 +15,7 @@
 // (e.g. "matrix_A.dat, SIZE=124.88K" in Figure 1).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -121,6 +122,19 @@ class Afg {
   [[nodiscard]] std::vector<Edge> in_edges(TaskId id) const;
   [[nodiscard]] std::vector<Edge> out_edges(TaskId id) const;
 
+  /// Zero-allocation adjacency for hot paths: indices into `edges()` of the
+  /// edges entering / leaving `id`, in edge insertion order (the same order
+  /// `in_edges()`/`out_edges()` return — callers that sum floating-point
+  /// transfer costs rely on that order being identical).
+  [[nodiscard]] const std::vector<std::uint32_t>& in_edge_ids(TaskId id) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& out_edge_ids(TaskId id) const;
+  [[nodiscard]] const Edge& edge(std::uint32_t edge_id) const {
+    return edges_[edge_id];
+  }
+  [[nodiscard]] std::size_t in_degree(TaskId id) const {
+    return in_edge_ids(id).size();
+  }
+
   /// Entry nodes: no parents.  Exit nodes: no children.
   [[nodiscard]] std::vector<TaskId> entry_tasks() const;
   [[nodiscard]] std::vector<TaskId> exit_tasks() const;
@@ -145,6 +159,11 @@ class Afg {
   std::string name_;
   std::vector<TaskNode> tasks_;
   std::vector<Edge> edges_;
+  // Adjacency index maintained by connect(): per-task edge ids into edges_,
+  // kept in insertion order.  Edges are never removed, so the index never
+  // goes stale.
+  std::vector<std::vector<std::uint32_t>> in_index_;
+  std::vector<std::vector<std::uint32_t>> out_index_;
 };
 
 }  // namespace vdce::afg

@@ -37,6 +37,11 @@ bool TaskConstraintsDb::runnable_on(const std::string& task_name,
   return it != paths_.end() && it->second.contains(host);
 }
 
+bool TaskConstraintsDb::constrains(const std::string& task_name) const {
+  auto it = paths_.find(task_name);
+  return it != paths_.end() && !it->second.empty();
+}
+
 std::vector<common::HostId> TaskConstraintsDb::hosts_for(
     const std::string& task_name) const {
   std::vector<common::HostId> out;

@@ -36,6 +36,10 @@ class TaskConstraintsDb {
   [[nodiscard]] std::vector<common::HostId> hosts_for(
       const std::string& task_name) const;
 
+  /// True when any executable is registered for the task — equivalent to
+  /// `!hosts_for(task_name).empty()` without materialising the host list.
+  [[nodiscard]] bool constrains(const std::string& task_name) const;
+
   [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
 
   /// Text persistence: one "task|host|path" line per installed executable.

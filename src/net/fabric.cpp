@@ -31,6 +31,9 @@ Fabric::LinkClass Fabric::link_class(HostId src, HostId dst) const {
 
 void Fabric::bind(HostId host, Handler handler) {
   assert(handler);
+  // Bring-up binds every host in sequence; size the table once instead of
+  // rehashing through the growth doublings at grid scale.
+  if (handlers_.empty()) handlers_.reserve(topology_.host_count());
   handlers_[host] = std::move(handler);
 }
 

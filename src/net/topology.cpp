@@ -38,7 +38,9 @@ HostId Topology::add_host(SiteId site_id, HostSpec spec, int group_index) {
 
 void Topology::set_wan_link(SiteId a, SiteId b, LinkSpec link) {
   assert(a != b);
-  wan_links_.emplace_back(wan_key(a, b), link);
+  // First declaration wins, matching the first-match lookup semantics the
+  // pre-hash-map implementation had.
+  wan_links_.emplace(wan_key(a, b), link);
 }
 
 const Host& Topology::host(HostId id) const {
@@ -89,11 +91,8 @@ std::uint64_t Topology::wan_key(SiteId a, SiteId b) {
 
 LinkSpec Topology::wan_link(SiteId a, SiteId b) const {
   if (a == b) return site(a).lan;
-  std::uint64_t key = wan_key(a, b);
-  for (const auto& [k, link] : wan_links_) {
-    if (k == key) return link;
-  }
-  return default_wan_;
+  auto it = wan_links_.find(wan_key(a, b));
+  return it != wan_links_.end() ? it->second : default_wan_;
 }
 
 LinkSpec Topology::link_between(HostId a, HostId b) const {
@@ -107,6 +106,21 @@ LinkSpec Topology::link_between(HostId a, HostId b) const {
 common::SimDuration Topology::transfer_time(HostId from, HostId to,
                                             double bytes) const {
   return link_between(from, to).transfer_time(bytes);
+}
+
+std::uint64_t Topology::link_key(HostId a, HostId b) const {
+  // Tag bits keep the key spaces disjoint: 0 = loopback, 1 = the shared
+  // default-WAN spec, (1<<62)|site = that site's LAN, (2<<62)|pair = an
+  // explicitly declared WAN link.
+  if (a == b) return 0;
+  const Host& ha = host(a);
+  const Host& hb = host(b);
+  if (ha.site == hb.site) {
+    return (std::uint64_t{1} << 62) | ha.site.value();
+  }
+  std::uint64_t key = wan_key(ha.site, hb.site);
+  if (!wan_links_.contains(key)) return 1;
+  return (std::uint64_t{2} << 62) | key;
 }
 
 common::SimDuration Topology::site_transfer_time(SiteId from, SiteId to,

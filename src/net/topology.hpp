@@ -18,6 +18,7 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/expected.hpp"
@@ -133,6 +134,12 @@ class Topology {
   [[nodiscard]] common::SimDuration transfer_time(HostId from, HostId to,
                                                   double bytes) const;
 
+  /// A stable key identifying the link spec that governs traffic between
+  /// the two hosts — equal keys guarantee identical `link_between()`
+  /// results, so schedulers can memoize transfer times on (key, bytes).
+  /// Valid only while the topology's links are unchanged.
+  [[nodiscard]] std::uint64_t link_key(HostId a, HostId b) const;
+
   /// Inter-site transfer time used by the site scheduler (Fig. 2's
   /// `transfer_time(S_parent, S_j) * file_size` term).  Measured server to
   /// server.
@@ -161,7 +168,7 @@ class Topology {
   std::vector<Site> sites_;
   std::vector<Host> hosts_;
   std::vector<Group> groups_;
-  std::vector<std::pair<std::uint64_t, LinkSpec>> wan_links_;  // keyed pairs
+  std::unordered_map<std::uint64_t, LinkSpec> wan_links_;  // by wan_key
   LinkSpec default_wan_{common::milliseconds(30), 1e7};
 };
 

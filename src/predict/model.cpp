@@ -14,7 +14,32 @@ double Predictor::effective_mflops(const db::ResourceRecord& host) {
 common::Expected<common::SimDuration> Predictor::predict(
     const db::TaskPerfRecord& task, const db::ResourceRecord& host,
     const db::TaskPerformanceDb* measured_db) const {
-  return predict(task, std::vector<db::ResourceRecord>{host}, measured_db);
+  // Single-host fast path: same arithmetic as the group overload with n = 1,
+  // without materialising a one-element std::vector<ResourceRecord> (a full
+  // record copy — five strings plus the workload history) per call.  The
+  // scheduler evaluates this once per (task, host) pair, so the copy was the
+  // dominant cost of host selection on large grids.
+  if (task.required_memory_mb > host.total_memory_mb) {
+    return common::Error{
+        common::ErrorCode::kNoFeasibleResource,
+        task.task_name + " needs " +
+            std::to_string(task.required_memory_mb) + "MB; " + host.host_name +
+            " has " + std::to_string(host.total_memory_mb) + "MB"};
+  }
+  if (measured_db != nullptr) {
+    auto m = measured_db->measured(task.task_name, host.host);
+    if (m && m->count >= options_.min_measurements) return m->mean;
+  }
+  const double slowest = effective_mflops(host);
+  if (slowest <= 0.0) {
+    return common::Error{common::ErrorCode::kNoFeasibleResource,
+                         "host reports non-positive effective speed"};
+  }
+  double time = task.computation_mflop / slowest;
+  if (task.required_memory_mb > host.available_mb()) {
+    time *= options_.paging_penalty;
+  }
+  return time;
 }
 
 common::Expected<common::SimDuration> Predictor::predict(

@@ -1,0 +1,139 @@
+// vdce::scale — deterministic grid-scale workload generation.
+//
+// The paper's testbed is a handful of syr.edu hosts; the ROADMAP north-star
+// is a system whose scheduler stays fast and correct as sites, hosts, and
+// AFGs grow by orders of magnitude.  This module generates that scale on
+// demand, GridSim-style: parameterized wide-area topologies (S sites × H
+// hosts with heterogeneous architectures, speeds, memory, and initial load;
+// LAN tiers inside a site; regional vs. long-haul WAN links between sites)
+// and AFG workloads in the standard shapes of the list-scheduling
+// literature (layered, fork-join, bounded-fan-in random DAGs).
+//
+// Everything is seeded off vdce::common::Rng and nothing reads global
+// state, so a (spec, seed) pair names one exact topology or graph forever —
+// the property suite (tests/test_properties.cpp), the differential suite
+// (tests/test_differential.cpp), and bench/bench_scale.cpp all replay the
+// same corpus from specs alone.  docs/SCALING.md describes the parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace vdce::scale {
+
+/// Parameters of a generated wide-area grid.
+struct GridSpec {
+  std::size_t sites = 8;
+  std::size_t hosts_per_site = 16;
+  std::size_t group_size = 8;  ///< hosts per group-leader machine
+
+  /// Host heterogeneity: speeds uniform in this range (MFLOPS); memory from
+  /// the discrete ladder {64, 128, 256, 512, 1024} MB.
+  double min_mflops = 40.0;
+  double max_mflops = 800.0;
+
+  /// Initial CPU load per host: normal(mean, stddev) clamped to >= 0, so a
+  /// generated grid is busy and uneven the moment it is brought up.
+  double load_mean = 0.25;
+  double load_stddev = 0.20;
+
+  /// LAN tier per site, drawn uniformly: shared Ethernet, switched
+  /// fast-Ethernet, or campus ATM.  (latency s, bandwidth bytes/s)
+  std::vector<net::LinkSpec> lan_tiers{
+      {0.0015, 1.2e6}, {0.0008, 1.2e7}, {0.0004, 1.9e7}};
+
+  /// WAN: each site pair is "regional" with this probability, long-haul
+  /// otherwise; latency and bandwidth drawn uniformly from the tier range.
+  double regional_fraction = 0.45;
+  double regional_latency_min = 0.004;
+  double regional_latency_max = 0.030;
+  double regional_bandwidth_min = 1.0e6;
+  double regional_bandwidth_max = 8.0e6;
+  double longhaul_latency_min = 0.040;
+  double longhaul_latency_max = 0.200;
+  double longhaul_bandwidth_min = 1.5e5;
+  double longhaul_bandwidth_max = 1.5e6;
+
+  std::uint64_t seed = 1;
+};
+
+/// Build the grid.  Deterministic: equal specs yield byte-identical
+/// topologies (names, speeds, loads, links).
+net::Topology make_grid(const GridSpec& spec);
+
+/// AFG workload shapes the generator produces.
+enum class WorkloadShape { kLayered, kForkJoin, kRandomDag };
+
+constexpr const char* to_string(WorkloadShape s) {
+  switch (s) {
+    case WorkloadShape::kLayered: return "layered";
+    case WorkloadShape::kForkJoin: return "forkjoin";
+    case WorkloadShape::kRandomDag: return "randomdag";
+  }
+  return "?";
+}
+
+/// Parameters of a generated AFG.
+struct WorkloadSpec {
+  WorkloadShape shape = WorkloadShape::kLayered;
+  std::size_t tasks = 64;
+
+  /// kLayered: max tasks per layer.  kForkJoin: branch count (depth follows
+  /// from `tasks`).
+  std::size_t width = 8;
+  /// kLayered: P(edge) between adjacent layers.
+  double edge_density = 0.35;
+  /// kRandomDag: in-degree cap — each non-entry task draws 1..max_fan_in
+  /// distinct parents among its predecessors.
+  std::size_t max_fan_in = 6;
+  /// kRandomDag: P(a non-entry task is made an extra entry instead).
+  double entry_density = 0.04;
+
+  double min_mflop = 50.0;
+  double max_mflop = 2500.0;
+  double min_output_bytes = 1e4;
+  double max_output_bytes = 2e7;
+  /// Fraction of tasks made parallel (2-4 nodes); 0 keeps every task
+  /// sequential.
+  double parallel_fraction = 0.0;
+
+  std::uint64_t seed = 1;
+};
+
+/// Build the workload AFG.  Deterministic given the spec.
+afg::Afg make_workload(const WorkloadSpec& spec,
+                       const std::string& name = "scale-workload");
+
+/// One (topology, AFG) pair of the randomized test corpus.
+struct CorpusCase {
+  std::size_t index = 0;
+  GridSpec grid;
+  WorkloadSpec workload;
+};
+
+/// Parameters of the property/differential test corpus.
+struct CorpusSpec {
+  std::size_t cases = 200;
+  /// Grid size ranges (kept small enough that a 200-case sweep stays in CI
+  /// budget under sanitizers).
+  std::size_t min_sites = 2;
+  std::size_t max_sites = 6;
+  std::size_t min_hosts_per_site = 2;
+  std::size_t max_hosts_per_site = 10;
+  std::size_t min_tasks = 6;
+  std::size_t max_tasks = 40;
+  double parallel_fraction = 0.15;  ///< fraction of cases with parallel tasks
+  std::uint64_t seed = 20260806;
+};
+
+/// Enumerate the corpus: every case's grid/workload specs (with derived
+/// seeds), cycling through the three workload shapes.  Pure function of the
+/// spec — tests and benches reproduce any case from its index alone.
+std::vector<CorpusCase> make_corpus(const CorpusSpec& spec);
+
+}  // namespace vdce::scale

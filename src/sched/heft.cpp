@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <vector>
 
 #include "afg/levels.hpp"
@@ -95,8 +94,9 @@ common::Expected<ResourceAllocationTable> HeftScheduler::schedule(
       mean_edge_cost);
   if (!ranks) return ranks.error();
 
-  // Placement in decreasing rank order with insertion-based EFT.
-  std::map<common::HostId, MachineSchedule> machines;
+  // Placement in decreasing rank order with insertion-based EFT.  Flat
+  // per-host slot lists (indexed by host id) replace the former ordered map.
+  std::vector<MachineSchedule> machines(topology.host_count());
   ScheduleBuilder builder(graph, topology);  // for data_ready + final table
   const common::HostId staging = topology.site(context.local_site).server;
 
@@ -119,7 +119,7 @@ common::Expected<ResourceAllocationTable> HeftScheduler::schedule(
       const Assignment& a =
           builder.place(task, bid->site, bid->hosts, bid->predicted, staging);
       for (common::HostId h : a.hosts) {
-        machines[h].insert(a.est_start, a.est_finish - a.est_start);
+        machines[h.value()].insert(a.est_start, a.est_finish - a.est_start);
       }
       continue;
     }
@@ -130,8 +130,8 @@ common::Expected<ResourceAllocationTable> HeftScheduler::schedule(
     for (const Option& o : options[task.value()]) {
       common::SimTime ready = builder.data_ready(task, o.host.record.host,
                                                  staging);
-      common::SimTime start =
-          machines[o.host.record.host].earliest_fit(ready, o.host.predicted);
+      common::SimTime start = machines[o.host.record.host.value()].earliest_fit(
+          ready, o.host.predicted);
       double finish = start + o.host.predicted;
       if (best == nullptr || finish < best_finish) {
         best = &o;
@@ -140,7 +140,8 @@ common::Expected<ResourceAllocationTable> HeftScheduler::schedule(
       }
     }
     assert(best != nullptr);
-    machines[best->host.record.host].insert(best_start, best->host.predicted);
+    machines[best->host.record.host.value()].insert(best_start,
+                                                    best->host.predicted);
     // ScheduleBuilder cannot express insertion (its host_free is a single
     // watermark), so we register the placement manually.
     builder.place_at(task, best->site, {best->host.record.host},

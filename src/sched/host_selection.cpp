@@ -4,17 +4,18 @@
 
 namespace vdce::sched {
 
-std::vector<RankedHost> HostSelectionAlgorithm::feasible_hosts(
+std::vector<RankedRef> HostSelectionAlgorithm::rank_hosts(
     const afg::TaskNode& node, const db::TaskPerfRecord& perf,
-    common::SiteId site, const db::SiteRepository& repo,
+    const std::vector<db::ResourceRecord>& pool, const db::SiteRepository& repo,
     const predict::Predictor& predictor) {
-  std::vector<RankedHost> out;
+  std::vector<RankedRef> out;
 
   // A task with no constraint entries anywhere is a library task assumed
   // installed on every host; otherwise only listed hosts qualify.
-  const bool constrained = !repo.constraints().hosts_for(node.task_name).empty();
+  const bool constrained = repo.constraints().constrains(node.task_name);
 
-  for (const db::ResourceRecord& rec : repo.resources().available_hosts(site)) {
+  for (std::uint32_t i = 0; i < pool.size(); ++i) {
+    const db::ResourceRecord& rec = pool[i];
     if (!node.props.preferred_machine.empty() &&
         rec.host_name != node.props.preferred_machine) {
       continue;
@@ -28,12 +29,29 @@ std::vector<RankedHost> HostSelectionAlgorithm::feasible_hosts(
     }
     auto predicted = predictor.predict(perf, rec, &repo.tasks());
     if (!predicted) continue;  // infeasible (memory) on this machine
-    out.push_back(RankedHost{rec, *predicted});
+    out.push_back(RankedRef{i, *predicted});
   }
-  std::sort(out.begin(), out.end(), [](const RankedHost& a, const RankedHost& b) {
-    if (a.predicted != b.predicted) return a.predicted < b.predicted;
-    return a.record.host < b.record.host;
-  });
+  std::sort(out.begin(), out.end(),
+            [&pool](const RankedRef& a, const RankedRef& b) {
+              if (a.predicted != b.predicted) return a.predicted < b.predicted;
+              return pool[a.index].host < pool[b.index].host;
+            });
+  return out;
+}
+
+std::vector<RankedHost> HostSelectionAlgorithm::feasible_hosts(
+    const afg::TaskNode& node, const db::TaskPerfRecord& perf,
+    common::SiteId site, const db::SiteRepository& repo,
+    const predict::Predictor& predictor) {
+  const std::vector<db::ResourceRecord> pool =
+      repo.resources().available_hosts(site);
+  const std::vector<RankedRef> refs =
+      rank_hosts(node, perf, pool, repo, predictor);
+  std::vector<RankedHost> out;
+  out.reserve(refs.size());
+  for (const RankedRef& r : refs) {
+    out.push_back(RankedHost{pool[r.index], r.predicted});
+  }
   return out;
 }
 
@@ -80,12 +98,44 @@ common::Expected<HostSelectionOutput> HostSelectionAlgorithm::run(
     const predict::Predictor& predictor) {
   HostSelectionOutput output;
   output.site = site;
+  // One snapshot of the site's hosts for the whole run; every task's ranked
+  // list is kept as indices into it so assign_with_outputs never recomputes
+  // feasible_hosts.  Bids derived from the refs match best_bid exactly: the
+  // ranking order and the parallel-group membership are the same.
+  output.host_pool = repo.resources().available_hosts(site);
+  output.ranked.resize(graph.task_count());
   for (const afg::TaskNode& node : graph.tasks()) {
     auto perf = resolve_perf(node, repo.tasks());
     if (!perf) return perf.error();  // unknown task is a caller error
-    auto bid = best_bid(node, *perf, site, repo, predictor);
-    if (bid) output.bids.emplace(node.id, std::move(*bid));
+    std::vector<RankedRef> refs =
+        rank_hosts(node, *perf, output.host_pool, repo, predictor);
+    const auto need = node.props.mode == afg::ComputationMode::kParallel
+                          ? static_cast<std::size_t>(node.props.num_nodes)
+                          : std::size_t{1};
     // No feasible machine here: this site simply does not bid for the task.
+    if (refs.size() >= need) {
+      HostBid bid;
+      bid.site = site;
+      if (need == 1) {
+        bid.hosts.push_back(output.host_pool[refs.front().index].host);
+        bid.predicted = refs.front().predicted;
+        output.bids.emplace(node.id, std::move(bid));
+      } else {
+        // Parallel task: the `num_nodes` individually fastest machines form
+        // the group; the group prediction is gated by its slowest member.
+        std::vector<db::ResourceRecord> group;
+        for (std::size_t i = 0; i < need; ++i) {
+          group.push_back(output.host_pool[refs[i].index]);
+          bid.hosts.push_back(group.back().host);
+        }
+        auto predicted = predictor.predict(*perf, group, &repo.tasks());
+        if (predicted) {
+          bid.predicted = *predicted;
+          output.bids.emplace(node.id, std::move(bid));
+        }
+      }
+    }
+    output.ranked[node.id.value()] = std::move(refs);
   }
   return output;
 }

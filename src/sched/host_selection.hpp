@@ -43,11 +43,33 @@ struct HostBid {
   common::SimDuration predicted = 0.0;
 };
 
+/// Reference into a site's host-pool snapshot: pool index of a feasible
+/// machine plus its sequential prediction.  Sixteen bytes instead of a full
+/// ResourceRecord copy, so ranked lists can be cached per (task, site).
+struct RankedRef {
+  std::uint32_t index = 0;
+  common::SimDuration predicted = 0.0;
+};
+
 /// The full output of one site's host-selection run.  Tasks with no
-/// feasible machine at this site are simply absent.
+/// feasible machine at this site are simply absent from `bids`.
+///
+/// run() additionally snapshots the site's available hosts and retains every
+/// task's ranked feasible list (as indices into the snapshot).  Repository
+/// state is constant for the duration of one schedule() call, so
+/// assign_with_outputs can reuse these instead of recomputing
+/// feasible_hosts per (task, site) — the O(tasks × hosts) prediction
+/// recomputation this cache eliminates is pure overhead.  Outputs built
+/// elsewhere (e.g. reconstructed from fabric bid replies) may leave
+/// `ranked` empty; consumers must fall back to feasible_hosts then.
 struct HostSelectionOutput {
   common::SiteId site;
   std::unordered_map<afg::TaskId, HostBid> bids;
+  /// Available hosts of the site at run() time, sorted by host id.
+  std::vector<db::ResourceRecord> host_pool;
+  /// Per task id: feasible machines as indices into `host_pool`, sorted by
+  /// (predicted, host).  Valid iff `ranked.size() == graph.task_count()`.
+  std::vector<std::vector<RankedRef>> ranked;
 };
 
 /// A feasible machine for a task with its predicted time, ranked ascending
@@ -78,6 +100,15 @@ class HostSelectionAlgorithm {
                                             common::SiteId site,
                                             const db::SiteRepository& repo,
                                             const predict::Predictor& predictor);
+
+  /// Core of feasible_hosts over a pre-fetched host pool: filter, predict,
+  /// and rank by (predicted, host id) without copying any record.  `pool`
+  /// must be the site's available hosts sorted by id (the order
+  /// available_hosts returns).
+  static std::vector<RankedRef> rank_hosts(
+      const afg::TaskNode& node, const db::TaskPerfRecord& perf,
+      const std::vector<db::ResourceRecord>& pool,
+      const db::SiteRepository& repo, const predict::Predictor& predictor);
 };
 
 }  // namespace vdce::sched

@@ -1,39 +1,109 @@
 #include "sched/schedule_builder.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 namespace vdce::sched {
 
-common::SimTime ScheduleBuilder::data_ready(afg::TaskId task,
-                                            common::HostId candidate,
-                                            common::HostId staging_from) const {
+ScheduleBuilder::ScheduleBuilder(const afg::Afg& graph,
+                                 const net::Topology& topology)
+    : graph_(graph), topology_(topology) {
+  assignments_.resize(graph.task_count());
+  task_placed_.assign(graph.task_count(), 0);
+  host_free_.assign(topology.host_count(), 0.0);
+  ready_memo_.resize(graph.task_count());
+}
+
+common::SimDuration ScheduleBuilder::transfer(common::HostId from,
+                                              common::HostId to,
+                                              double bytes) const {
+  // Equal (link_key, bytes) keys guarantee the identical LinkSpec and hence
+  // the bit-identical latency + bytes/bandwidth result, so caching is exact.
+  const TransferKey key{topology_.link_key(from, to),
+                        std::bit_cast<std::uint64_t>(bytes)};
+  auto it = transfer_memo_.find(key);
+  if (it != transfer_memo_.end()) return it->second;
+  common::SimDuration t = topology_.transfer_time(from, to, bytes);
+  transfer_memo_.emplace(key, t);
+  return t;
+}
+
+common::SimTime ScheduleBuilder::data_ready_exact(
+    afg::TaskId task, common::HostId candidate,
+    common::HostId staging_from) const {
   common::SimTime ready = 0.0;
-  for (const afg::Edge& e : graph_.in_edges(task)) {
-    auto it = assignments_.find(e.from);
-    assert(it != assignments_.end() && "parent must be placed first");
-    const Assignment& parent = it->second;
+  for (std::uint32_t idx : graph_.in_edge_ids(task)) {
+    const afg::Edge& e = graph_.edge(idx);
+    assert(task_placed_[e.from.value()] && "parent must be placed first");
+    const Assignment& parent = assignments_[e.from.value()];
     double bytes = graph_.edge_bytes(e);
     ready = std::max(ready,
-                     parent.est_finish + topology_.transfer_time(
-                                             parent.primary_host(), candidate,
-                                             bytes));
+                     parent.est_finish + transfer(parent.primary_host(),
+                                                  candidate, bytes));
   }
   if (staging_from.valid()) {
     for (const afg::FileSpec& f : graph_.task(task).props.inputs) {
       if (!f.dataflow && !f.path.empty()) {
-        ready = std::max(ready, topology_.transfer_time(staging_from,
-                                                        candidate,
-                                                        f.size_bytes));
+        ready = std::max(ready, transfer(staging_from, candidate,
+                                         f.size_bytes));
       }
     }
   }
   return ready;
 }
 
+common::SimTime ScheduleBuilder::data_ready(afg::TaskId task,
+                                            common::HostId candidate,
+                                            common::HostId staging_from) const {
+  ReadyMemo& memo = ready_memo_[task.value()];
+  if (!memo.init || memo.staging != staging_from) {
+    memo.init = true;
+    memo.staging = staging_from;
+    memo.special_hosts.clear();
+    memo.by_site.assign(topology_.site_count(), -1.0);
+    // Hosts whose loopback link makes data_ready differ from their site's
+    // shared value: the parents' primary hosts, and the staging server when
+    // a staging transfer applies.
+    for (std::uint32_t idx : graph_.in_edge_ids(task)) {
+      const afg::Edge& e = graph_.edge(idx);
+      assert(task_placed_[e.from.value()] && "parent must be placed first");
+      common::HostId p = assignments_[e.from.value()].primary_host();
+      if (std::find(memo.special_hosts.begin(), memo.special_hosts.end(), p) ==
+          memo.special_hosts.end()) {
+        memo.special_hosts.push_back(p);
+      }
+    }
+    if (staging_from.valid()) {
+      for (const afg::FileSpec& f : graph_.task(task).props.inputs) {
+        if (!f.dataflow && !f.path.empty()) {
+          if (std::find(memo.special_hosts.begin(), memo.special_hosts.end(),
+                        staging_from) == memo.special_hosts.end()) {
+            memo.special_hosts.push_back(staging_from);
+          }
+          break;
+        }
+      }
+    }
+  }
+  if (std::find(memo.special_hosts.begin(), memo.special_hosts.end(),
+                candidate) != memo.special_hosts.end()) {
+    return data_ready_exact(task, candidate, staging_from);
+  }
+  common::SimTime& cached =
+      memo.by_site[topology_.host(candidate).site.value()];
+  if (cached < 0.0) cached = data_ready_exact(task, candidate, staging_from);
+  return cached;
+}
+
 common::SimTime ScheduleBuilder::host_free(common::HostId host) const {
-  auto it = host_free_.find(host);
-  return it == host_free_.end() ? 0.0 : it->second;
+  return host.value() < host_free_.size() ? host_free_[host.value()] : 0.0;
+}
+
+void ScheduleBuilder::touch_host(common::HostId host) {
+  if (host.value() >= host_free_.size()) {
+    host_free_.resize(host.value() + 1, 0.0);
+  }
 }
 
 common::SimTime ScheduleBuilder::earliest_start(
@@ -43,6 +113,11 @@ common::SimTime ScheduleBuilder::earliest_start(
   common::SimTime start = data_ready(task, hosts.front(), staging_from);
   for (common::HostId h : hosts) start = std::max(start, host_free(h));
   return start;
+}
+
+common::SimTime ScheduleBuilder::earliest_start(
+    afg::TaskId task, common::HostId host, common::HostId staging_from) const {
+  return std::max(data_ready(task, host, staging_from), host_free(host));
 }
 
 const Assignment& ScheduleBuilder::place(afg::TaskId task, common::SiteId site,
@@ -58,9 +133,15 @@ const Assignment& ScheduleBuilder::place(afg::TaskId task, common::SiteId site,
   a.predicted_time = predicted;
   a.est_start = earliest_start(task, a.hosts, staging_from);
   a.est_finish = a.est_start + predicted;
-  for (common::HostId h : a.hosts) host_free_[h] = a.est_finish;
+  for (common::HostId h : a.hosts) {
+    touch_host(h);
+    host_free_[h.value()] = a.est_finish;
+  }
   makespan_ = std::max(makespan_, a.est_finish);
-  return assignments_.emplace(task, std::move(a)).first->second;
+  assignments_[task.value()] = std::move(a);
+  task_placed_[task.value()] = 1;
+  ++placed_count_;
+  return assignments_[task.value()];
 }
 
 const Assignment& ScheduleBuilder::place_at(afg::TaskId task,
@@ -78,20 +159,24 @@ const Assignment& ScheduleBuilder::place_at(afg::TaskId task,
   a.est_start = start;
   a.est_finish = start + predicted;
   for (common::HostId h : a.hosts) {
-    host_free_[h] = std::max(host_free(h), a.est_finish);
+    touch_host(h);
+    host_free_[h.value()] = std::max(host_free_[h.value()], a.est_finish);
   }
   makespan_ = std::max(makespan_, a.est_finish);
-  return assignments_.emplace(task, std::move(a)).first->second;
+  assignments_[task.value()] = std::move(a);
+  task_placed_[task.value()] = 1;
+  ++placed_count_;
+  return assignments_[task.value()];
 }
 
 bool ScheduleBuilder::placed(afg::TaskId task) const {
-  return assignments_.contains(task);
+  return task.value() < task_placed_.size() &&
+         task_placed_[task.value()] != 0;
 }
 
 const Assignment& ScheduleBuilder::assignment(afg::TaskId task) const {
-  auto it = assignments_.find(task);
-  assert(it != assignments_.end());
-  return it->second;
+  assert(placed(task));
+  return assignments_[task.value()];
 }
 
 ResourceAllocationTable ScheduleBuilder::build(std::string app_name,
@@ -100,10 +185,11 @@ ResourceAllocationTable ScheduleBuilder::build(std::string app_name,
   table.app_name = std::move(app_name);
   table.scheduler_name = std::move(scheduler_name);
   table.schedule_length = makespan_;
-  table.assignments.reserve(assignments_.size());
+  table.assignments.reserve(placed_count_);
   for (const afg::TaskNode& t : graph_.tasks()) {
-    auto it = assignments_.find(t.id);
-    if (it != assignments_.end()) table.assignments.push_back(it->second);
+    if (task_placed_[t.id.value()]) {
+      table.assignments.push_back(assignments_[t.id.value()]);
+    }
   }
   return table;
 }

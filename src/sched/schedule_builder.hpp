@@ -8,8 +8,28 @@
 // (c) the running makespan.  Centralizing this in ScheduleBuilder makes the
 // VDCE scheduler and every baseline produce *comparable* estimated
 // schedules: they differ only in their placement decisions.
+//
+// Grid-scale hot path: evaluating one task against every candidate host at
+// every candidate site made data_ready() the dominant cost — O(tasks ×
+// hosts × links) across a run.  Two memos eliminate the recomputation
+// without changing a single value (tests/test_differential.cpp proves the
+// results bit-identical to the retained naive reference):
+//
+//  * a transfer-time cache keyed on (link_key, bytes): equal keys guarantee
+//    the identical LinkSpec, so the cached double is the exact value the
+//    direct computation would produce;
+//  * a per-task data-ready cache keyed on the candidate's *site*: every
+//    candidate at one site sees the same parent→candidate links, hence the
+//    same max — except hosts a parent (or the staging server) actually
+//    occupies, which take the loopback link; those few "special" hosts fall
+//    back to the exact per-host computation.
+//
+// Both memos are filled lazily and never invalidated: parents are always
+// placed before their child is evaluated and placements are immutable.
 #pragma once
 
+#include <cstdint>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -21,8 +41,7 @@ namespace vdce::sched {
 
 class ScheduleBuilder {
  public:
-  ScheduleBuilder(const afg::Afg& graph, const net::Topology& topology)
-      : graph_(graph), topology_(topology) {}
+  ScheduleBuilder(const afg::Afg& graph, const net::Topology& topology);
 
   /// Earliest time `task`'s inputs can be at `candidate` — max over in-edges
   /// of parent finish + transfer(parent primary host -> candidate, bytes).
@@ -40,6 +59,11 @@ class ScheduleBuilder {
   [[nodiscard]] common::SimTime earliest_start(
       afg::TaskId task, const std::vector<common::HostId>& hosts,
       common::HostId staging_from = {}) const;
+
+  /// Single-host overload for the hot candidate loop: no vector needed.
+  [[nodiscard]] common::SimTime earliest_start(afg::TaskId task,
+                                               common::HostId host,
+                                               common::HostId staging_from = {}) const;
 
   /// Commit a placement; records start/finish and occupies the hosts.
   const Assignment& place(afg::TaskId task, common::SiteId site,
@@ -65,11 +89,80 @@ class ScheduleBuilder {
                                               std::string scheduler_name) const;
 
  private:
+  /// Per-task lazy data-ready cache: one value per candidate site, plus the
+  /// short list of hosts whose loopback links make them exceptions.
+  struct ReadyMemo {
+    bool init = false;
+    common::HostId staging;  ///< staging_from the memo was filled under
+    std::vector<common::HostId> special_hosts;  ///< parent primaries (+ staging)
+    std::vector<common::SimTime> by_site;       ///< -1 = not yet computed
+  };
+
+  struct TransferKey {
+    std::uint64_t link;
+    std::uint64_t bytes_bits;
+    bool operator==(const TransferKey&) const = default;
+  };
+  struct TransferKeyHash {
+    std::size_t operator()(const TransferKey& k) const noexcept {
+      std::uint64_t h = k.link * 0x9e3779b97f4a7c15ULL;
+      h ^= k.bytes_bits + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// The exact per-host computation (used to fill the memo and for special
+  /// hosts).
+  [[nodiscard]] common::SimTime data_ready_exact(afg::TaskId task,
+                                                 common::HostId candidate,
+                                                 common::HostId staging_from) const;
+  [[nodiscard]] common::SimDuration transfer(common::HostId from,
+                                             common::HostId to,
+                                             double bytes) const;
+  void touch_host(common::HostId host);
+
   const afg::Afg& graph_;
   const net::Topology& topology_;
-  std::unordered_map<afg::TaskId, Assignment> assignments_;
-  std::unordered_map<common::HostId, common::SimTime> host_free_;
+  std::vector<Assignment> assignments_;     ///< by task id
+  std::vector<char> task_placed_;           ///< by task id
+  std::vector<common::SimTime> host_free_;  ///< by host id
+  std::size_t placed_count_ = 0;
+  mutable std::vector<ReadyMemo> ready_memo_;  ///< by task id
+  mutable std::unordered_map<TransferKey, common::SimDuration, TransferKeyHash>
+      transfer_memo_;
   common::SimDuration makespan_ = 0.0;
+};
+
+/// Incremental ready-list priority queue for list schedulers: pops the
+/// highest-level task, ties broken by lowest task id — the same total order
+/// the previous linear scan over an ordered set used, at O(log n) per
+/// operation.  Each task must be pushed at most once (the caller's
+/// unplaced-parent counters guarantee that).
+class ReadyQueue {
+ public:
+  void push(afg::TaskId task, double level) { heap_.push(Entry{level, task}); }
+
+  /// Pop the highest-priority task.  Pre: !empty().
+  afg::TaskId pop() {
+    afg::TaskId t = heap_.top().task;
+    heap_.pop();
+    return t;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+ private:
+  struct Entry {
+    double level;
+    afg::TaskId task;
+  };
+  struct Lower {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.level != b.level) return a.level < b.level;
+      return a.task.value() > b.task.value();
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Lower> heap_;
 };
 
 }  // namespace vdce::sched

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <set>
 
 #include "afg/levels.hpp"
 
@@ -27,7 +26,10 @@ double paper_objective(const afg::Afg& graph, afg::TaskId task,
                        const ScheduleBuilder& builder,
                        const net::Topology& topology, double predicted) {
   double transfer = 0.0;
-  for (const afg::Edge& e : graph.in_edges(task)) {
+  // in_edge_ids preserves edge insertion order, so this sum accumulates in
+  // exactly the order the edge-list scan used — bit-identical totals.
+  for (std::uint32_t idx : graph.in_edge_ids(task)) {
+    const afg::Edge& e = graph.edge(idx);
     const Assignment& parent = builder.assignment(e.from);
     transfer += topology.site_transfer_time(parent.site, candidate_site,
                                             graph.edge_bytes(e));
@@ -131,8 +133,15 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
 
   // --- Fig. 2 steps 6-7: ready-list scheduling by level priority ---------
   ScheduleBuilder builder(graph, topology);
-  std::set<afg::TaskId> ready;
-  for (afg::TaskId t : graph.entry_tasks()) ready.insert(t);
+  // Incremental heap over (level desc, id asc) plus unplaced-unique-parent
+  // counters: a task enters the queue exactly once, the moment its last
+  // parent is placed.
+  ReadyQueue ready;
+  std::vector<std::size_t> waiting(graph.task_count(), 0);
+  for (const afg::TaskNode& t : graph.tasks()) {
+    waiting[t.id.value()] = graph.parents(t.id).size();
+  }
+  for (afg::TaskId t : graph.entry_tasks()) ready.push(t, levels->of(t));
 
   const common::HostId staging = topology.site(context.local_site).server;
   std::size_t placed = 0;
@@ -140,14 +149,7 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
 
   while (!ready.empty()) {
     // Highest level first; ties by id.
-    afg::TaskId task = *ready.begin();
-    for (afg::TaskId t : ready) {
-      if (levels->of(t) > levels->of(task) ||
-          (levels->of(t) == levels->of(task) && t < task)) {
-        task = t;
-      }
-    }
-    ready.erase(task);
+    afg::TaskId task = ready.pop();
 
     const afg::TaskNode& node = graph.task(task);
     auto perf = resolve_perf(node, local_repo.tasks());
@@ -178,47 +180,74 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
       } else {
         // Availability-aware: re-rank this site's feasible machines by the
         // finish time they would actually yield given current occupancy.
-        auto ranked = HostSelectionAlgorithm::feasible_hosts(
-            node, *perf, s, context.repo(s), *context.predictor);
+        // The ranked feasible list was already computed by run() — reuse the
+        // cached refs when the output carries them (repository state cannot
+        // have changed since), and only recompute for outputs rebuilt from
+        // fabric bid replies, which travel without the cache.
+        const bool cached = output.ranked.size() == graph.task_count();
+        std::vector<RankedHost> scratch;
+        if (!cached) {
+          scratch = HostSelectionAlgorithm::feasible_hosts(
+              node, *perf, s, context.repo(s), *context.predictor);
+        }
+        const std::size_t ranked_size =
+            cached ? output.ranked[task.value()].size() : scratch.size();
+        auto rec_of = [&](std::size_t i) -> const db::ResourceRecord& {
+          return cached ? output.host_pool[output.ranked[task.value()][i].index]
+                        : scratch[i].record;
+        };
+        auto predicted_of = [&](std::size_t i) {
+          return cached ? output.ranked[task.value()][i].predicted
+                        : scratch[i].predicted;
+        };
         const auto need = node.props.mode == afg::ComputationMode::kParallel
                               ? static_cast<std::size_t>(node.props.num_nodes)
                               : std::size_t{1};
-        if (ranked.size() < need) continue;
+        if (ranked_size < need) continue;
 
         if (need == 1) {
           bool have = false;
           double best_finish = 0.0;
-          for (const RankedHost& rh : ranked) {
-            std::vector<common::HostId> hs{rh.record.host};
-            const double predicted = rh.predicted * staleness(rh.record);
+          common::HostId best_host;
+          double best_predicted = 0.0;
+          for (std::size_t i = 0; i < ranked_size; ++i) {
+            const db::ResourceRecord& rec = rec_of(i);
+            const double predicted = predicted_of(i) * staleness(rec);
             double finish =
-                builder.earliest_start(task, hs, staging) + predicted;
+                builder.earliest_start(task, rec.host, staging) + predicted;
             if (!have || finish < best_finish) {
               have = true;
               best_finish = finish;
-              cand.hosts = hs;
-              cand.predicted = predicted;
+              best_host = rec.host;
+              best_predicted = predicted;
             }
           }
+          cand.hosts.assign(1, best_host);
+          cand.predicted = best_predicted;
           cand.objective = best_finish;
         } else {
           // Parallel group: earliest-free machines among the fastest 2N to
           // balance speed against occupancy.
-          std::vector<RankedHost> pool(
-              ranked.begin(),
-              ranked.begin() + static_cast<std::ptrdiff_t>(
-                                   std::min(ranked.size(), 2 * need)));
+          struct PoolEntry {
+            const db::ResourceRecord* record;
+            double predicted;
+          };
+          std::vector<PoolEntry> pool;
+          pool.reserve(std::min(ranked_size, 2 * need));
+          for (std::size_t i = 0; i < std::min(ranked_size, 2 * need); ++i) {
+            pool.push_back(PoolEntry{&rec_of(i), predicted_of(i)});
+          }
           std::sort(pool.begin(), pool.end(),
-                    [&](const RankedHost& a, const RankedHost& b) {
-                      auto fa = builder.host_free(a.record.host);
-                      auto fb = builder.host_free(b.record.host);
+                    [&](const PoolEntry& a, const PoolEntry& b) {
+                      auto fa = builder.host_free(a.record->host);
+                      auto fb = builder.host_free(b.record->host);
                       if (fa != fb) return fa < fb;
                       return a.predicted < b.predicted;
                     });
           std::vector<db::ResourceRecord> group;
           for (std::size_t i = 0; i < need; ++i) {
-            group.push_back(pool[i].record);
-            cand.hosts.push_back(pool[i].record.host);
+            group.push_back(*pool[i].record);
+            cand.hosts.push_back(pool[i].record->host);
           }
           auto predicted = context.predictor->predict(*perf, group,
                                                       &context.repo(s).tasks());
@@ -249,14 +278,9 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
 
     // Children become ready once every parent is placed.
     for (afg::TaskId child : graph.children(task)) {
-      bool all_placed = true;
-      for (afg::TaskId p : graph.parents(child)) {
-        if (!builder.placed(p)) {
-          all_placed = false;
-          break;
-        }
+      if (--waiting[child.value()] == 0) {
+        ready.push(child, levels->of(child));
       }
-      if (all_placed && !builder.placed(child)) ready.insert(child);
     }
   }
 

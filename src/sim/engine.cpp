@@ -42,22 +42,27 @@ TimerHandle Engine::every(common::SimDuration period, Callback fn,
   if (initial_delay < 0.0) initial_delay = period;
 
   // Each firing re-schedules the next one unless the timer was stopped.
-  // `tick` owns itself via the shared_ptr captured in the lambda.
+  // The pending event's closure owns `tick`; the tick itself captures only
+  // a weak_ptr, so once the chain stops rescheduling the function frees
+  // itself.  (A shared_ptr self-capture would be a permanent cycle: the
+  // function object could never be destroyed, leaking every timer.)
   auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), stopped, tick]() {
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [this, period, fn = std::move(fn), stopped, weak]() {
     if (*stopped) return;
     fn();
     if (*stopped) return;
-    schedule(period, *tick);
+    if (auto self = weak.lock()) schedule(period, [self]() { (*self)(); });
   };
-  schedule(initial_delay, *tick);
+  schedule(initial_delay, [tick]() { (*tick)(); });
   return TimerHandle(std::move(stopped));
 }
 
 void Engine::step() {
   assert(!queue_.empty());
-  // priority_queue::top() is const; the event is copied out then popped.
-  Event ev = queue_.top();
+  // top() is const, but the event is popped immediately, so moving out of
+  // it is safe and avoids copying the std::function on every step.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   assert(ev.time >= now_);
   now_ = ev.time;

@@ -99,6 +99,11 @@ class Engine {
   /// Run at most `max_events` events; used as a watchdog in tests.
   std::size_t run_steps(std::size_t max_events);
 
+  /// Pre-size the event heap.  Grid-scale bring-up schedules one timer per
+  /// daemon per host up front; reserving once avoids repeated regrowth of
+  /// the heap's backing vector.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
   [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
   [[nodiscard]] std::uint64_t total_fired() const noexcept { return fired_; }
@@ -124,6 +129,10 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+  /// priority_queue with access to the backing vector for reserve().
+  struct Queue : std::priority_queue<Event, std::vector<Event>, Later> {
+    void reserve(std::size_t n) { c.reserve(n); }
+  };
 
   /// Pop and fire the earliest event.  Pre: queue not empty.
   void step();
@@ -132,7 +141,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   std::size_t max_depth_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Queue queue_;
 };
 
 }  // namespace vdce::sim

@@ -420,4 +420,23 @@ void VdceEnvironment::run_for(common::SimDuration duration) {
   engine_.run_until(engine_.now() + duration);
 }
 
+common::Expected<std::unique_ptr<VdceEnvironment>>
+VdceEnvironment::make_scale_environment(const ScaleSpec& spec) {
+  net::Topology topology = scale::make_grid(spec.grid);
+  auto env = std::make_unique<VdceEnvironment>(std::move(topology),
+                                               spec.options);
+  // Bring-up schedules a handful of daemon timers per host; reserve the
+  // event heap once instead of regrowing it through the initial burst.
+  env->engine().reserve_events(env->topology().host_count() * 8);
+  if (common::Status up = env->try_bring_up(); !up.ok()) return up.error();
+  if (!spec.admin_user.empty()) {
+    if (common::Status added =
+            env->try_add_user(spec.admin_user, spec.admin_password);
+        !added.ok()) {
+      return added.error();
+    }
+  }
+  return env;
+}
+
 }  // namespace vdce

@@ -41,6 +41,7 @@
 #include "runtime/host_agent.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/services.hpp"
+#include "scale/generate.hpp"
 #include "sched/site_scheduler.hpp"
 #include "sim/engine.hpp"
 #include "tasklib/registry.hpp"
@@ -128,6 +129,17 @@ struct RunOptions {
   /// estimated schedule length already exceeds the deadline (the user can
   /// retry with a wider access domain or fewer constraints).
   bool enforce_admission = false;
+};
+
+/// Convenience bring-up of a generated grid-scale deployment (the scale
+/// plane's S sites × H hosts topologies; see scale/generate.hpp and
+/// docs/SCALING.md).
+struct ScaleSpec {
+  scale::GridSpec grid;
+  EnvironmentOptions options;
+  /// Account created at every site after bring-up (empty = skip).
+  std::string admin_user = "scale_admin";
+  std::string admin_password = "scale";
 };
 
 class VdceEnvironment {
@@ -251,6 +263,13 @@ class VdceEnvironment {
   void run_for(common::SimDuration duration);
 
   [[nodiscard]] common::SimTime now() const noexcept { return engine_.now(); }
+
+  /// Build the grid described by `spec.grid`, pre-size the event heap for
+  /// its daemon population, bring the environment up, and create the admin
+  /// account.  Returns the live environment (heap-allocated — the
+  /// environment is not movable) or the first error.
+  [[nodiscard]] static common::Expected<std::unique_ptr<VdceEnvironment>>
+  make_scale_environment(const ScaleSpec& spec);
 
  private:
   common::Expected<runtime::ExecutionReport> execute_plan(

@@ -1,12 +1,21 @@
 // Cross-cutting property tests: QoS deadlines and admission control,
-// whole-system determinism, randomized failure-injection survival, and DSL
-// round-trip stability over generated graphs.
+// whole-system determinism, randomized failure-injection survival, DSL
+// round-trip stability over generated graphs, and scheduler invariants over
+// the full vdce::scale corpus of generated (topology, AFG) pairs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <memory>
 #include <set>
+#include <vector>
 
 #include "afg/generate.hpp"
+#include "db/site_repository.hpp"
 #include "editor/dsl.hpp"
+#include "predict/model.hpp"
+#include "scale/generate.hpp"
+#include "sched/site_scheduler.hpp"
 #include "vdce/environment.hpp"
 #include "vdce/testbed.hpp"
 
@@ -189,6 +198,138 @@ TEST_P(DslRoundTrip, WriteParseWriteIsStable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DslRoundTrip,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+// ---- scheduler invariants over the generated scale corpus ----------------------------
+//
+// 200+ (topology, AFG) pairs from vdce::scale::make_corpus, each scheduled
+// with options cycled by case index.  Four invariants hold for every case:
+//   1. every task is mapped exactly once, to existing, up hosts of the
+//      assignment's site with enough memory (and `num_nodes` of them for
+//      parallel tasks);
+//   2. start times respect dependencies including the transfer time from
+//      each parent's primary host;
+//   3. no host runs two tasks concurrently;
+//   4. the schedule length equals the last task's completion.
+
+/// A scale-generated topology with per-site repositories and a wired
+/// scheduler context (every site bids: k_nearest = sites - 1).
+struct CorpusDeployment {
+  explicit CorpusDeployment(const scale::GridSpec& spec)
+      : topology(scale::make_grid(spec)) {
+    for (const net::Site& site : topology.sites()) {
+      auto repo = std::make_unique<db::SiteRepository>(site.id);
+      repo->register_site_hosts(topology);
+      repos.push_back(std::move(repo));
+    }
+    context.topology = &topology;
+    for (auto& r : repos) context.repos.push_back(r.get());
+    context.predictor = &predictor;
+    context.local_site = common::SiteId(0);
+    context.k_nearest = topology.site_count() - 1;
+  }
+
+  net::Topology topology;
+  std::vector<std::unique_ptr<db::SiteRepository>> repos;
+  predict::Predictor predictor;
+  sched::SchedulerContext context;
+};
+
+/// Cycle scheduler options deterministically by case index so the corpus
+/// covers both objectives and all three priority modes.
+sched::SiteSchedulerOptions corpus_options(std::size_t index) {
+  sched::SiteSchedulerOptions options;
+  options.objective = index % 2 == 0 ? sched::SiteObjective::kAvailabilityAware
+                                     : sched::SiteObjective::kPaperObjective;
+  switch ((index / 2) % 3) {
+    case 0: options.priority = sched::PriorityMode::kPaperLevels; break;
+    case 1: options.priority = sched::PriorityMode::kCommLevels; break;
+    default: options.priority = sched::PriorityMode::kFifo; break;
+  }
+  return options;
+}
+
+void check_schedule_invariants(const afg::Afg& graph,
+                               const net::Topology& topology,
+                               const sched::ResourceAllocationTable& table,
+                               std::size_t index) {
+  SCOPED_TRACE("corpus case " + std::to_string(index));
+  constexpr double kEps = 1e-9;
+
+  // 1 — complete, constraint-satisfying mapping.
+  ASSERT_EQ(table.assignments.size(), graph.task_count());
+  std::set<std::uint32_t> seen;
+  for (const sched::Assignment& a : table.assignments) {
+    EXPECT_TRUE(seen.insert(a.task.value()).second)
+        << "task " << a.task.value() << " mapped twice";
+    const afg::TaskNode& node = graph.task(a.task);
+    const std::size_t need =
+        node.props.mode == afg::ComputationMode::kParallel
+            ? static_cast<std::size_t>(node.props.num_nodes)
+            : std::size_t{1};
+    ASSERT_EQ(a.hosts.size(), need) << "task " << a.task.value();
+    for (common::HostId h : a.hosts) {
+      ASSERT_LT(h.value(), topology.host_count());
+      const net::Host& host = topology.host(h);
+      EXPECT_EQ(host.site, a.site) << "task " << a.task.value();
+      EXPECT_TRUE(host.state.up);
+      // Generated tasks are synthetic: 8 MB requirement (support.cpp), and
+      // the memory ladder starts at 64 MB — but assert it, don't assume it.
+      EXPECT_GE(host.spec.memory_mb, 8.0);
+    }
+    EXPECT_GE(a.est_start, -kEps);
+    EXPECT_GE(a.est_finish, a.est_start - kEps);
+  }
+  EXPECT_EQ(seen.size(), graph.task_count());
+
+  // 2 — dependency-respecting start times, transfer included.
+  for (const afg::Edge& e : graph.edges()) {
+    const sched::Assignment parent = table.find(e.from).value();
+    const sched::Assignment child = table.find(e.to).value();
+    const double transfer = topology.transfer_time(
+        parent.primary_host(), child.primary_host(), graph.edge_bytes(e));
+    EXPECT_GE(child.est_start + kEps, parent.est_finish + transfer)
+        << "edge " << e.from.value() << " -> " << e.to.value();
+  }
+
+  // 3 — no host runs two tasks concurrently.
+  std::map<common::HostId, std::vector<std::pair<double, double>>> busy;
+  for (const sched::Assignment& a : table.assignments) {
+    for (common::HostId h : a.hosts) {
+      busy[h].emplace_back(a.est_start, a.est_finish);
+    }
+  }
+  for (auto& [host, intervals] : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first + kEps, intervals[i - 1].second)
+          << "host " << host.value() << " double-booked";
+    }
+  }
+
+  // 4 — makespan is the last completion.
+  double last = 0.0;
+  for (const sched::Assignment& a : table.assignments) {
+    last = std::max(last, a.est_finish);
+  }
+  EXPECT_DOUBLE_EQ(table.schedule_length, last);
+}
+
+TEST(ScaleCorpus, SchedulerInvariantsHoldAcrossTwoHundredCases) {
+  scale::CorpusSpec spec;  // 200 cases
+  const std::vector<scale::CorpusCase> corpus = scale::make_corpus(spec);
+  ASSERT_GE(corpus.size(), 200u);
+  for (const scale::CorpusCase& c : corpus) {
+    CorpusDeployment dep(c.grid);
+    afg::Afg graph = scale::make_workload(
+        c.workload, "corpus-" + std::to_string(c.index));
+    ASSERT_TRUE(graph.validate().ok()) << "case " << c.index;
+    sched::VdceSiteScheduler scheduler(corpus_options(c.index));
+    auto table = scheduler.schedule(graph, dep.context);
+    ASSERT_TRUE(table.has_value())
+        << "case " << c.index << ": " << table.error().to_string();
+    check_schedule_invariants(graph, dep.topology, *table, c.index);
+  }
+}
 
 }  // namespace
 }  // namespace vdce
