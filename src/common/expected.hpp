@@ -23,6 +23,7 @@ enum class ErrorCode {
   kPermissionDenied,
   kInvalidArgument,
   kNoFeasibleResource,
+  kQuotaExceeded,
   kHostDown,
   kCycleDetected,
   kParseError,
@@ -41,6 +42,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kPermissionDenied: return "permission_denied";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kNoFeasibleResource: return "no_feasible_resource";
+    case ErrorCode::kQuotaExceeded: return "quota_exceeded";
     case ErrorCode::kHostDown: return "host_down";
     case ErrorCode::kCycleDetected: return "cycle_detected";
     case ErrorCode::kParseError: return "parse_error";

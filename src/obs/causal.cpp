@@ -122,6 +122,9 @@ void carve_gap(const AppTrace& app, common::SimTime gap_start,
 CriticalPath critical_path(const AppTrace& app) {
   CriticalPath path;
   path.makespan = app.makespan();
+  // Pre-execution admission wait; reported alongside the phases but outside
+  // total(), which tiles [exec_started, completed] only.
+  path.phases.contention = std::max(0.0, app.contention());
 
   // Walk back from the last finisher along the dependency with the greatest
   // finish time — the classic schedule-length chain.
@@ -417,6 +420,10 @@ std::vector<AppTrace> extract_apps(const ParsedTrace& trace) {
       app.exec_started = ev.start;
       app.completed = ev.end();
       app.name = arg_string(ev, "name");
+    } else if (ev.name == "app.contention") {
+      AppTrace& app = app_of(app_id);
+      app.enqueued = ev.start;
+      app.admitted = ev.end();
     } else if (ev.name == "exec.task" && ev.causal.task != kNoCausalId) {
       AppTrace& app = app_of(app_id);
       std::string name = arg_string(ev, "task");
@@ -544,7 +551,12 @@ std::string render_report(const AppTrace& app,
          fixed(cp.phases.compute) + "  transfer " + fixed(cp.phases.transfer) +
          "  wait " + fixed(cp.phases.wait) + "  recovery " +
          fixed(cp.phases.recovery) + "  completion " +
-         fixed(cp.phases.completion) + "\n\n";
+         fixed(cp.phases.completion) + "\n";
+  if (cp.phases.contention > 0.0) {
+    out += "admission contention (before execution, outside makespan): " +
+           fixed(cp.phases.contention) + " s\n";
+  }
+  out += "\n";
 
   out += "hosts:\n";
   for (const HostTimeline& h : tl.hosts) {

@@ -66,11 +66,20 @@ struct RecoveryMark {
 struct AppTrace {
   std::uint32_t app = kNoCausalId;
   std::string name;
+  /// Multi-tenant admission window (app.contention span, docs/TENANCY.md):
+  /// enqueued -> admitted is time spent queued behind other tenants before
+  /// scheduling began.  Both 0 when the run never queued.
+  common::SimTime enqueued = 0.0;
+  common::SimTime admitted = 0.0;
   common::SimTime exec_started = 0.0;  ///< startup signal (makespan origin)
   common::SimTime completed = 0.0;     ///< coordinator saw the last task done
   std::vector<TaskExec> tasks;
   std::vector<Transfer> transfers;
   std::vector<RecoveryMark> recoveries;
+
+  [[nodiscard]] common::SimDuration contention() const noexcept {
+    return admitted - enqueued;
+  }
 
   [[nodiscard]] common::SimDuration makespan() const noexcept {
     return completed - exec_started;
@@ -103,6 +112,11 @@ struct CriticalHop {
 };
 
 struct PhaseTotals {
+  /// Multi-tenant admission wait before the run began.  Deliberately
+  /// OUTSIDE total(): the critical path tiles [exec_started, completed], and
+  /// contention happens before exec_started, so total() == makespan holds
+  /// with or without tenancy.
+  common::SimDuration contention = 0.0;
   common::SimDuration startup = 0.0;
   common::SimDuration compute = 0.0;
   common::SimDuration transfer = 0.0;

@@ -17,6 +17,7 @@
 #include "net/topology.hpp"
 #include "obs/obs.hpp"
 #include "predict/model.hpp"
+#include "sched/reservations.hpp"
 #include "sim/engine.hpp"
 
 namespace vdce::runtime {
@@ -104,6 +105,16 @@ class RuntimeCore {
   }
   [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
 
+  /// Host reservations shared by every site coordinator — the source of
+  /// truth that keeps concurrent applications from double-booking machines
+  /// (sched/reservations.hpp, docs/TENANCY.md).
+  [[nodiscard]] sched::ReservationTable& reservations() noexcept {
+    return reservations_;
+  }
+  [[nodiscard]] const sched::ReservationTable& reservations() const noexcept {
+    return reservations_;
+  }
+
   [[nodiscard]] common::SimTime now() const noexcept { return engine_.now(); }
 
   // --- fault injection ------------------------------------------------------
@@ -153,6 +164,7 @@ class RuntimeCore {
   RuntimeOptions options_;
   predict::Predictor predictor_;
   predict::GroundTruthModel ground_truth_;
+  sched::ReservationTable reservations_;
   common::Rng rng_;
   obs::Observability* obs_ = nullptr;
   std::function<bool(common::HostId)> monitor_muted_;

@@ -11,6 +11,8 @@ obs::causal::AppTrace ExecutionReport::causal_view() const {
   obs::causal::AppTrace view;
   view.app = app.value();
   view.name = app_name;
+  view.enqueued = enqueued;
+  view.admitted = admitted;
   view.exec_started = exec_started;
   view.completed = completed;
   for (const TaskOutcome& o : outcomes) {
@@ -47,6 +49,11 @@ std::string ExecutionReport::describe(const afg::Afg& graph) const {
          common::format_double(makespan(), 4) + "s, reschedules " +
          std::to_string(reschedules) + ", failures survived " +
          std::to_string(failures_survived) + "\n";
+  if (admitted > enqueued) {
+    out += "  admission wait " + common::format_double(admitted - enqueued, 4) +
+           "s (enqueued " + common::format_double(enqueued, 4) +
+           "s, admitted " + common::format_double(admitted, 4) + "s)\n";
+  }
   for (const TaskOutcome& o : outcomes) {
     out += "  " + graph.task(o.task).instance_name + ": host " +
            std::to_string(o.host.value()) + " (site " +

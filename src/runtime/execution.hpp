@@ -50,6 +50,15 @@ struct ExecutionReport {
   bool success = false;
   std::string failure_reason;
 
+  /// Multi-tenant submission timeline (docs/TENANCY.md).  `enqueued` is
+  /// when the environment accepted the submission into the admission queue;
+  /// `admitted` is when admission control let it start scheduling.  Both
+  /// stay 0 for runs that bypass the submission pipeline
+  /// (execute_with_table), and enqueued == admitted when no other tenants
+  /// were ahead in line.
+  common::SimTime enqueued = 0;
+  common::SimTime admitted = 0;
+
   common::SimTime submitted = 0;    ///< execution request received
   common::SimTime exec_started = 0; ///< startup signal sent (channels ready)
   common::SimTime completed = 0;    ///< last task finished
@@ -82,6 +91,9 @@ struct ExecutionReport {
   /// Phase decomposition of the end-to-end latency, for makespan
   /// attribution: where did the simulated seconds go?
   struct PhaseBreakdown {
+    /// Admission-queue wait under multi-tenant contention (admitted -
+    /// enqueued); 0 when the run never queued behind other tenants.
+    common::SimDuration contention = 0.0;
     common::SimDuration scheduling = 0.0;  ///< Fig. 2 bid gather + assignment
     common::SimDuration setup = 0.0;       ///< RAT fan-out, channels, staging
     common::SimDuration execution = 0.0;   ///< startup signal -> last task
@@ -89,11 +101,12 @@ struct ExecutionReport {
     /// queueing + recovery overhead.
     common::SimDuration task_busy = 0.0;
     [[nodiscard]] common::SimDuration total() const {
-      return scheduling + setup + execution;
+      return contention + scheduling + setup + execution;
     }
   };
   [[nodiscard]] PhaseBreakdown breakdown() const {
     PhaseBreakdown b;
+    b.contention = admitted - enqueued;
     b.scheduling = scheduling_time;
     b.setup = setup_time();
     b.execution = makespan();

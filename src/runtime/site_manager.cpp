@@ -72,7 +72,8 @@ void SiteManager::on_sm_echo_reply(const net::Message& message) {
   leaders_reported_down_.erase(message.src);
 }
 
-sched::SchedulerContext SiteManager::make_context() const {
+sched::SchedulerContext SiteManager::make_context(
+    common::AppId scheduling_for) const {
   sched::SchedulerContext ctx;
   ctx.topology = &core_.topology();
   for (db::SiteRepository* repo : core_.repos()) ctx.repos.push_back(repo);
@@ -81,6 +82,8 @@ sched::SchedulerContext SiteManager::make_context() const {
   ctx.k_nearest = core_.options().k_nearest;
   ctx.obs = core_.obs();
   ctx.now = core_.now();
+  ctx.reservations = &core_.reservations();
+  ctx.reserving_app = scheduling_for;
   return ctx;
 }
 
@@ -185,7 +188,7 @@ void SiteManager::schedule_application(common::AppId app,
                                        std::shared_ptr<const afg::Afg> graph,
                                        sched::SiteSchedulerOptions options,
                                        ScheduleCallback callback) {
-  auto ctx = make_context();
+  auto ctx = make_context(app);
   PendingSchedule pending;
   pending.graph = graph;
   pending.options = options;
@@ -296,7 +299,7 @@ void SiteManager::finish_schedule(std::uint32_t app_value) {
         .histogram("sched.bid_gather_seconds")
         .add(core_.now() - pending.started);
   }
-  auto ctx = make_context();
+  auto ctx = make_context(common::AppId(app_value));
   auto result = sched::assign_with_outputs(
       *pending.graph, ctx, outputs, pending.options,
       pending.options.objective == sched::SiteObjective::kPaperObjective
@@ -336,6 +339,12 @@ void SiteManager::execute_application(
   auto [it, inserted] = apps_.emplace(app_id.value(), std::move(app));
   assert(inserted);
   core_.flight(obs::FlightCode::kAppStart, server_.value(), app_id.value());
+
+  // Reserve every machine of the allocation table before any other
+  // application's scheduling round can observe this execution — acquisition
+  // is atomic with the decision to execute (same engine event), so two
+  // concurrent applications can never double-book a host.
+  core_.reservations().acquire(app_id, plan->rat.hosts_used());
 
   // Multicast the allocation table to every involved site's Site Manager
   // (self included: the local hop uses the loopback link).
@@ -543,9 +552,15 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
 
   const afg::TaskNode& node = app.plan->graph.task(task);
   const db::TaskPerfRecord& perf = app.plan->perf[task.value()];
-  auto ctx = make_context();
+  auto ctx = make_context(app.plan->app);
   const auto sites = sched::candidate_site_set(ctx, {});
   const auto& excluded = app.excluded[task.value()];
+  // Machines held by concurrent applications are as unavailable to a
+  // recovery re-placement as they are to a scheduling round.
+  const sched::ReservationTable& reservations = core_.reservations();
+  auto reserved = [&](common::HostId h) {
+    return reservations.reserved_by_other(h, app.plan->app);
+  };
 
   const auto need = node.props.mode == afg::ComputationMode::kParallel
                         ? static_cast<std::size_t>(node.props.num_nodes)
@@ -580,6 +595,7 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
           candidate_node, perf, s, core_.repo(s), core_.predictor());
       for (const sched::RankedHost& rh : ranked) {
         if (excluded.contains(rh.record.host)) continue;
+        if (reserved(rh.record.host)) continue;
         if (need == 1) {
           double queue = 0.0;
           if (auto it = pending_work.find(rh.record.host);
@@ -603,6 +619,7 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
         std::vector<db::ResourceRecord> group;
         for (const sched::RankedHost& rh : ranked) {
           if (excluded.contains(rh.record.host)) continue;
+          if (reserved(rh.record.host)) continue;
           hosts.push_back(rh.record.host);
           group.push_back(rh.record);
           if (hosts.size() == need) break;
@@ -646,6 +663,7 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
   app.current[task.value()] = chosen;
   ++app.attempts[task.value()];
   for (common::HostId h : chosen.hosts) app.involved.insert(h);
+  core_.reservations().acquire(app.plan->app, chosen.hosts);
 
   RecoveryEvent ev;
   ev.task = task;
@@ -814,6 +832,9 @@ void SiteManager::stall_recover(ActiveApp& app) {
 void SiteManager::complete_app(ActiveApp& app, bool success,
                                const std::string& reason) {
   app.finished = true;
+  // Free this application's machines for queued tenants (success or not —
+  // a failed application must not strand its reservations).
+  core_.reservations().release(app.plan->app);
   ExecutionReport report;
   report.app = app.plan->app;
   report.app_name = app.plan->graph.name();

@@ -138,7 +138,11 @@ class SiteManager {
     int quiet_stalls = 0;
   };
 
-  [[nodiscard]] sched::SchedulerContext make_context() const;
+  /// `scheduling_for` names the application the context schedules or
+  /// re-places for; the shared reservation table then hides machines held
+  /// by *other* in-flight applications from its decisions (docs/TENANCY.md).
+  [[nodiscard]] sched::SchedulerContext make_context(
+      common::AppId scheduling_for = common::AppId{}) const;
 
   // message handlers
   void on_gm_report(const net::Message& message);

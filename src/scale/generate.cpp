@@ -224,4 +224,43 @@ std::vector<CorpusCase> make_corpus(const CorpusSpec& spec) {
   return corpus;
 }
 
+std::vector<TenantArrival> make_tenant_arrivals(const TenantSpec& spec) {
+  static constexpr WorkloadShape kShapes[] = {
+      WorkloadShape::kLayered, WorkloadShape::kForkJoin,
+      WorkloadShape::kRandomDag};
+  common::Rng rng(spec.seed);
+  std::vector<TenantArrival> arrivals;
+  arrivals.reserve(spec.tenants * spec.apps_per_tenant);
+  for (std::size_t t = 0; t < spec.tenants; ++t) {
+    const int priority = static_cast<int>(
+        rng.uniform_int(spec.min_priority, spec.max_priority));
+    double clock = static_cast<double>(t) * spec.tenant_stagger;
+    for (std::size_t k = 0; k < spec.apps_per_tenant; ++k) {
+      clock += rng.uniform(spec.min_think, spec.max_think);
+      TenantArrival a;
+      a.tenant = t;
+      a.user = "tenant" + std::to_string(t);
+      a.priority = priority;
+      a.at = clock;
+      a.app_name = "t" + std::to_string(t) + "-app" + std::to_string(k);
+      const std::size_t index = t * spec.apps_per_tenant + k;
+      a.workload.shape = kShapes[index % std::size(kShapes)];
+      a.workload.tasks = static_cast<std::size_t>(
+          rng.uniform_int(static_cast<std::int64_t>(spec.min_tasks),
+                          static_cast<std::int64_t>(spec.max_tasks)));
+      a.workload.width = static_cast<std::size_t>(rng.uniform_int(2, 6));
+      a.workload.edge_density = rng.uniform(0.2, 0.7);
+      a.workload.max_fan_in = static_cast<std::size_t>(rng.uniform_int(2, 5));
+      a.workload.seed = spec.seed * 1000081 + index;
+      arrivals.push_back(std::move(a));
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const TenantArrival& a, const TenantArrival& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.tenant < b.tenant;
+            });
+  return arrivals;
+}
+
 }  // namespace vdce::scale

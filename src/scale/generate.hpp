@@ -136,4 +136,44 @@ struct CorpusSpec {
 /// spec — tests and benches reproduce any case from its index alone.
 std::vector<CorpusCase> make_corpus(const CorpusSpec& spec);
 
+// ---- multi-tenant arrivals (docs/TENANCY.md) --------------------------------
+
+/// Parameters of a deterministic multi-tenant arrival sequence: `tenants`
+/// users, each submitting `apps_per_tenant` applications with think-time
+/// gaps, producing the staggered submission schedule the tenancy tests and
+/// bench_tenancy replay against an environment.
+struct TenantSpec {
+  std::size_t tenants = 4;
+  std::size_t apps_per_tenant = 2;
+  /// Tenant t's first submission arrives at t * tenant_stagger (plus its
+  /// first think time), so arrivals interleave instead of bursting at 0.
+  double tenant_stagger = 2.0;
+  /// Think time between one tenant's consecutive submissions, uniform.
+  double min_think = 0.5;
+  double max_think = 6.0;
+  /// User priority, uniform over [min_priority, max_priority] — exercised
+  /// by QueuePolicy::kPriority.
+  int min_priority = 1;
+  int max_priority = 3;
+  /// Per-application workload size range; shapes cycle per application.
+  std::size_t min_tasks = 4;
+  std::size_t max_tasks = 14;
+  std::uint64_t seed = 1;
+};
+
+/// One scheduled submission of the arrival sequence.
+struct TenantArrival {
+  std::size_t tenant = 0;   ///< tenant index (user "tenant<N>")
+  std::string user;
+  int priority = 1;
+  double at = 0.0;          ///< simulated submission instant
+  WorkloadSpec workload;
+  std::string app_name;     ///< "t<tenant>-app<k>"
+};
+
+/// Enumerate the arrival sequence, sorted by (at, tenant).  Pure function
+/// of the spec: equal specs yield identical schedules, which is what the
+/// tenancy determinism regression replays twice.
+std::vector<TenantArrival> make_tenant_arrivals(const TenantSpec& spec);
+
 }  // namespace vdce::scale

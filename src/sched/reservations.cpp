@@ -1,0 +1,63 @@
+#include "sched/reservations.hpp"
+
+#include <algorithm>
+
+namespace vdce::sched {
+
+void ReservationTable::acquire(common::AppId app,
+                               const std::vector<common::HostId>& hosts) {
+  if (!app.valid()) return;
+  std::vector<std::uint32_t>& mine = by_app_[app.value()];
+  for (common::HostId h : hosts) {
+    if (!h.valid()) continue;
+    auto [it, inserted] = holder_.emplace(h.value(), app.value());
+    if (inserted) {
+      mine.push_back(h.value());
+    } else if (it->second != app.value()) {
+      ++conflicts_;
+    }
+  }
+  if (mine.empty()) by_app_.erase(app.value());
+}
+
+void ReservationTable::release(common::AppId app) {
+  auto it = by_app_.find(app.value());
+  if (it == by_app_.end()) return;
+  for (std::uint32_t host : it->second) {
+    auto held = holder_.find(host);
+    if (held != holder_.end() && held->second == app.value()) {
+      holder_.erase(held);
+    }
+  }
+  by_app_.erase(it);
+}
+
+common::AppId ReservationTable::holder(common::HostId host) const {
+  auto it = holder_.find(host.value());
+  return it == holder_.end() ? common::AppId{} : common::AppId(it->second);
+}
+
+bool ReservationTable::reserved_by_other(common::HostId host,
+                                         common::AppId app) const {
+  auto it = holder_.find(host.value());
+  return it != holder_.end() && it->second != app.value();
+}
+
+bool ReservationTable::any_other(common::AppId app) const {
+  if (by_app_.empty()) return false;
+  if (by_app_.size() > 1) return true;
+  return by_app_.begin()->first != app.value();
+}
+
+std::vector<common::HostId> ReservationTable::hosts_of(
+    common::AppId app) const {
+  std::vector<common::HostId> hosts;
+  auto it = by_app_.find(app.value());
+  if (it == by_app_.end()) return hosts;
+  hosts.reserve(it->second.size());
+  for (std::uint32_t h : it->second) hosts.emplace_back(h);
+  std::sort(hosts.begin(), hosts.end());
+  return hosts;
+}
+
+}  // namespace vdce::sched

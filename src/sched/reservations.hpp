@@ -1,0 +1,72 @@
+// Host reservations for multi-tenant co-scheduling (docs/TENANCY.md).
+//
+// The prototype's execution model is host-exclusive: a machine runs one
+// VDCE task at a time, and the daemons on it coordinate one application's
+// plan.  When several applications are in flight concurrently, the
+// scheduler must therefore never hand the same machine to two of them —
+// the classic grid double-booking bug.  This table is the shared source of
+// truth: the coordinator acquires every host of an application's resource
+// allocation table when execution starts (plus any host a recovery
+// re-placement adds), and releases them all when the application
+// completes.  Scheduling rounds and recovery re-placements consult the
+// table through SchedulerContext and skip machines held by *other*
+// applications, deterministically re-ranking the remaining candidates.
+//
+// With a single application in flight the table never reports a conflict,
+// so every code path that consults it behaves bit-identically to the
+// pre-tenancy scheduler (tests/test_tenancy.cpp proves this
+// differentially).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace vdce::sched {
+
+class ReservationTable {
+ public:
+  /// Reserve `hosts` for `app`.  Hosts already held by the same app are
+  /// ignored (idempotent — recovery re-acquires freely); hosts held by a
+  /// *different* app are counted in conflicts() and left with their current
+  /// holder (callers filter reserved hosts before choosing, so a conflict
+  /// here means a caller bypassed the filter).
+  void acquire(common::AppId app, const std::vector<common::HostId>& hosts);
+
+  /// Release every host held by `app`.  No-op for unknown apps.
+  void release(common::AppId app);
+
+  /// The app holding `host`, or an invalid id when the host is free.
+  [[nodiscard]] common::AppId holder(common::HostId host) const;
+
+  /// True when `host` is held by an application other than `app`.
+  [[nodiscard]] bool reserved_by_other(common::HostId host,
+                                       common::AppId app) const;
+
+  /// True when any host is held by an application other than `app` — the
+  /// signal the tenancy layer uses to distinguish "infeasible because
+  /// concurrent applications occupy the candidates" (defer and retry) from
+  /// "infeasible outright" (fail).
+  [[nodiscard]] bool any_other(common::AppId app) const;
+
+  /// Hosts currently held by `app` (unspecified order; empty if none).
+  [[nodiscard]] std::vector<common::HostId> hosts_of(common::AppId app) const;
+
+  [[nodiscard]] std::size_t held_count() const noexcept {
+    return holder_.size();
+  }
+  [[nodiscard]] std::size_t app_count() const noexcept {
+    return by_app_.size();
+  }
+  /// Attempts to acquire a host already held by a different app.
+  [[nodiscard]] std::uint64_t conflicts() const noexcept { return conflicts_; }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> holder_;  ///< host -> app
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_app_;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace vdce::sched

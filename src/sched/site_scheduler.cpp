@@ -147,6 +147,21 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
   std::size_t placed = 0;
   std::size_t candidates_evaluated = 0;
 
+  // Multi-tenant co-scheduling (docs/TENANCY.md): machines held by another
+  // in-flight application are invisible to this assignment, and the
+  // remaining candidates are re-ranked by the unchanged objective.  With no
+  // foreign reservations `reserved` is constant-false and every decision
+  // below is bit-identical to the reservation-free scheduler.
+  const bool contention_active =
+      context.reservations != nullptr &&
+      context.reservations->any_other(context.reserving_app);
+  auto reserved = [&](common::HostId h) {
+    return contention_active &&
+           context.reservations->reserved_by_other(h, context.reserving_app);
+  };
+  std::size_t contention_skips = 0;
+  std::size_t contention_reranked = 0;
+
   while (!ready.empty()) {
     // Highest level first; ties by id.
     afg::TaskId task = ready.pop();
@@ -169,9 +184,71 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
       cand.valid = true;
       ++candidates_evaluated;
 
+      // Ranked feasible machines of this site: reuse the cached refs when
+      // the output carries them (repository state cannot have changed since
+      // run()), and only recompute for outputs rebuilt without the cache.
+      // Filled lazily — the pure paper-objective path never touches it.
+      const bool cached = output.ranked.size() == graph.task_count();
+      std::vector<RankedHost> scratch;
+      bool scratch_ready = false;
+      auto ensure_ranked = [&] {
+        if (!cached && !scratch_ready) {
+          scratch = HostSelectionAlgorithm::feasible_hosts(
+              node, *perf, s, context.repo(s), *context.predictor);
+          scratch_ready = true;
+        }
+      };
+      auto ranked_size = [&] {
+        return cached ? output.ranked[task.value()].size() : scratch.size();
+      };
+      auto rec_of = [&](std::size_t i) -> const db::ResourceRecord& {
+        return cached ? output.host_pool[output.ranked[task.value()][i].index]
+                      : scratch[i].record;
+      };
+      auto predicted_of = [&](std::size_t i) {
+        return cached ? output.ranked[task.value()][i].predicted
+                      : scratch[i].predicted;
+      };
+      const auto need = node.props.mode == afg::ComputationMode::kParallel
+                            ? static_cast<std::size_t>(node.props.num_nodes)
+                            : std::size_t{1};
+
       if (options.objective == SiteObjective::kPaperObjective) {
-        cand.hosts = bid_it->second.hosts;
-        cand.predicted = bid_it->second.predicted;
+        bool contended = false;
+        for (common::HostId h : bid_it->second.hosts) {
+          if (reserved(h)) {
+            contended = true;
+            break;
+          }
+        }
+        if (!contended) {
+          cand.hosts = bid_it->second.hosts;
+          cand.predicted = bid_it->second.predicted;
+        } else {
+          // The site's bid machine is occupied by a concurrent application:
+          // re-rank deterministically over the remaining feasible machines
+          // (same (predicted, host-id) order Fig. 3 produced).
+          ++contention_reranked;
+          ensure_ranked();
+          std::vector<db::ResourceRecord> group;
+          for (std::size_t i = 0;
+               i < ranked_size() && cand.hosts.size() < need; ++i) {
+            if (reserved(rec_of(i).host)) {
+              ++contention_skips;
+              continue;
+            }
+            cand.hosts.push_back(rec_of(i).host);
+            group.push_back(rec_of(i));
+            cand.predicted = predicted_of(i);  // last = slowest for need == 1
+          }
+          if (cand.hosts.size() < need) continue;  // site fully occupied
+          if (need > 1) {
+            auto predicted = context.predictor->predict(
+                *perf, group, &context.repo(s).tasks());
+            if (!predicted) continue;
+            cand.predicted = *predicted;
+          }
+        }
         cand.objective =
             no_input_case
                 ? cand.predicted
@@ -180,38 +257,20 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
       } else {
         // Availability-aware: re-rank this site's feasible machines by the
         // finish time they would actually yield given current occupancy.
-        // The ranked feasible list was already computed by run() — reuse the
-        // cached refs when the output carries them (repository state cannot
-        // have changed since), and only recompute for outputs rebuilt from
-        // fabric bid replies, which travel without the cache.
-        const bool cached = output.ranked.size() == graph.task_count();
-        std::vector<RankedHost> scratch;
-        if (!cached) {
-          scratch = HostSelectionAlgorithm::feasible_hosts(
-              node, *perf, s, context.repo(s), *context.predictor);
-        }
-        const std::size_t ranked_size =
-            cached ? output.ranked[task.value()].size() : scratch.size();
-        auto rec_of = [&](std::size_t i) -> const db::ResourceRecord& {
-          return cached ? output.host_pool[output.ranked[task.value()][i].index]
-                        : scratch[i].record;
-        };
-        auto predicted_of = [&](std::size_t i) {
-          return cached ? output.ranked[task.value()][i].predicted
-                        : scratch[i].predicted;
-        };
-        const auto need = node.props.mode == afg::ComputationMode::kParallel
-                              ? static_cast<std::size_t>(node.props.num_nodes)
-                              : std::size_t{1};
-        if (ranked_size < need) continue;
+        ensure_ranked();
+        if (ranked_size() < need) continue;
 
         if (need == 1) {
           bool have = false;
           double best_finish = 0.0;
           common::HostId best_host;
           double best_predicted = 0.0;
-          for (std::size_t i = 0; i < ranked_size; ++i) {
+          for (std::size_t i = 0; i < ranked_size(); ++i) {
             const db::ResourceRecord& rec = rec_of(i);
+            if (reserved(rec.host)) {
+              ++contention_skips;
+              continue;
+            }
             const double predicted = predicted_of(i) * staleness(rec);
             double finish =
                 builder.earliest_start(task, rec.host, staging) + predicted;
@@ -222,21 +281,28 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
               best_predicted = predicted;
             }
           }
+          if (!have) continue;  // every feasible machine is occupied
           cand.hosts.assign(1, best_host);
           cand.predicted = best_predicted;
           cand.objective = best_finish;
         } else {
-          // Parallel group: earliest-free machines among the fastest 2N to
-          // balance speed against occupancy.
+          // Parallel group: earliest-free machines among the fastest 2N
+          // unreserved to balance speed against occupancy.
           struct PoolEntry {
             const db::ResourceRecord* record;
             double predicted;
           };
           std::vector<PoolEntry> pool;
-          pool.reserve(std::min(ranked_size, 2 * need));
-          for (std::size_t i = 0; i < std::min(ranked_size, 2 * need); ++i) {
+          pool.reserve(std::min(ranked_size(), 2 * need));
+          for (std::size_t i = 0;
+               i < ranked_size() && pool.size() < 2 * need; ++i) {
+            if (reserved(rec_of(i).host)) {
+              ++contention_skips;
+              continue;
+            }
             pool.push_back(PoolEntry{&rec_of(i), predicted_of(i)});
           }
+          if (pool.size() < need) continue;
           std::sort(pool.begin(), pool.end(),
                     [&](const PoolEntry& a, const PoolEntry& b) {
                       auto fa = builder.host_free(a.record->host);
@@ -269,6 +335,12 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
     }
 
     if (!best.valid) {
+      if (contention_active) {
+        return common::Error{
+            common::ErrorCode::kNoFeasibleResource,
+            "no site can run task " + node.instance_name +
+                " (machines held by concurrent applications)"};
+      }
       return common::Error{common::ErrorCode::kNoFeasibleResource,
                            "no site can run task " + node.instance_name};
     }
@@ -302,6 +374,12 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
       m.histogram("sched.schedule_length").add(table.schedule_length);
       if (stale_hosts_seen > 0) {
         m.counter("sched.stale_hosts_penalized").add(stale_hosts_seen);
+      }
+      if (contention_skips > 0) {
+        m.counter("sched.contention.hosts_skipped").add(contention_skips);
+      }
+      if (contention_reranked > 0) {
+        m.counter("sched.contention.bids_reranked").add(contention_reranked);
       }
     }
     if (context.obs->trace_on()) {

@@ -14,6 +14,7 @@
 #include "net/topology.hpp"
 #include "obs/obs.hpp"
 #include "predict/model.hpp"
+#include "sched/reservations.hpp"
 #include "sched/types.hpp"
 
 namespace vdce::sched {
@@ -34,6 +35,14 @@ struct SchedulerContext {
   /// caller's simulated time (0 for synchronous, out-of-simulation runs).
   obs::Observability* obs = nullptr;
   common::SimTime now = 0.0;
+
+  /// Multi-tenant co-scheduling (optional; docs/TENANCY.md).  When set, the
+  /// assignment phase skips every machine held by an application other than
+  /// `reserving_app` and deterministically re-ranks the remaining
+  /// candidates.  Null — or a table with no foreign reservations — leaves
+  /// every decision bit-identical to the reservation-free scheduler.
+  const ReservationTable* reservations = nullptr;
+  common::AppId reserving_app;
 
   [[nodiscard]] const db::SiteRepository& repo(common::SiteId site) const {
     return *repos.at(site.value());

@@ -1,0 +1,80 @@
+#include "tenancy/tenancy.hpp"
+
+#include <algorithm>
+
+namespace vdce::tenancy {
+
+common::Status AdmissionController::enqueue(std::uint64_t handle,
+                                            const std::string& user,
+                                            int priority) {
+  if (options_.max_queue_depth != 0 &&
+      queue_.size() >= options_.max_queue_depth) {
+    ++stats_.rejected;
+    return common::Error{common::ErrorCode::kQuotaExceeded,
+                         "admission queue full (" +
+                             std::to_string(queue_.size()) + " waiting)"};
+  }
+  if (options_.per_user_quota != 0) {
+    auto it = per_user_.find(user);
+    const std::size_t current = it == per_user_.end() ? 0 : it->second;
+    if (current >= options_.per_user_quota) {
+      ++stats_.rejected;
+      return common::Error{
+          common::ErrorCode::kQuotaExceeded,
+          "user " + user + " already has " + std::to_string(current) +
+              " submissions (quota " +
+              std::to_string(options_.per_user_quota) + ")"};
+    }
+  }
+  queue_.push_back(Entry{handle, user, priority, next_seq_++});
+  ++per_user_[user];
+  ++stats_.submitted;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  return common::Status::success();
+}
+
+bool AdmissionController::before(const Entry& a, const Entry& b) const {
+  if (options_.policy == QueuePolicy::kPriority && a.priority != b.priority) {
+    return a.priority > b.priority;
+  }
+  return a.seq < b.seq;
+}
+
+std::optional<std::uint64_t> AdmissionController::admit_next() {
+  if (queue_.empty()) return std::nullopt;
+  if (options_.max_in_flight != 0 &&
+      in_flight_.size() >= options_.max_in_flight) {
+    return std::nullopt;
+  }
+  std::size_t pick = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    if (before(queue_[i], queue_[pick])) pick = i;
+  }
+  Entry entry = std::move(queue_[pick]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+  const std::uint64_t handle = entry.handle;
+  in_flight_.emplace(handle, std::move(entry));
+  ++stats_.admitted;
+  stats_.peak_in_flight = std::max(stats_.peak_in_flight, in_flight_.size());
+  return handle;
+}
+
+void AdmissionController::defer(std::uint64_t handle) {
+  auto it = in_flight_.find(handle);
+  if (it == in_flight_.end()) return;
+  queue_.push_back(std::move(it->second));  // original seq keeps its place
+  in_flight_.erase(it);
+  ++stats_.deferred;
+  stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+}
+
+void AdmissionController::complete(std::uint64_t handle) {
+  auto it = in_flight_.find(handle);
+  if (it == in_flight_.end()) return;
+  auto user = per_user_.find(it->second.user);
+  if (user != per_user_.end() && --user->second == 0) per_user_.erase(user);
+  in_flight_.erase(it);
+  ++stats_.completed;
+}
+
+}  // namespace vdce::tenancy

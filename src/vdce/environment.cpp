@@ -14,7 +14,8 @@ VdceEnvironment::VdceEnvironment(net::Topology topology,
       options_(options),
       obs_(options.metrics, options.trace, options.flight),
       engine_(),
-      fabric_(engine_, topology_) {
+      fabric_(engine_, topology_),
+      admission_(options.tenancy) {
   set_log_level(options_.log_level);
   fabric_.set_observability(&obs_);
   tasklib::register_standard_libraries(registry_);
@@ -305,28 +306,301 @@ common::Expected<sched::ResourceAllocationTable> VdceEnvironment::schedule(
 
 common::Expected<runtime::ExecutionReport> VdceEnvironment::run_application(
     const afg::Afg& graph, const Session& session, RunOptions options) {
-  const common::SimTime sched_started = engine_.now();
-  auto table = schedule(graph, session, options.sched);
-  if (!table) return table.error();
-  const common::SimDuration scheduling_time = engine_.now() - sched_started;
-  if (options.enforce_admission && options.deadline > 0.0 &&
-      table->schedule_length > options.deadline) {
-    return common::Error{
-        common::ErrorCode::kNoFeasibleResource,
-        "admission rejected: estimated schedule length " +
-            common::format_double(table->schedule_length, 3) +
-            "s exceeds the " + common::format_double(options.deadline, 3) +
-            "s deadline"};
+  auto handle = submit_application(graph, session, options);
+  if (!handle) return handle.error();
+  return wait(*handle);
+}
+
+// ---- multi-tenant submission pipeline (docs/TENANCY.md) ---------------------
+
+common::Expected<AppHandle> VdceEnvironment::submit_application(
+    const afg::Afg& graph, const Session& session, RunOptions options) {
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "submit_application(): environment not brought up"};
   }
-  auto report = execute_plan(graph, std::move(*table), session, options);
-  if (report) report->scheduling_time = scheduling_time;
-  return report;
+  auto valid = graph.validate();
+  if (!valid.ok()) return valid.error();
+  if (auto tasks_ok = validate_tasks(graph, session); !tasks_ok.ok()) {
+    return tasks_ok.error();
+  }
+  // The submitting user must still exist at the session site — a stale or
+  // forged session is a typed kNotFound, not a deep runtime failure.
+  auto account = repo(session.site).users().find(session.account.user_name);
+  if (!account) return account.error();
+
+  AppHandle handle{++next_handle_};
+  if (auto st = admission_.enqueue(handle.id, account->user_name,
+                                   account->priority);
+      !st.ok()) {
+    return st.error();
+  }
+
+  auto slot = std::make_unique<SubmissionSlot>();
+  slot->handle = handle;
+  slot->session = session;
+  slot->graph = std::make_shared<const afg::Afg>(graph);
+  slot->options = options;
+  slot->options.sched.access = session.account.domain;
+  slot->enqueued = engine_.now();
+  slots_.emplace(handle.id, std::move(slot));
+  ++active_submissions_;
+
+  if (obs_.trace_on()) {
+    obs_.trace().instant("tenancy", "tenancy.submit", engine_.now(),
+                         obs::kControlTrack,
+                         {obs::arg("handle", handle.id),
+                          obs::arg("user", account->user_name),
+                          obs::arg("app_name", graph.name()),
+                          obs::arg("queued",
+                                   std::uint64_t{admission_.queue_depth()})});
+  }
+  if (obs_.metrics_on()) {
+    obs_.metrics().counter("tenancy.submissions").add();
+  }
+
+  pump_submissions();
+  return handle;
+}
+
+void VdceEnvironment::pump_submissions() {
+  while (auto next = admission_.admit_next()) {
+    SubmissionSlot& slot = *slots_.at(*next);
+    slot.state = AppState::kScheduling;
+    slot.admitted = engine_.now();
+    slot.sched_app = common::AppId(next_app_++);
+    site_manager(slot.session.site)
+        .schedule_application(
+            slot.sched_app, slot.graph, slot.options.sched,
+            [this, handle = slot.handle.id](
+                common::Expected<sched::ResourceAllocationTable> table) {
+              on_scheduled(handle, std::move(table));
+            });
+  }
+}
+
+void VdceEnvironment::on_scheduled(
+    std::uint64_t handle, common::Expected<sched::ResourceAllocationTable> table) {
+  auto it = slots_.find(handle);
+  if (it == slots_.end()) return;
+  SubmissionSlot& slot = *it->second;
+  slot.scheduling_time = engine_.now() - slot.admitted;
+
+  if (!table) {
+    if (table.error().code == common::ErrorCode::kNoFeasibleResource &&
+        core_->reservations().any_other(slot.sched_app)) {
+      // Machines exist but concurrent applications hold them: re-queue and
+      // retry after the next completion frees its reservations.  At least
+      // one other application is executing (reservations imply it), so a
+      // completion — and with it another pump — is guaranteed.
+      slot.state = AppState::kDeferred;
+      admission_.defer(handle);
+      if (obs_.trace_on()) {
+        obs_.trace().instant("tenancy", "tenancy.defer", engine_.now(),
+                             obs::kControlTrack,
+                             {obs::arg("handle", handle),
+                              obs::arg("app_name", slot.graph->name())});
+      }
+      if (obs_.metrics_on()) {
+        obs_.metrics().counter("tenancy.deferrals").add();
+      }
+      return;
+    }
+    finalize_submission(slot, table.error());
+    return;
+  }
+
+  const RunOptions& run = slot.options;
+  if (run.enforce_admission && run.deadline > 0.0 &&
+      table->schedule_length > run.deadline) {
+    finalize_submission(
+        slot, common::Error{
+                  common::ErrorCode::kNoFeasibleResource,
+                  "admission rejected: estimated schedule length " +
+                      common::format_double(table->schedule_length, 3) +
+                      "s exceeds the " +
+                      common::format_double(run.deadline, 3) + "s deadline"});
+    return;
+  }
+
+  auto resolved = resolve_app_resources(*slot.graph, slot.session, run);
+  if (!resolved) {
+    finalize_submission(slot, resolved.error());
+    return;
+  }
+  slot.exec_app = common::AppId(next_app_++);
+  slot.state = AppState::kExecuting;
+  site_manager(slot.session.site)
+      .execute_application(slot.exec_app, *slot.graph, std::move(*table),
+                           std::move(resolved->perf),
+                           std::move(resolved->kernels),
+                           std::move(resolved->initial),
+                           [this, handle](runtime::ExecutionReport report) {
+                             on_executed(handle, std::move(report));
+                           });
+}
+
+void VdceEnvironment::on_executed(std::uint64_t handle,
+                                  runtime::ExecutionReport report) {
+  auto it = slots_.find(handle);
+  if (it == slots_.end()) return;
+  SubmissionSlot& slot = *it->second;
+  report.scheduling_time = slot.scheduling_time;
+  report.deadline = slot.options.deadline;
+  report.enqueued = slot.enqueued;
+  report.admitted = slot.admitted;
+  // Contention span only when the submission actually waited behind other
+  // tenants — a solo run's trace stays byte-identical to the pre-tenancy
+  // pipeline's.
+  if (obs_.trace_on() && slot.admitted > slot.enqueued) {
+    obs_.trace().span("app", "app.contention", slot.enqueued, slot.admitted,
+                      obs::kControlTrack,
+                      {obs::arg("app", report.app.value()),
+                       obs::arg("user", slot.session.account.user_name)},
+                      obs::Causal{.app = report.app.value()});
+  }
+  if (obs_.metrics_on() && slot.admitted > slot.enqueued) {
+    obs_.metrics()
+        .histogram("tenancy.contention_seconds")
+        .add(slot.admitted - slot.enqueued);
+  }
+  if (!report.success) {
+    obs_.flight().record(engine_.now(), obs::FlightCode::kRunFailed,
+                         obs::kControlTrack, report.app.value());
+    dump_postmortem();
+  }
+  finalize_submission(slot, std::move(report));
+}
+
+void VdceEnvironment::finalize_submission(
+    SubmissionSlot& slot, common::Expected<runtime::ExecutionReport> result) {
+  slot.result = std::move(result);
+  slot.state = AppState::kFinished;
+  slot.terminal = true;
+  admission_.complete(slot.handle.id);
+  --active_submissions_;
+  // A freed slot (and freed reservations) may unblock queued or deferred
+  // submissions.
+  pump_submissions();
+}
+
+common::Expected<runtime::ExecutionReport> VdceEnvironment::wait(
+    AppHandle handle) {
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "wait(): environment not brought up"};
+  }
+  auto it = slots_.find(handle.id);
+  if (it == slots_.end()) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "wait(): unknown application handle " +
+                             std::to_string(handle.id)};
+  }
+  SubmissionSlot& slot = *it->second;
+  if (!slot.terminal) {
+    if (auto st = drive_until(slot.terminal); !st.ok()) {
+      obs_.flight().record(engine_.now(), obs::FlightCode::kRunFailed,
+                           obs::kControlTrack, slot.exec_app.value());
+      dump_postmortem();
+      return st.error();
+    }
+  }
+  return slot.result;
+}
+
+common::Status VdceEnvironment::drain() {
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "drain(): environment not brought up"};
+  }
+  const common::SimTime deadline = engine_.now() + options_.sync_timeout;
+  while (active_submissions_ > 0) {
+    if (engine_.empty()) {
+      return common::Error{common::ErrorCode::kInternal,
+                           "simulation drained with operation incomplete"};
+    }
+    if (engine_.now() > deadline) {
+      return common::Error{common::ErrorCode::kTimeout,
+                           "operation exceeded sync timeout"};
+    }
+    engine_.run_steps(8);
+  }
+  return common::Status::success();
+}
+
+common::Expected<runtime::ExecutionReport> VdceEnvironment::report(
+    AppHandle handle) const {
+  auto it = slots_.find(handle.id);
+  if (it == slots_.end()) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "report(): unknown application handle " +
+                             std::to_string(handle.id)};
+  }
+  if (!it->second->terminal) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "report(): application " + std::to_string(handle.id) +
+                             " is still in flight; wait() or drain() first"};
+  }
+  return it->second->result;
+}
+
+common::Expected<AppState> VdceEnvironment::app_state(AppHandle handle) const {
+  auto it = slots_.find(handle.id);
+  if (it == slots_.end()) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "app_state(): unknown application handle " +
+                             std::to_string(handle.id)};
+  }
+  return it->second->state;
 }
 
 common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_with_table(
     const afg::Afg& graph, sched::ResourceAllocationTable table,
     const Session& session, RunOptions options) {
   return execute_plan(graph, std::move(table), session, options);
+}
+
+common::Expected<VdceEnvironment::ResolvedApp>
+VdceEnvironment::resolve_app_resources(const afg::Afg& graph,
+                                       const Session& session,
+                                       const RunOptions& options) {
+  ResolvedApp resolved;
+
+  // Resolve per-task performance records and kernels.
+  resolved.kernels.resize(graph.task_count());
+  resolved.perf.reserve(graph.task_count());
+  for (const afg::TaskNode& node : graph.tasks()) {
+    auto record = sched::resolve_perf(node, repo(session.site).tasks());
+    if (!record) return record.error();
+    resolved.perf.push_back(std::move(*record));
+    if (options.real_kernels) {
+      auto impl = registry_.find(node.task_name);
+      if (impl && impl->kernel) {
+        resolved.kernels[node.id.value()] = impl->kernel;
+      }
+    }
+  }
+
+  // Resolve non-dataflow file inputs through the I/O service's object
+  // store; a missing object is fine for timing-only tasks (the transfer is
+  // still charged at the declared size) but fatal when a real kernel needs
+  // the value.
+  for (const afg::TaskNode& node : graph.tasks()) {
+    for (int port = 0; port < node.in_ports(); ++port) {
+      const afg::FileSpec& f =
+          node.props.inputs[static_cast<std::size_t>(port)];
+      if (f.dataflow || f.path.empty()) continue;
+      auto object = store_.get(f.path);
+      if (object) {
+        resolved.initial[node.id.value()][port] = object->value;
+      } else if (options.real_kernels && resolved.kernels[node.id.value()]) {
+        return common::Error{common::ErrorCode::kNotFound,
+                             "input object missing from store: " + f.path +
+                                 " (task " + node.instance_name + ")"};
+      }
+    }
+  }
+  return resolved;
 }
 
 common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_plan(
@@ -339,49 +613,17 @@ common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_plan(
   if (auto tasks_ok = validate_tasks(graph, session); !tasks_ok.ok()) {
     return tasks_ok.error();
   }
-
-  // Resolve per-task performance records and kernels.
-  std::vector<db::TaskPerfRecord> perf;
-  std::vector<tasklib::Kernel> kernels(graph.task_count());
-  perf.reserve(graph.task_count());
-  for (const afg::TaskNode& node : graph.tasks()) {
-    auto record = sched::resolve_perf(node, repo(session.site).tasks());
-    if (!record) return record.error();
-    perf.push_back(std::move(*record));
-    if (options.real_kernels) {
-      auto impl = registry_.find(node.task_name);
-      if (impl && impl->kernel) kernels[node.id.value()] = impl->kernel;
-    }
-  }
-
-  // Resolve non-dataflow file inputs through the I/O service's object
-  // store; a missing object is fine for timing-only tasks (the transfer is
-  // still charged at the declared size) but fatal when a real kernel needs
-  // the value.
-  std::unordered_map<std::uint32_t, std::unordered_map<int, tasklib::Value>>
-      initial;
-  for (const afg::TaskNode& node : graph.tasks()) {
-    for (int port = 0; port < node.in_ports(); ++port) {
-      const afg::FileSpec& f =
-          node.props.inputs[static_cast<std::size_t>(port)];
-      if (f.dataflow || f.path.empty()) continue;
-      auto object = store_.get(f.path);
-      if (object) {
-        initial[node.id.value()][port] = object->value;
-      } else if (options.real_kernels && kernels[node.id.value()]) {
-        return common::Error{common::ErrorCode::kNotFound,
-                             "input object missing from store: " + f.path +
-                                 " (task " + node.instance_name + ")"};
-      }
-    }
-  }
+  auto resolved = resolve_app_resources(graph, session, options);
+  if (!resolved) return resolved.error();
 
   common::AppId app(next_app_++);
   bool done = false;
   runtime::ExecutionReport report;
   site_manager(session.site)
-      .execute_application(app, graph, std::move(table), std::move(perf),
-                           std::move(kernels), std::move(initial),
+      .execute_application(app, graph, std::move(table),
+                           std::move(resolved->perf),
+                           std::move(resolved->kernels),
+                           std::move(resolved->initial),
                            [&done, &report](runtime::ExecutionReport r) {
                              report = std::move(r);
                              done = true;

@@ -21,9 +21,11 @@
 // recovery, and returns the ExecutionReport.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "afg/graph.hpp"
@@ -45,6 +47,7 @@
 #include "sched/site_scheduler.hpp"
 #include "sim/engine.hpp"
 #include "tasklib/registry.hpp"
+#include "tenancy/tenancy.hpp"
 
 namespace vdce {
 
@@ -66,6 +69,10 @@ namespace vdce {
 //   kNoFeasibleResource  — scheduling found no machine satisfying the
 //                          task's constraints, or admission control
 //                          rejected the deadline.
+//   kQuotaExceeded       — multi-tenant admission control turned a
+//                          submission away: the user's quota or the global
+//                          admission-queue bound is exhausted (retry after
+//                          in-flight applications finish).
 //   kHostDown            — a required host is down right now.
 //   kTimeout             — a synchronous wait exceeded
 //                          EnvironmentOptions::sync_timeout.
@@ -117,6 +124,12 @@ struct EnvironmentOptions {
   /// produce byte-identical fault/recovery traces — see
   /// docs/FAULT_INJECTION.md.  Inspect the injector via env.chaos().
   chaos::FaultPlan faults;
+
+  /// Multi-tenant admission control for the asynchronous submission API
+  /// (docs/TENANCY.md): concurrent-application bound, per-user quotas, and
+  /// the FIFO/priority admission order.  The defaults never reject a
+  /// sequential caller, so run_application() behaves as before.
+  tenancy::TenancyOptions tenancy;
 };
 
 struct RunOptions {
@@ -129,6 +142,25 @@ struct RunOptions {
   /// estimated schedule length already exceeds the deadline (the user can
   /// retry with a wider access domain or fewer constraints).
   bool enforce_admission = false;
+};
+
+/// Opaque ticket for an asynchronous submission (docs/TENANCY.md).  Returned
+/// by submit_application(); redeem it with wait() / report(), or finish the
+/// whole fleet with drain().
+struct AppHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const noexcept { return id != 0; }
+};
+
+/// Where a submission currently is in the admission -> schedule -> execute
+/// pipeline.
+enum class AppState {
+  kQueued,      ///< accepted, waiting for an admission slot
+  kScheduling,  ///< admitted; Fig. 2 scheduling in flight
+  kDeferred,    ///< every candidate machine was held by concurrent apps;
+                ///< re-queued, retries after the next completion
+  kExecuting,   ///< allocation table decided; Fig. 4 execution in flight
+  kFinished,    ///< terminal — wait()/report() return the result
 };
 
 /// Convenience bring-up of a generated grid-scale deployment (the scale
@@ -248,9 +280,50 @@ class VdceEnvironment {
       const afg::Afg& graph, const Session& session,
       sched::SiteSchedulerOptions options = {});
 
-  /// Full pipeline: schedule, distribute, execute, report.
+  /// Full pipeline: schedule, distribute, execute, report.  Implemented as
+  /// submit_application() + wait(), so a solo run takes exactly the same
+  /// simulated path as a single-submission fleet (tests/test_tenancy.cpp
+  /// proves the equivalence differentially).
   common::Expected<runtime::ExecutionReport> run_application(
       const afg::Afg& graph, const Session& session, RunOptions options = {});
+
+  // --- multi-tenant asynchronous submission (docs/TENANCY.md) -------------
+  /// Enter a submission into the admission queue and return immediately (no
+  /// simulated time passes).  Typed rejections: kQuotaExceeded (user quota
+  /// or queue bound), kNotFound (unknown user or task), kInvalidArgument /
+  /// kCycleDetected (malformed graph).  The pipeline advances whenever the
+  /// engine runs — wait(), drain(), or run_for().
+  common::Expected<AppHandle> submit_application(const afg::Afg& graph,
+                                                 const Session& session,
+                                                 RunOptions options = {});
+
+  /// Drive simulated time until `handle`'s submission is terminal; returns
+  /// its ExecutionReport (or the schedule/admission error that stopped it).
+  /// Idempotent — a second wait() on a finished handle returns the same
+  /// result without advancing time.
+  common::Expected<runtime::ExecutionReport> wait(AppHandle handle);
+
+  /// Drive simulated time until every submission is terminal.  Results stay
+  /// available through wait()/report().
+  common::Status drain();
+
+  /// Non-blocking result fetch: the report if `handle` is terminal,
+  /// kInvalidArgument if it is still in flight, kNotFound for an unknown
+  /// handle.
+  [[nodiscard]] common::Expected<runtime::ExecutionReport> report(
+      AppHandle handle) const;
+
+  /// Pipeline position of a submission.
+  [[nodiscard]] common::Expected<AppState> app_state(AppHandle handle) const;
+
+  /// Admission-control counters (submissions, rejections, deferrals, peaks).
+  [[nodiscard]] const tenancy::TenancyStats& tenancy_stats() const noexcept {
+    return admission_.stats();
+  }
+  /// Submissions accepted but not yet terminal.
+  [[nodiscard]] std::size_t in_flight_submissions() const noexcept {
+    return active_submissions_;
+  }
 
   /// Execute a graph with an externally supplied allocation table (used by
   /// benches comparing schedulers on identical runtimes).
@@ -272,6 +345,46 @@ class VdceEnvironment {
   make_scale_environment(const ScaleSpec& spec);
 
  private:
+  /// Per-task artifacts an execution needs, resolved from the session
+  /// site's databases, the kernel registry, and the user object store.
+  struct ResolvedApp {
+    std::vector<db::TaskPerfRecord> perf;
+    std::vector<tasklib::Kernel> kernels;
+    std::unordered_map<std::uint32_t, std::unordered_map<int, tasklib::Value>>
+        initial;
+  };
+  common::Expected<ResolvedApp> resolve_app_resources(const afg::Afg& graph,
+                                                      const Session& session,
+                                                      const RunOptions& options);
+
+  /// One asynchronous submission moving through the pipeline.  Slots are
+  /// heap-allocated and never erased, so `terminal` is a stable flag
+  /// drive_until() can watch and results stay queryable after completion.
+  struct SubmissionSlot {
+    AppHandle handle;
+    Session session;
+    std::shared_ptr<const afg::Afg> graph;
+    RunOptions options;
+    AppState state = AppState::kQueued;
+    common::SimTime enqueued = 0;
+    common::SimTime admitted = 0;
+    common::SimDuration scheduling_time = 0;
+    common::AppId sched_app;  ///< id of the latest scheduling round
+    common::AppId exec_app;   ///< id of the execution (valid once executing)
+    common::Expected<runtime::ExecutionReport> result =
+        common::Error{common::ErrorCode::kInternal, "submission in flight"};
+    bool terminal = false;
+  };
+
+  /// Admit queued submissions while the controller allows, issuing their
+  /// scheduling rounds.  Runs at submit time and after every completion.
+  void pump_submissions();
+  void on_scheduled(std::uint64_t handle,
+                    common::Expected<sched::ResourceAllocationTable> table);
+  void on_executed(std::uint64_t handle, runtime::ExecutionReport report);
+  void finalize_submission(SubmissionSlot& slot,
+                           common::Expected<runtime::ExecutionReport> result);
+
   common::Expected<runtime::ExecutionReport> execute_plan(
       const afg::Afg& graph, sched::ResourceAllocationTable table,
       const Session& session, const RunOptions& options);
@@ -304,6 +417,12 @@ class VdceEnvironment {
   std::unique_ptr<chaos::ChaosInjector> chaos_;
   bool up_ = false;
   common::AppId::value_type next_app_ = 0;
+
+  // --- multi-tenant submission pipeline (docs/TENANCY.md) -----------------
+  tenancy::AdmissionController admission_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<SubmissionSlot>> slots_;
+  std::uint64_t next_handle_ = 0;
+  std::size_t active_submissions_ = 0;
 };
 
 }  // namespace vdce

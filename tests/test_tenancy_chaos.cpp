@@ -1,0 +1,185 @@
+// chaos × tenancy — fault isolation across concurrent applications
+// (docs/TENANCY.md, docs/FAULT_INJECTION.md).
+//
+// Host-exclusive co-scheduling means a machine failure is a *tenant-local*
+// event: the reservation table guarantees the crashed host was executing at
+// most one application, so only that application should pay recovery.  The
+// suite crashes a host while a three-app fleet is in flight and asserts
+// exactly that — the victim survives through rescheduling, the bystanders'
+// reports show zero recoveries — and that the whole scenario, faults and
+// all, replays byte-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "editor/builder.hpp"
+#include "vdce/environment.hpp"
+#include "vdce/testbed.hpp"
+
+namespace vdce {
+namespace {
+
+/// A small fan-out/fan-in app whose body runs long enough for a mid-flight
+/// crash to land inside task execution.
+afg::Afg fleet_app(const std::string& name, double mflop) {
+  editor::AppBuilder app(name);
+  auto head = app.task("head", "synthetic.w400").output_data(5e4);
+  auto tail = app.task("tail", "synthetic.w300");
+  for (int i = 0; i < 3; ++i) {
+    auto body = app.task("body" + std::to_string(i),
+                         "synthetic.w" + std::to_string(
+                             static_cast<long long>(mflop)))
+                    .output_data(5e4);
+    EXPECT_TRUE(app.link(head, body).has_value());
+    EXPECT_TRUE(app.link(body, tail).has_value());
+  }
+  return app.build().value();
+}
+
+struct FleetRun {
+  std::vector<runtime::ExecutionReport> reports;  ///< submission order
+  std::string trace_jsonl;
+};
+
+/// Bring up the campus pair, submit the three-app fleet from three users,
+/// and drain.  When `plan` is non-empty it is armed before bring-up.
+FleetRun run_fleet(chaos::FaultPlan plan) {
+  EnvironmentOptions options;
+  options.runtime.exec_noise_cv = 0.0;
+  options.runtime.echo_period = 0.5;
+  options.runtime.progress_period = 1.0;
+  options.trace.enabled = true;
+  options.faults = std::move(plan);
+  VdceEnvironment env(make_campus_pair(19), options);
+  env.bring_up();
+
+  FleetRun result;
+  std::vector<AppHandle> handles;
+  for (int u = 0; u < 3; ++u) {
+    const std::string user = "user" + std::to_string(u);
+    EXPECT_TRUE(env.try_add_user(user, "p").ok());
+    Session session = env.login(common::SiteId(0), user, "p").value();
+    RunOptions run;
+    run.real_kernels = false;
+    auto handle = env.submit_application(
+        fleet_app("fleet" + std::to_string(u), 2500.0 + 500.0 * u), session,
+        run);
+    EXPECT_TRUE(handle.has_value()) << handle.error().to_string();
+    if (handle) handles.push_back(*handle);
+  }
+  EXPECT_TRUE(env.drain().ok());
+  for (AppHandle h : handles) {
+    auto report = env.report(h);
+    EXPECT_TRUE(report.has_value()) << report.error().to_string();
+    if (report) result.reports.push_back(std::move(*report));
+  }
+  result.trace_jsonl = env.trace().to_jsonl();
+  return result;
+}
+
+/// The host to crash and when: from a fault-free control run, pick a task
+/// interval long enough to aim a crash into its middle, on a host that is
+/// not a site server (crashing a Site Manager is a different scenario).
+struct CrashTarget {
+  std::uint32_t host = 0;
+  std::uint32_t app = 0;  ///< the application executing there
+  double at = 0.0;
+};
+
+CrashTarget pick_target(const FleetRun& control) {
+  // The control run's reports carry (host, interval) pairs to choose from;
+  // exclude the sites' server machines (crashing a Site Manager is a
+  // different scenario, covered by test_chaos_cascade).
+  std::vector<std::uint32_t> servers;
+  const net::Topology topo = make_campus_pair(19);
+  for (const net::Site& s : topo.sites()) servers.push_back(s.server.value());
+  auto is_server = [&](std::uint32_t h) {
+    return std::find(servers.begin(), servers.end(), h) != servers.end();
+  };
+  CrashTarget best;
+  double best_span = 0.0;
+  for (const runtime::ExecutionReport& r : control.reports) {
+    for (const runtime::TaskOutcome& o : r.outcomes) {
+      const double span = o.finished - o.started;
+      if (span > best_span && !is_server(o.host.value())) {
+        best_span = span;
+        best.host = o.host.value();
+        best.app = r.app.value();
+        best.at = o.started + span / 2.0;
+      }
+    }
+  }
+  EXPECT_GT(best_span, 0.0) << "control run produced no usable interval";
+  return best;
+}
+
+/// Recovery actions attributable to a machine failure (load-driven overload
+/// reschedules and stall resends are ordinary concurrent-execution dynamics
+/// and happen with no faults armed at all).
+std::size_t host_down_recoveries(const runtime::ExecutionReport& r) {
+  std::size_t n = 0;
+  for (const runtime::RecoveryEvent& e : r.recoveries) {
+    if (e.reason == "host_down" || e.reason == "cascade") ++n;
+  }
+  return n;
+}
+
+TEST(TenancyChaos, OnlyAppsOnTheFailedHostPayRecovery) {
+  const FleetRun control = run_fleet(chaos::FaultPlan{});
+  ASSERT_EQ(control.reports.size(), 3u);
+  for (const runtime::ExecutionReport& r : control.reports) {
+    ASSERT_TRUE(r.success) << r.failure_reason;
+    EXPECT_EQ(r.failures_survived, 0);
+    EXPECT_EQ(host_down_recoveries(r), 0u);
+  }
+  const CrashTarget target = pick_target(control);
+
+  chaos::FaultPlan plan;
+  plan.name("tenancy-crash").seed(3).crash(common::HostId(target.host),
+                                           target.at, 120.0);
+  const FleetRun faulted = run_fleet(std::move(plan));
+  ASSERT_EQ(faulted.reports.size(), 3u);
+
+  bool victim_seen = false;
+  for (const runtime::ExecutionReport& r : faulted.reports) {
+    ASSERT_TRUE(r.success) << r.failure_reason;
+    if (r.app.value() == target.app) {
+      // The victim survives the crash through recovery...
+      victim_seen = true;
+      EXPECT_GE(r.failures_survived, 1) << "crash missed the victim";
+      EXPECT_GE(host_down_recoveries(r), 1u);
+    } else {
+      // ...and fault isolation holds: the host was reserved exclusively
+      // for the victim, so no bystander pays for the machine failure.
+      EXPECT_EQ(r.failures_survived, 0)
+          << "app " << r.app.value() << " paid for a foreign host's crash";
+      EXPECT_EQ(host_down_recoveries(r), 0u)
+          << "app " << r.app.value() << " recovered from a foreign fault";
+    }
+  }
+  EXPECT_TRUE(victim_seen);
+}
+
+TEST(TenancyChaos, FaultedFleetReplaysByteIdentically) {
+  const FleetRun control = run_fleet(chaos::FaultPlan{});
+  ASSERT_EQ(control.reports.size(), 3u);
+  const CrashTarget target = pick_target(control);
+
+  auto make_plan = [&] {
+    chaos::FaultPlan plan;
+    plan.name("tenancy-replay").seed(3).crash(common::HostId(target.host),
+                                              target.at, 120.0);
+    return plan;
+  };
+  const FleetRun first = run_fleet(make_plan());
+  const FleetRun second = run_fleet(make_plan());
+  ASSERT_FALSE(first.trace_jsonl.empty());
+  EXPECT_EQ(first.trace_jsonl, second.trace_jsonl);
+}
+
+}  // namespace
+}  // namespace vdce
