@@ -1,0 +1,244 @@
+// E-strategies — the scheduler-strategy plane: a strategy × staleness ×
+// workload sensitivity grid over the live simulated runtime.
+//
+// Every strategy registered with vdce::sched (docs/SCHEDULING.md) runs the
+// same workload corpus end-to-end — submission, Fig. 2 bid gathering,
+// placement, simulated execution — under three monitoring-staleness
+// settings:
+//
+//   fresh      monitor_period = 1 s, no stale penalty (repository data is
+//              current; the strategies compete on placement quality alone)
+//   stale-30   monitor_period = 30 s, stale_after = 60 s (bids are priced
+//              on sample data up to 30 s old; the availability-aware
+//              objective starts discounting muted hosts)
+//   stale-120  monitor_period = 120 s, stale_after = 240 s (the monitor is
+//              effectively decoupled from the background-load process)
+//
+// Background load is on so staleness matters: the ground truth drifts
+// between monitor samples and a strategy that chases old data pays for it
+// in makespan.  Per cell the bench records the mean makespan and the summed
+// critical-path phase decomposition (startup/compute/transfer/wait/
+// recovery/completion, obs::causal) so a regression is attributable to a
+// phase, not just a number.  Emits JSON on stdout and to
+// BENCH_STRATEGIES.json for CI artifact upload.
+//
+// Flags:
+//   --smoke   fewer/smaller workloads (CI per-commit signal)
+//   --check   exit non-zero unless every run succeeded, at least eight
+//             strategies were measured, and every run's critical path tiled
+//             its makespan
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "obs/causal.hpp"
+#include "scale/generate.hpp"
+#include "sched/strategy.hpp"
+#include "vdce/environment.hpp"
+
+namespace {
+
+using namespace vdce;
+
+std::string json_num(double v) { return common::format_double(v, 4); }
+
+struct StalenessSetting {
+  const char* label;
+  common::SimDuration monitor_period;
+  common::SimDuration stale_after;  ///< 0 disables the scheduling penalty
+};
+
+struct WorkloadCase {
+  std::size_t tasks;
+  std::size_t width;
+  std::uint64_t seed;
+};
+
+struct Cell {
+  std::size_t cases = 0;
+  std::size_t successes = 0;
+  double makespan_sum = 0.0;
+  double scheduling_sum = 0.0;
+  obs::causal::PhaseTotals phases;  ///< summed across the cell's runs
+  bool tiled = true;                ///< phases.total() == makespan, per run
+};
+
+afg::Afg make_case(const WorkloadCase& wc) {
+  scale::WorkloadSpec w;
+  w.shape = scale::WorkloadShape::kLayered;
+  w.tasks = wc.tasks;
+  w.width = wc.width;
+  w.edge_density = 0.4;
+  w.seed = wc.seed;
+  return scale::make_workload(w, "strategy-grid");
+}
+
+Cell run_cell(const std::string& strategy, const StalenessSetting& stale,
+              const std::vector<WorkloadCase>& cases) {
+  Cell cell;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    // A fresh environment per run: every (strategy, staleness, case) cell
+    // sees the same topology seed, arrival state, and background-load
+    // process, so cells differ only in the axis under study.
+    EnvironmentOptions options;
+    options.background_load = true;
+    options.runtime.monitor_period = stale.monitor_period;
+    options.runtime.exec_noise_cv = 0.0;  // deterministic, comparable cells
+    scale::GridSpec g;
+    g.sites = 4;
+    g.hosts_per_site = 6;
+    g.seed = 33 + i;
+    VdceEnvironment env(scale::make_grid(g), options);
+    if (!env.try_bring_up().ok()) return cell;
+    env.add_user("bench", "bench");
+    auto session = env.login(common::SiteId(0), "bench", "bench");
+    if (!session) return cell;
+
+    RunOptions run;
+    run.real_kernels = false;
+    run.sched.strategy = strategy;
+    run.sched.stale_after = stale.stale_after;
+    auto report = env.run_application(make_case(cases[i]), *session, run);
+    ++cell.cases;
+    if (!report || !report->success) {
+      std::fprintf(stderr, "run failed: strategy=%s staleness=%s case=%zu%s\n",
+                   strategy.c_str(), stale.label, i,
+                   report ? "" : (": " + report.error().to_string()).c_str());
+      continue;
+    }
+    ++cell.successes;
+    cell.makespan_sum += report->makespan();
+    cell.scheduling_sum += report->scheduling_time;
+    const obs::causal::CriticalPath cp = report->critical_path();
+    if (std::abs(cp.phases.total() - report->makespan()) > 1e-6) {
+      cell.tiled = false;
+    }
+    cell.phases.startup += cp.phases.startup;
+    cell.phases.compute += cp.phases.compute;
+    cell.phases.transfer += cp.phases.transfer;
+    cell.phases.wait += cp.phases.wait;
+    cell.phases.recovery += cp.phases.recovery;
+    cell.phases.completion += cp.phases.completion;
+  }
+  return cell;
+}
+
+std::string phases_json(const obs::causal::PhaseTotals& p) {
+  return "{\"startup\":" + json_num(p.startup) +
+         ",\"compute\":" + json_num(p.compute) +
+         ",\"transfer\":" + json_num(p.transfer) +
+         ",\"wait\":" + json_num(p.wait) +
+         ",\"recovery\":" + json_num(p.recovery) +
+         ",\"completion\":" + json_num(p.completion) +
+         ",\"total\":" + json_num(p.total()) + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  bench::print_title("E-strategies",
+                     "strategy x staleness sensitivity grid (live runtime)");
+  bench::print_note(smoke ? "mode: smoke (2 workloads per cell)"
+                          : "mode: full (4 workloads per cell)");
+
+  const std::vector<StalenessSetting> staleness = {
+      {"fresh", 1.0, 0.0},
+      {"stale-30", 30.0, 60.0},
+      {"stale-120", 120.0, 240.0},
+  };
+  const std::vector<WorkloadCase> cases =
+      smoke ? std::vector<WorkloadCase>{{16, 4, 1201}, {24, 6, 1202}}
+            : std::vector<WorkloadCase>{
+                  {16, 4, 1201}, {24, 6, 1202}, {40, 8, 1203}, {64, 8, 1204}};
+
+  const std::vector<sched::StrategyInfo> strategies = sched::strategies();
+
+  bool all_success = true;
+  bool all_tiled = true;
+  std::string json = "{\"bench\":\"strategies\",\"mode\":\"";
+  json += smoke ? "smoke" : "full";
+  json += "\",\"strategy_count\":" + std::to_string(strategies.size());
+  json += ",\"staleness_settings\":[";
+  for (std::size_t i = 0; i < staleness.size(); ++i) {
+    if (i) json += ",";
+    json += "{\"label\":\"" + std::string(staleness[i].label) +
+            "\",\"monitor_period_s\":" + json_num(staleness[i].monitor_period) +
+            ",\"stale_after_s\":" + json_num(staleness[i].stale_after) + "}";
+  }
+  json += "],\"grid\":[";
+
+  bench::Table table({"strategy", "staleness", "ok", "mean_makespan_s",
+                      "mean_sched_s", "cp_compute_s", "cp_transfer_s",
+                      "cp_wait_s"});
+  bool first = true;
+  for (const sched::StrategyInfo& info : strategies) {
+    for (const StalenessSetting& stale : staleness) {
+      const Cell cell = run_cell(info.name, stale, cases);
+      const bool ok = cell.successes == cases.size() && cell.cases == cases.size();
+      all_success = all_success && ok;
+      all_tiled = all_tiled && cell.tiled;
+      const double n = cell.successes ? double(cell.successes) : 1.0;
+      table.add_row({info.name, stale.label,
+                     ok ? std::to_string(cell.successes) + "/" +
+                              std::to_string(cases.size())
+                        : "FAIL",
+                     bench::Table::num(cell.makespan_sum / n),
+                     bench::Table::num(cell.scheduling_sum / n),
+                     bench::Table::num(cell.phases.compute / n),
+                     bench::Table::num(cell.phases.transfer / n),
+                     bench::Table::num(cell.phases.wait / n)});
+      if (!first) json += ",";
+      first = false;
+      json += "{\"strategy\":\"" + info.name + "\",\"staleness\":\"" +
+              stale.label + "\",\"cases\":" + std::to_string(cell.cases) +
+              ",\"successes\":" + std::to_string(cell.successes) +
+              ",\"mean_makespan_s\":" + json_num(cell.makespan_sum / n) +
+              ",\"mean_scheduling_s\":" + json_num(cell.scheduling_sum / n) +
+              ",\"critical_path_phases\":" + phases_json(cell.phases) +
+              ",\"tiled\":" + (cell.tiled ? "true" : "false") + "}";
+    }
+  }
+  json += "],\"all_success\":";
+  json += all_success ? "true" : "false";
+  json += ",\"all_tiled\":";
+  json += all_tiled ? "true" : "false";
+  json += "}";
+  table.print();
+
+  std::printf("\n%s\n", json.c_str());
+  if (FILE* f = std::fopen("BENCH_STRATEGIES.json", "w")) {
+    std::fprintf(f, "%s\n", json.c_str());
+    std::fclose(f);
+  }
+
+  if (check) {
+    if (strategies.size() < 8) {
+      std::fprintf(stderr, "CHECK FAILED: only %zu strategies registered\n",
+                   strategies.size());
+      return 1;
+    }
+    if (!all_success) {
+      std::fprintf(stderr, "CHECK FAILED: at least one grid run failed\n");
+      return 1;
+    }
+    if (!all_tiled) {
+      std::fprintf(stderr,
+                   "CHECK FAILED: a critical path did not tile its makespan\n");
+      return 1;
+    }
+    std::printf("check: ok (%zu strategies x %zu staleness settings, all "
+                "runs succeeded)\n",
+                strategies.size(), staleness.size());
+  }
+  return 0;
+}

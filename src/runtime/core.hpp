@@ -63,6 +63,11 @@ struct RuntimeOptions {
   /// host-selection outputs have arrived once this much simulated time has
   /// passed (a dead or unreachable remote site must not hang scheduling).
   common::SimDuration bid_timeout = 2.0;
+  /// Test-only escape hatch: bypass the strategy registry and call the VDCE
+  /// assignment phase directly, exactly as the pre-registry coordinator did.
+  /// Exists so the strategies differential suite can prove the registry
+  /// dispatch bit-identical to the frozen path; never set it in real runs.
+  bool legacy_direct_assign = false;
   std::uint64_t seed = 1234;
 };
 

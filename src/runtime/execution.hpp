@@ -47,6 +47,10 @@ struct RecoveryEvent {
 struct ExecutionReport {
   common::AppId app;
   std::string app_name;
+  /// Name of the scheduling strategy that produced the allocation table
+  /// (ResourceAllocationTable::scheduler_name); empty for reports assembled
+  /// before any table existed.
+  std::string scheduler;
   bool success = false;
   std::string failure_reason;
 

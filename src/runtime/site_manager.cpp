@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "sched/host_selection.hpp"
+#include "sched/strategy.hpp"
 
 namespace vdce::runtime {
 
@@ -300,12 +301,25 @@ void SiteManager::finish_schedule(std::uint32_t app_value) {
         .add(core_.now() - pending.started);
   }
   auto ctx = make_context(common::AppId(app_value));
-  auto result = sched::assign_with_outputs(
-      *pending.graph, ctx, outputs, pending.options,
-      pending.options.objective == sched::SiteObjective::kPaperObjective
-          ? "vdce-level-paper"
-          : "vdce-level");
-  pending.callback(std::move(result));
+  if (core_.options().legacy_direct_assign) {
+    // Frozen pre-registry dispatch, kept verbatim so the strategies
+    // differential suite can pin the registry path against it.
+    auto result = sched::assign_with_outputs(
+        *pending.graph, ctx, outputs, pending.options,
+        pending.options.objective == sched::SiteObjective::kPaperObjective
+            ? "vdce-level-paper"
+            : "vdce-level");
+    pending.callback(std::move(result));
+    return;
+  }
+  auto strategy = sched::make_strategy(pending.options);
+  if (!strategy) {
+    // The environment validates policies at bring-up and submission, so
+    // reaching this means a direct caller bypassed validation.
+    pending.callback(strategy.error());
+    return;
+  }
+  pending.callback((*strategy)->assign(*pending.graph, ctx, outputs));
 }
 
 // ---- execution coordination (Fig. 4) ----------------------------------------
@@ -838,6 +852,7 @@ void SiteManager::complete_app(ActiveApp& app, bool success,
   ExecutionReport report;
   report.app = app.plan->app;
   report.app_name = app.plan->graph.name();
+  report.scheduler = app.plan->rat.scheduler_name;
   report.success = success;
   report.failure_reason = reason;
   report.submitted = app.submitted;

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "sched/heft.hpp"
+#include "sched/list_variants.hpp"
 #include "sched/site_scheduler.hpp"
 
 namespace vdce::sched {
@@ -103,6 +104,103 @@ common::Expected<ResourceAllocationTable> run_baseline(
   return builder.build(graph.name(), scheduler_name);
 }
 
+/// Shared min-min / max-min batch driver: each step computes, for every
+/// ready task, its best (minimum-completion-time) option, then places the
+/// task whose best completion is smallest (min-min) or largest (max-min).
+/// Ties break toward the lower task id in both flavours.
+common::Expected<ResourceAllocationTable> run_batch_heuristic(
+    const afg::Afg& graph, const SchedulerContext& context,
+    const std::string& scheduler_name, bool prefer_largest) {
+  auto valid = graph.validate();
+  if (!valid.ok()) return valid.error();
+
+  const auto sites = candidate_sites(context);
+  const db::SiteRepository& local_repo = context.repo(context.local_site);
+  ScheduleBuilder builder(graph, *context.topology);
+  const common::HostId staging = context.topology->site(context.local_site).server;
+
+  std::vector<afg::TaskId> ready = graph.entry_tasks();
+  std::size_t placed = 0;
+
+  while (!ready.empty()) {
+    struct Choice {
+      afg::TaskId task;
+      common::SiteId site;
+      std::vector<common::HostId> hosts;
+      common::SimDuration predicted = 0.0;
+      common::SimTime finish = 0.0;
+      bool valid = false;
+    };
+    Choice overall;
+
+    for (afg::TaskId task : ready) {
+      const afg::TaskNode& node = graph.task(task);
+      auto perf = resolve_perf(node, local_repo.tasks());
+      if (!perf) return perf.error();
+
+      Choice best_for_task;
+      if (node.props.mode == afg::ComputationMode::kParallel &&
+          node.props.num_nodes > 1) {
+        auto bid = parallel_bid(node, *perf, sites, context);
+        if (!bid) return bid.error();
+        best_for_task = Choice{task, bid->site, bid->hosts, bid->predicted,
+                               builder.earliest_start(task, bid->hosts, staging) +
+                                   bid->predicted,
+                               true};
+      } else {
+        auto options = sequential_options(node, *perf, sites, context);
+        if (!options) return options.error();
+        for (const Option& o : *options) {
+          std::vector<common::HostId> hs{o.host.record.host};
+          common::SimTime finish =
+              builder.earliest_start(task, hs, staging) + o.host.predicted;
+          if (!best_for_task.valid || finish < best_for_task.finish) {
+            best_for_task =
+                Choice{task, o.site, hs, o.host.predicted, finish, true};
+          }
+        }
+      }
+      assert(best_for_task.valid);
+      bool wins;
+      if (!overall.valid) {
+        wins = true;
+      } else if (best_for_task.finish != overall.finish) {
+        wins = prefer_largest ? best_for_task.finish > overall.finish
+                              : best_for_task.finish < overall.finish;
+      } else {
+        wins = best_for_task.task < overall.task;
+      }
+      if (wins) overall = std::move(best_for_task);
+    }
+
+    builder.place(overall.task, overall.site, overall.hosts, overall.predicted,
+                  staging);
+    ++placed;
+    ready.erase(std::find(ready.begin(), ready.end(), overall.task));
+    for (afg::TaskId child : graph.children(overall.task)) {
+      bool all_placed = true;
+      for (afg::TaskId p : graph.parents(child)) {
+        if (!builder.placed(p)) {
+          all_placed = false;
+          break;
+        }
+      }
+      if (all_placed &&
+          std::find(ready.begin(), ready.end(), child) == ready.end()) {
+        ready.push_back(child);
+      }
+    }
+  }
+
+  if (placed != graph.task_count()) {
+    return common::Error{common::ErrorCode::kInternal,
+                         scheduler_name + " placed " + std::to_string(placed) +
+                             " of " + std::to_string(graph.task_count()) +
+                             " tasks"};
+  }
+  return builder.build(graph.name(), scheduler_name);
+}
+
 }  // namespace
 
 common::Expected<ResourceAllocationTable> RandomScheduler::schedule(
@@ -161,91 +259,14 @@ common::Expected<ResourceAllocationTable> MinLoadScheduler::schedule(
 
 common::Expected<ResourceAllocationTable> MinMinScheduler::schedule(
     const afg::Afg& graph, const SchedulerContext& context) {
-  // Min-min needs its own driver: it reorders the ready set each step.
-  auto valid = graph.validate();
-  if (!valid.ok()) return valid.error();
+  // The batch heuristics need their own driver: they reorder the ready set
+  // each step.
+  return run_batch_heuristic(graph, context, name(), /*prefer_largest=*/false);
+}
 
-  const auto sites = candidate_sites(context);
-  const db::SiteRepository& local_repo = context.repo(context.local_site);
-  ScheduleBuilder builder(graph, *context.topology);
-  const common::HostId staging = context.topology->site(context.local_site).server;
-
-  std::vector<afg::TaskId> ready = graph.entry_tasks();
-  std::size_t placed = 0;
-
-  while (!ready.empty()) {
-    // For each ready task find its minimum completion time option, then
-    // place the task whose minimum is smallest.
-    struct Choice {
-      afg::TaskId task;
-      common::SiteId site;
-      std::vector<common::HostId> hosts;
-      common::SimDuration predicted = 0.0;
-      common::SimTime finish = 0.0;
-      bool valid = false;
-    };
-    Choice overall;
-
-    for (afg::TaskId task : ready) {
-      const afg::TaskNode& node = graph.task(task);
-      auto perf = resolve_perf(node, local_repo.tasks());
-      if (!perf) return perf.error();
-
-      Choice best_for_task;
-      if (node.props.mode == afg::ComputationMode::kParallel &&
-          node.props.num_nodes > 1) {
-        auto bid = parallel_bid(node, *perf, sites, context);
-        if (!bid) return bid.error();
-        best_for_task = Choice{task, bid->site, bid->hosts, bid->predicted,
-                               builder.earliest_start(task, bid->hosts, staging) +
-                                   bid->predicted,
-                               true};
-      } else {
-        auto options = sequential_options(node, *perf, sites, context);
-        if (!options) return options.error();
-        for (const Option& o : *options) {
-          std::vector<common::HostId> hs{o.host.record.host};
-          common::SimTime finish =
-              builder.earliest_start(task, hs, staging) + o.host.predicted;
-          if (!best_for_task.valid || finish < best_for_task.finish) {
-            best_for_task =
-                Choice{task, o.site, hs, o.host.predicted, finish, true};
-          }
-        }
-      }
-      assert(best_for_task.valid);
-      if (!overall.valid || best_for_task.finish < overall.finish ||
-          (best_for_task.finish == overall.finish &&
-           best_for_task.task < overall.task)) {
-        overall = std::move(best_for_task);
-      }
-    }
-
-    builder.place(overall.task, overall.site, overall.hosts, overall.predicted,
-                  staging);
-    ++placed;
-    ready.erase(std::find(ready.begin(), ready.end(), overall.task));
-    for (afg::TaskId child : graph.children(overall.task)) {
-      bool all_placed = true;
-      for (afg::TaskId p : graph.parents(child)) {
-        if (!builder.placed(p)) {
-          all_placed = false;
-          break;
-        }
-      }
-      if (all_placed &&
-          std::find(ready.begin(), ready.end(), child) == ready.end()) {
-        ready.push_back(child);
-      }
-    }
-  }
-
-  if (placed != graph.task_count()) {
-    return common::Error{common::ErrorCode::kInternal,
-                         "min-min placed " + std::to_string(placed) + " of " +
-                             std::to_string(graph.task_count()) + " tasks"};
-  }
-  return builder.build(graph.name(), name());
+common::Expected<ResourceAllocationTable> MaxMinScheduler::schedule(
+    const afg::Afg& graph, const SchedulerContext& context) {
+  return run_batch_heuristic(graph, context, name(), /*prefer_largest=*/true);
 }
 
 common::Expected<std::unique_ptr<Scheduler>> make_scheduler(
@@ -257,6 +278,12 @@ common::Expected<std::unique_ptr<Scheduler>> make_scheduler(
   if (name == "min-load") return std::unique_ptr<Scheduler>(new MinLoadScheduler());
   if (name == "heft") return std::unique_ptr<Scheduler>(new HeftScheduler());
   if (name == "min-min") return std::unique_ptr<Scheduler>(new MinMinScheduler());
+  if (name == "max-min") return std::unique_ptr<Scheduler>(new MaxMinScheduler());
+  if (name == "b-level") return std::unique_ptr<Scheduler>(new BLevelScheduler());
+  if (name == "t-level") return std::unique_ptr<Scheduler>(new TLevelScheduler());
+  if (name == "work-stealing") {
+    return std::unique_ptr<Scheduler>(new WorkStealingScheduler());
+  }
   if (name == "vdce-level") {
     return std::unique_ptr<Scheduler>(new VdceSiteScheduler());
   }

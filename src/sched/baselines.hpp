@@ -12,6 +12,10 @@
 //                          the prediction model.
 //  * MinMinScheduler     — classic min-min batch heuristic over ready
 //                          tasks: a strong prediction-driven comparator.
+//  * MaxMinScheduler     — max-min: same batch sweep, but the ready task
+//                          whose best completion time is *largest* goes
+//                          first, front-loading long tasks so they overlap
+//                          the many short ones.
 //  * local-only VDCE     — VdceSiteScheduler with AccessDomain::kLocalSite:
 //                          isolates the value of wide-area (k-site)
 //                          scheduling (E2).
@@ -59,6 +63,13 @@ class MinLoadScheduler final : public Scheduler {
 class MinMinScheduler final : public Scheduler {
  public:
   [[nodiscard]] std::string name() const override { return "min-min"; }
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+};
+
+class MaxMinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "max-min"; }
   common::Expected<ResourceAllocationTable> schedule(
       const afg::Afg& graph, const SchedulerContext& context) override;
 };

@@ -1,0 +1,72 @@
+// List-scheduling variants for the strategy-sensitivity plane
+// (docs/SCHEDULING.md, ROADMAP item 5 / Beránek et al., arXiv 2204.07211).
+//
+// The VDCE scheduler and HEFT are two points in the classic list-scheduling
+// design space (which rank orders the ready list? what does placement
+// minimize?).  These variants fill in the neighbouring points so the
+// strategy × staleness sensitivity grid (bench_strategies) can show how the
+// *family* degrades under imperfect resource information, not just one
+// member:
+//
+//  * BLevelScheduler ("b-level") — rank by bottom level (mean execution +
+//    communication to an exit node: HEFT's upward rank), placement by
+//    earliest finish over all feasible machines *without* HEFT's
+//    insertion — isolates the value of slot insertion.
+//  * TLevelScheduler ("t-level") — rank by smallest top level (longest
+//    mean path from an entry node, exclusive of the task itself): tasks
+//    that can start earliest go first, the ASAP companion to b-level.
+//  * WorkStealingScheduler ("work-stealing") — idle-worker pull: the
+//    highest-ranked ready task is stolen by whichever feasible machine can
+//    *start* it earliest, regardless of speed.  Models decentralized
+//    worker-pull systems where placement is availability-driven and
+//    speed-oblivious; the gap to b-level measures what prediction buys.
+//
+// MaxMinScheduler ("max-min", baselines.hpp) completes the set on the batch
+// side.  All variants share ScheduleBuilder bookkeeping and the Fig. 3
+// group rule for parallel tasks, so schedule lengths are directly
+// comparable with every other strategy.
+#pragma once
+
+#include <string>
+
+#include "sched/host_selection.hpp"
+#include "sched/policy.hpp"
+#include "sched/support.hpp"
+
+namespace vdce::sched {
+
+class BLevelScheduler final : public Scheduler {
+ public:
+  explicit BLevelScheduler(SchedulingPolicy policy = {}) : policy_(policy) {}
+  [[nodiscard]] std::string name() const override { return "b-level"; }
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+
+ private:
+  SchedulingPolicy policy_;
+};
+
+class TLevelScheduler final : public Scheduler {
+ public:
+  explicit TLevelScheduler(SchedulingPolicy policy = {}) : policy_(policy) {}
+  [[nodiscard]] std::string name() const override { return "t-level"; }
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+
+ private:
+  SchedulingPolicy policy_;
+};
+
+class WorkStealingScheduler final : public Scheduler {
+ public:
+  explicit WorkStealingScheduler(SchedulingPolicy policy = {})
+      : policy_(policy) {}
+  [[nodiscard]] std::string name() const override { return "work-stealing"; }
+  common::Expected<ResourceAllocationTable> schedule(
+      const afg::Afg& graph, const SchedulerContext& context) override;
+
+ private:
+  SchedulingPolicy policy_;
+};
+
+}  // namespace vdce::sched

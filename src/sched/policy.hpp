@@ -1,0 +1,81 @@
+// SchedulingPolicy — the value type users hand to the environment to say
+// *how* an application should be scheduled (docs/SCHEDULING.md).
+//
+// Historically the run options embedded the VDCE site scheduler's own
+// option struct, which hard-coded one algorithm family.  The policy object
+// decouples the *request* ("schedule this with HEFT, honour my access
+// domain, penalize stale samples") from the *implementation* (a
+// SchedulerStrategy resolved from the registry in sched/strategy.hpp), so
+// new strategy backends plug in without touching the runtime or the
+// environment API.
+//
+// Migration note: `SiteSchedulerOptions` (site_scheduler.hpp) is a
+// deprecated alias of this type — every pre-existing field kept its name
+// and default, so code written against the old struct compiles and behaves
+// unchanged.  New code should spell `SchedulingPolicy` and select the
+// algorithm with `policy.strategy`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+#include "db/user_accounts.hpp"
+
+namespace vdce::sched {
+
+/// Objective of the VDCE site scheduler family (ablation of Fig. 2 — see
+/// site_scheduler.hpp for the two fidelity modes):
+///  * kPaperObjective    — the literal Fig. 2 objective (transfer + static
+///    host-selection prediction, occupancy ignored);
+///  * kAvailabilityAware — re-rank candidates by earliest finish given
+///    current machine occupancy (default).
+enum class SiteObjective { kPaperObjective, kAvailabilityAware };
+
+/// Which task priority drives the ready-list (ablation of the §3 design
+/// choice "level of each node ... computation costs" — see
+/// bench_levels_ablation):
+///  * kPaperLevels — computation-only levels, the paper's rule;
+///  * kCommLevels  — levels including mean edge-transfer costs (upward
+///    rank, the HEFT-style refinement);
+///  * kFifo        — no levels: ready tasks in task-id order.
+enum class PriorityMode { kPaperLevels, kCommLevels, kFifo };
+
+/// How one application should be scheduled.
+struct SchedulingPolicy {
+  /// Registered strategy name (sched::strategies() lists them: "vdce-level",
+  /// "heft", "min-min", "max-min", "b-level", "t-level", "work-stealing",
+  /// ...).  Empty selects the default VDCE strategy implied by `objective`
+  /// ("vdce-level", or "vdce-level-paper" under kPaperObjective) — exactly
+  /// the pre-policy behaviour.  Unknown names are rejected with a typed
+  /// kInvalidArgument error before any scheduling work starts.
+  std::string strategy;
+
+  // --- tuning of the VDCE strategy family (ignored by strategies that have
+  // --- no equivalent knob; each strategy's description says which apply) --
+  SiteObjective objective = SiteObjective::kAvailabilityAware;
+  PriorityMode priority = PriorityMode::kPaperLevels;
+
+  /// Honour the user's access-domain restriction (local / neighbours /
+  /// global) when forming the candidate site set.  The environment clamps
+  /// this to the session account's domain.
+  db::AccessDomain access = db::AccessDomain::kGlobal;
+
+  /// Graceful degradation under stale monitoring data: a host whose last
+  /// repository sample is older than `stale_after` (relative to
+  /// SchedulerContext::now) has its predicted times multiplied by
+  /// `stale_penalty`, so fresh information wins ties and silently muted
+  /// monitors stop attracting work.  0 disables the check (default — the
+  /// offline planners have no meaningful clock).
+  common::SimDuration stale_after = 0.0;
+  double stale_penalty = 1.5;
+
+  /// Seed for strategies with randomized tie-breaking ("random").
+  std::uint64_t seed = 42;
+};
+
+/// The concrete strategy name `policy` resolves to: `policy.strategy` when
+/// set, otherwise the VDCE default implied by the objective.
+[[nodiscard]] std::string resolved_strategy_name(const SchedulingPolicy& policy);
+
+}  // namespace vdce::sched

@@ -33,37 +33,18 @@
 #include <string>
 
 #include "sched/host_selection.hpp"
+#include "sched/policy.hpp"
 #include "sched/schedule_builder.hpp"
 #include "sched/support.hpp"
 
 namespace vdce::sched {
 
-enum class SiteObjective { kPaperObjective, kAvailabilityAware };
-
-/// Which task priority drives the ready-list (ablation of the §3 design
-/// choice "level of each node ... computation costs" — see
-/// bench_levels_ablation):
-///  * kPaperLevels — computation-only levels, the paper's rule;
-///  * kCommLevels  — levels including mean edge-transfer costs (upward
-///    rank, the HEFT-style refinement);
-///  * kFifo        — no levels: ready tasks in task-id order.
-enum class PriorityMode { kPaperLevels, kCommLevels, kFifo };
-
-struct SiteSchedulerOptions {
-  SiteObjective objective = SiteObjective::kAvailabilityAware;
-  PriorityMode priority = PriorityMode::kPaperLevels;
-  /// Honour the user's access-domain restriction (local / neighbours /
-  /// global) when forming the candidate site set.
-  db::AccessDomain access = db::AccessDomain::kGlobal;
-  /// Graceful degradation under stale monitoring data: a host whose last
-  /// repository sample is older than `stale_after` (relative to
-  /// SchedulerContext::now) has its predicted times multiplied by
-  /// `stale_penalty`, so fresh information wins ties and silently muted
-  /// monitors stop attracting work.  0 disables the check (default — the
-  /// offline planners have no meaningful clock).
-  common::SimDuration stale_after = 0.0;
-  double stale_penalty = 1.5;
-};
+/// Deprecated alias: the scheduler-strategy plane replaced the raw option
+/// struct with the SchedulingPolicy value type (sched/policy.hpp).  Every
+/// pre-existing field kept its name and default, so code written against
+/// SiteSchedulerOptions compiles and behaves unchanged; new code should
+/// spell SchedulingPolicy and select algorithms via `policy.strategy`.
+using SiteSchedulerOptions = SchedulingPolicy;
 
 /// The assignment phase of Fig. 2 (steps 6-7), taking host-selection
 /// outputs that were already collected — locally by VdceSiteScheduler, or

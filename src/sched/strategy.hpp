@@ -1,0 +1,86 @@
+// SchedulerStrategy — the pluggable assignment backend of the live runtime
+// (docs/SCHEDULING.md).
+//
+// The Fig. 2 flow splits naturally in two: the *protocol* half (multicast
+// the AFG to the candidate sites, gather each site's host-selection output
+// over the fabric) and the *decision* half (turn those outputs into a
+// resource allocation table).  runtime/site_manager owns the protocol half;
+// the decision half used to be hard-coded to the VDCE assignment phase.
+// SchedulerStrategy is that decision half as an interface, resolved by name
+// from a registry, so HEFT, min-min, work-stealing — and later the ROADMAP
+// economy and decentralised backends — run on the real simulated runtime
+// instead of only in offline benches.
+//
+// Contract for assign():
+//  * `outputs` holds one HostSelectionOutput per candidate site, local site
+//    first — exactly what the runtime gathered.  Strategies that re-derive
+//    their own view (the offline planners wrapped by the adapter in
+//    strategy.cpp) may ignore it; they read the same live repositories
+//    through `context`, so the information base is identical.
+//  * The returned table's `scheduler_name` must equal name(), which is how
+//    ExecutionReport attributes the schedule.
+//  * Determinism: same graph + context + outputs must yield the same table
+//    (randomized strategies derive their RNG from the policy seed).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "afg/graph.hpp"
+#include "common/expected.hpp"
+#include "sched/host_selection.hpp"
+#include "sched/policy.hpp"
+#include "sched/support.hpp"
+#include "sched/types.hpp"
+
+namespace vdce::sched {
+
+/// The decision half of Fig. 2: host-selection outputs in, resource
+/// allocation table out.
+class SchedulerStrategy {
+ public:
+  virtual ~SchedulerStrategy() = default;
+
+  /// Registered name; also the `scheduler_name` of every table produced.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual common::Expected<ResourceAllocationTable> assign(
+      const afg::Afg& graph, const SchedulerContext& context,
+      const std::vector<HostSelectionOutput>& outputs) = 0;
+};
+
+/// Registry entry, as reported by strategies().
+struct StrategyInfo {
+  std::string name;
+  std::string description;
+};
+
+/// Builds a strategy instance configured by the (already validated) policy.
+using StrategyFactory =
+    std::function<std::unique_ptr<SchedulerStrategy>(const SchedulingPolicy&)>;
+
+/// Register a strategy under `info.name`.  Returns false (and changes
+/// nothing) if the name is already taken.  The built-in strategies are
+/// pre-registered; this hook is for out-of-tree backends.
+bool register_strategy(StrategyInfo info, StrategyFactory factory);
+
+/// Every registered strategy, in registration order (built-ins first).
+[[nodiscard]] std::vector<StrategyInfo> strategies();
+
+/// True iff `name` is a registered strategy name.
+[[nodiscard]] bool strategy_registered(const std::string& name);
+
+/// Reject policies naming an unregistered strategy with kInvalidArgument
+/// (the message lists every known name).  Environments call this at
+/// bring-up and submission so bad names fail fast instead of silently
+/// falling back to the default.
+[[nodiscard]] common::Status validate_policy(const SchedulingPolicy& policy);
+
+/// Resolve `policy` to a configured strategy instance.  kInvalidArgument on
+/// unknown names; never silently substitutes a default.
+common::Expected<std::unique_ptr<SchedulerStrategy>> make_strategy(
+    const SchedulingPolicy& policy);
+
+}  // namespace vdce::sched

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "sched/strategy.hpp"
 #include "sched/support.hpp"
 
 namespace vdce {
@@ -32,6 +33,12 @@ common::Status VdceEnvironment::try_bring_up() {
   }
   if (common::Status plan_ok = options_.faults.validate(); !plan_ok.ok()) {
     return plan_ok;
+  }
+  // Fail fast on a default policy naming an unregistered strategy — a typo
+  // here must not silently fall back to the VDCE default at schedule time.
+  if (common::Status policy_ok = sched::validate_policy(options_.scheduling);
+      !policy_ok.ok()) {
+    return policy_ok;
   }
   up_ = true;
 
@@ -287,6 +294,12 @@ common::Expected<sched::ResourceAllocationTable> VdceEnvironment::schedule(
 
   // Clip the candidate set to what this user may touch.
   options.access = session.account.domain;
+  // An empty per-call strategy inherits the environment default; a named
+  // one must exist in the registry — fail fast with the known-name list.
+  if (options.strategy.empty()) options.strategy = options_.scheduling.strategy;
+  if (auto policy_ok = sched::validate_policy(options); !policy_ok.ok()) {
+    return policy_ok.error();
+  }
 
   common::AppId app(next_app_++);
   bool done = false;
@@ -328,6 +341,16 @@ common::Expected<AppHandle> VdceEnvironment::submit_application(
   // forged session is a typed kNotFound, not a deep runtime failure.
   auto account = repo(session.site).users().find(session.account.user_name);
   if (!account) return account.error();
+
+  // Resolve the effective policy before admission: an empty per-run
+  // strategy inherits the environment default, and unknown names are a
+  // typed kInvalidArgument here — never a silent fallback at schedule time.
+  if (options.sched.strategy.empty()) {
+    options.sched.strategy = options_.scheduling.strategy;
+  }
+  if (auto policy_ok = sched::validate_policy(options.sched); !policy_ok.ok()) {
+    return policy_ok.error();
+  }
 
   AppHandle handle{++next_handle_};
   if (auto st = admission_.enqueue(handle.id, account->user_name,

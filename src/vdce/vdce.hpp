@@ -19,7 +19,10 @@
 #include "runtime/services.hpp"
 #include "sched/baselines.hpp"
 #include "sched/host_selection.hpp"
+#include "sched/list_variants.hpp"
+#include "sched/policy.hpp"
 #include "sched/site_scheduler.hpp"
+#include "sched/strategy.hpp"
 #include "tasklib/image.hpp"
 #include "tasklib/matrix.hpp"
 #include "tasklib/registry.hpp"

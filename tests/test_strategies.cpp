@@ -1,0 +1,471 @@
+// Scheduler-strategy plane (docs/SCHEDULING.md): registry units, the
+// policy-API fail-fast contract, end-to-end runs of every registered
+// strategy on the live runtime, the default-policy differential pinning the
+// registry dispatch bit-identical (reports) and byte-identical (traces) to
+// the frozen pre-registry path, and a 200-case scale-corpus property run
+// per new strategy (max-min, b-level, t-level, work-stealing).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "afg/generate.hpp"
+#include "db/site_repository.hpp"
+#include "predict/model.hpp"
+#include "scale/generate.hpp"
+#include "sched/baselines.hpp"
+#include "sched/list_variants.hpp"
+#include "sched/site_scheduler.hpp"
+#include "sched/strategy.hpp"
+#include "vdce/environment.hpp"
+#include "vdce/testbed.hpp"
+
+namespace vdce {
+namespace {
+
+// ---- registry units ---------------------------------------------------------
+
+TEST(StrategyRegistry, ListsEveryBuiltInWithDescriptions) {
+  const std::vector<sched::StrategyInfo> all = sched::strategies();
+  EXPECT_GE(all.size(), 8u);  // the sensitivity grid needs at least eight
+  std::set<std::string> names;
+  for (const sched::StrategyInfo& info : all) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.description.empty()) << info.name;
+    EXPECT_TRUE(names.insert(info.name).second)
+        << "duplicate registration: " << info.name;
+  }
+  for (const char* required :
+       {"vdce-level", "vdce-level-paper", "vdce-local", "heft", "min-min",
+        "max-min", "min-load", "round-robin", "random", "b-level", "t-level",
+        "work-stealing"}) {
+    EXPECT_TRUE(names.contains(required)) << required;
+    EXPECT_TRUE(sched::strategy_registered(required)) << required;
+  }
+}
+
+TEST(StrategyRegistry, MakeStrategyHonoursRegisteredNames) {
+  for (const sched::StrategyInfo& info : sched::strategies()) {
+    sched::SchedulingPolicy policy;
+    policy.strategy = info.name;
+    auto strategy = sched::make_strategy(policy);
+    ASSERT_TRUE(strategy.has_value()) << info.name;
+    EXPECT_EQ((*strategy)->name(), info.name);
+  }
+}
+
+TEST(StrategyRegistry, UnknownNameIsTypedInvalidArgument) {
+  sched::SchedulingPolicy policy;
+  policy.strategy = "no-such-strategy";
+  auto strategy = sched::make_strategy(policy);
+  ASSERT_FALSE(strategy.has_value());
+  EXPECT_EQ(strategy.error().code, common::ErrorCode::kInvalidArgument);
+  // The message names the offender and lists the alternatives.
+  EXPECT_NE(strategy.error().message.find("no-such-strategy"),
+            std::string::npos);
+  EXPECT_NE(strategy.error().message.find("vdce-level"), std::string::npos);
+
+  auto status = sched::validate_policy(policy);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, common::ErrorCode::kInvalidArgument);
+}
+
+TEST(StrategyRegistry, EmptyStrategyResolvesToVdceDefaultByObjective) {
+  sched::SchedulingPolicy policy;
+  EXPECT_EQ(sched::resolved_strategy_name(policy), "vdce-level");
+  policy.objective = sched::SiteObjective::kPaperObjective;
+  EXPECT_EQ(sched::resolved_strategy_name(policy), "vdce-level-paper");
+  policy.strategy = "heft";
+  EXPECT_EQ(sched::resolved_strategy_name(policy), "heft");
+  EXPECT_TRUE(sched::validate_policy(sched::SchedulingPolicy{}).ok());
+}
+
+TEST(StrategyRegistry, RegisterRejectsDuplicatesAndAcceptsNewNames) {
+  EXPECT_FALSE(sched::register_strategy(
+      sched::StrategyInfo{"vdce-level", "imposter"},
+      [](const sched::SchedulingPolicy&) {
+        return std::unique_ptr<sched::SchedulerStrategy>();
+      }));
+
+  struct NullStrategy final : sched::SchedulerStrategy {
+    [[nodiscard]] std::string name() const override { return "test-null"; }
+    common::Expected<sched::ResourceAllocationTable> assign(
+        const afg::Afg&, const sched::SchedulerContext&,
+        const std::vector<sched::HostSelectionOutput>&) override {
+      return common::Error{common::ErrorCode::kInternal, "null strategy"};
+    }
+  };
+  ASSERT_TRUE(sched::register_strategy(
+      sched::StrategyInfo{"test-null", "unit-test stub"},
+      [](const sched::SchedulingPolicy&) {
+        return std::unique_ptr<sched::SchedulerStrategy>(new NullStrategy());
+      }));
+  EXPECT_TRUE(sched::strategy_registered("test-null"));
+  sched::SchedulingPolicy policy;
+  policy.strategy = "test-null";
+  auto made = sched::make_strategy(policy);
+  ASSERT_TRUE(made.has_value());
+  EXPECT_EQ((*made)->name(), "test-null");
+  // Double registration of the new name fails too.
+  EXPECT_FALSE(sched::register_strategy(
+      sched::StrategyInfo{"test-null", "again"},
+      [](const sched::SchedulingPolicy&) {
+        return std::unique_ptr<sched::SchedulerStrategy>(new NullStrategy());
+      }));
+}
+
+// ---- deprecated alias -------------------------------------------------------
+
+TEST(PolicyMigration, SiteSchedulerOptionsIsTheSameType) {
+  static_assert(
+      std::is_same_v<sched::SiteSchedulerOptions, sched::SchedulingPolicy>,
+      "the deprecated alias must map onto SchedulingPolicy");
+  sched::SiteSchedulerOptions legacy;
+  legacy.objective = sched::SiteObjective::kPaperObjective;
+  sched::SchedulingPolicy& modern = legacy;
+  EXPECT_EQ(modern.objective, sched::SiteObjective::kPaperObjective);
+  EXPECT_TRUE(modern.strategy.empty());
+}
+
+// ---- environment fail-fast contract ----------------------------------------
+
+TEST(PolicyFailFast, BringUpRejectsUnknownDefaultStrategy) {
+  EnvironmentOptions options;
+  options.scheduling.strategy = "definitely-not-registered";
+  VdceEnvironment env(make_campus_pair(), options);
+  auto st = env.try_bring_up();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, common::ErrorCode::kInvalidArgument);
+  EXPECT_NE(st.error().message.find("definitely-not-registered"),
+            std::string::npos);
+}
+
+TEST(PolicyFailFast, SubmitAndScheduleRejectUnknownStrategy) {
+  VdceEnvironment env(make_campus_pair());
+  ASSERT_TRUE(env.try_bring_up().ok());
+  env.add_user("u", "p");
+  auto session = env.login(common::SiteId(0), "u", "p").value();
+  afg::Afg graph = afg::make_chain(3, 500, 1e4);
+
+  RunOptions run;
+  run.real_kernels = false;
+  run.sched.strategy = "typo-heft";
+  auto handle = env.submit_application(graph, session, run);
+  ASSERT_FALSE(handle.has_value());
+  EXPECT_EQ(handle.error().code, common::ErrorCode::kInvalidArgument);
+  EXPECT_NE(handle.error().message.find("typo-heft"), std::string::npos);
+  EXPECT_EQ(env.in_flight_submissions(), 0u);  // rejected before admission
+
+  sched::SchedulingPolicy policy;
+  policy.strategy = "typo-heft";
+  auto table = env.schedule(graph, session, policy);
+  ASSERT_FALSE(table.has_value());
+  EXPECT_EQ(table.error().code, common::ErrorCode::kInvalidArgument);
+}
+
+TEST(PolicyFailFast, RunInheritsEnvironmentDefaultStrategy) {
+  EnvironmentOptions options;
+  options.scheduling.strategy = "heft";
+  VdceEnvironment env(make_campus_pair(), options);
+  ASSERT_TRUE(env.try_bring_up().ok());
+  env.add_user("u", "p");
+  auto session = env.login(common::SiteId(0), "u", "p").value();
+  afg::Afg graph = afg::make_chain(4, 500, 1e4);
+  RunOptions run;
+  run.real_kernels = false;
+  auto report = env.run_application(graph, session, run);
+  ASSERT_TRUE(report.has_value()) << report.error().to_string();
+  EXPECT_EQ(report->scheduler, "heft");
+
+  // A per-run strategy overrides the environment default.
+  run.sched.strategy = "min-min";
+  auto report2 = env.run_application(graph, session, run);
+  ASSERT_TRUE(report2.has_value()) << report2.error().to_string();
+  EXPECT_EQ(report2->scheduler, "min-min");
+}
+
+// ---- every strategy runs on the live runtime --------------------------------
+
+TEST(StrategyRuntime, EveryRegisteredStrategyCompletesEndToEnd) {
+  for (const sched::StrategyInfo& info : sched::strategies()) {
+    if (info.name == "test-null") continue;  // unit-test stub, always errors
+    SCOPED_TRACE(info.name);
+    VdceEnvironment env(make_campus_pair());
+    ASSERT_TRUE(env.try_bring_up().ok());
+    env.add_user("u", "p");
+    auto session = env.login(common::SiteId(0), "u", "p").value();
+    common::Rng rng(7);
+    afg::LayeredDagSpec spec;
+    spec.tasks = 12;
+    afg::Afg graph = afg::make_layered_dag(spec, rng);
+    RunOptions run;
+    run.real_kernels = false;
+    run.sched.strategy = info.name;
+    auto report = env.run_application(graph, session, run);
+    ASSERT_TRUE(report.has_value()) << report.error().to_string();
+    EXPECT_TRUE(report->success) << report->failure_reason;
+    EXPECT_EQ(report->scheduler, info.name);
+    EXPECT_EQ(report->outcomes.size(), graph.task_count());
+    // The causal plane attributes every strategy's run: the critical path
+    // tiles the makespan exactly.
+    auto cp = report->critical_path();
+    EXPECT_NEAR(cp.phases.total(), report->makespan(), 1e-6);
+  }
+}
+
+// ---- differential: registry dispatch == frozen pre-registry path ------------
+
+void expect_reports_identical(const runtime::ExecutionReport& a,
+                              const runtime::ExecutionReport& b) {
+  EXPECT_EQ(a.app.value(), b.app.value());
+  EXPECT_EQ(a.app_name, b.app_name);
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.failure_reason, b.failure_reason);
+  EXPECT_EQ(a.enqueued, b.enqueued);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.exec_started, b.exec_started);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.scheduling_time, b.scheduling_time);
+  EXPECT_EQ(a.reschedules, b.reschedules);
+  EXPECT_EQ(a.failures_survived, b.failures_survived);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    const runtime::TaskOutcome& x = a.outcomes[i];
+    const runtime::TaskOutcome& y = b.outcomes[i];
+    EXPECT_EQ(x.task, y.task);
+    EXPECT_EQ(x.host, y.host);
+    EXPECT_EQ(x.site, y.site);
+    EXPECT_EQ(x.started, y.started);
+    EXPECT_EQ(x.finished, y.finished);
+    EXPECT_EQ(x.attempts, y.attempts);
+  }
+}
+
+TEST(StrategyDifferential, DefaultPolicyMatchesLegacyDispatchBitForBit) {
+  // Same deployment, same workloads; the only difference is the test-only
+  // legacy_direct_assign flag that bypasses the strategy registry.  Reports
+  // must be bit-identical and traces byte-identical — the acceptance
+  // criterion for the dispatch refactor.
+  for (std::size_t i = 0; i < 6; ++i) {
+    SCOPED_TRACE("case " + std::to_string(i));
+    auto build_env = [i](bool legacy) {
+      EnvironmentOptions options;
+      options.trace.enabled = true;
+      options.background_load = i % 2 == 1;  // include the stochastic pieces
+      options.runtime.legacy_direct_assign = legacy;
+      auto env = std::make_unique<VdceEnvironment>(make_campus_pair(11 + i),
+                                                   options);
+      EXPECT_TRUE(env->try_bring_up().ok());
+      env->add_user("u", "p");
+      return env;
+    };
+    common::Rng rng(100 + i);
+    afg::LayeredDagSpec spec;
+    spec.tasks = 8 + 4 * (i % 3);
+    afg::Afg graph = afg::make_layered_dag(spec, rng);
+    RunOptions run;
+    run.real_kernels = false;
+    // Alternate the objective so both default resolutions are differenced.
+    run.sched.objective = i % 3 == 2 ? sched::SiteObjective::kPaperObjective
+                                     : sched::SiteObjective::kAvailabilityAware;
+
+    auto legacy_env = build_env(true);
+    auto legacy_session =
+        legacy_env->login(common::SiteId(0), "u", "p").value();
+    auto legacy_report = legacy_env->run_application(graph, legacy_session, run);
+    ASSERT_TRUE(legacy_report.has_value())
+        << legacy_report.error().to_string();
+
+    auto registry_env = build_env(false);
+    auto registry_session =
+        registry_env->login(common::SiteId(0), "u", "p").value();
+    auto registry_report =
+        registry_env->run_application(graph, registry_session, run);
+    ASSERT_TRUE(registry_report.has_value())
+        << registry_report.error().to_string();
+
+    expect_reports_identical(*legacy_report, *registry_report);
+    EXPECT_EQ(legacy_env->trace().to_jsonl(), registry_env->trace().to_jsonl())
+        << "traces diverge";
+  }
+}
+
+// ---- scale-corpus property run per new strategy -----------------------------
+//
+// Mirrors test_properties.cpp's invariants over the same 200-case corpus,
+// once per newly added strategy (the pre-existing ones are covered by the
+// scale suite): every task mapped exactly once to valid hosts, dependency-
+// and transfer-respecting start times, no double-booking, and the schedule
+// length equal to the last completion.
+
+struct CorpusDeployment {
+  explicit CorpusDeployment(const scale::GridSpec& spec)
+      : topology(scale::make_grid(spec)) {
+    for (const net::Site& site : topology.sites()) {
+      auto repo = std::make_unique<db::SiteRepository>(site.id);
+      repo->register_site_hosts(topology);
+      repos.push_back(std::move(repo));
+    }
+    context.topology = &topology;
+    for (auto& r : repos) context.repos.push_back(r.get());
+    context.predictor = &predictor;
+    context.local_site = common::SiteId(0);
+    context.k_nearest = topology.site_count() - 1;
+  }
+
+  net::Topology topology;
+  std::vector<std::unique_ptr<db::SiteRepository>> repos;
+  predict::Predictor predictor;
+  sched::SchedulerContext context;
+};
+
+void check_schedule_invariants(const afg::Afg& graph,
+                               const net::Topology& topology,
+                               const sched::ResourceAllocationTable& table,
+                               std::size_t index) {
+  SCOPED_TRACE("corpus case " + std::to_string(index));
+  constexpr double kEps = 1e-9;
+
+  ASSERT_EQ(table.assignments.size(), graph.task_count());
+  std::set<std::uint32_t> seen;
+  for (const sched::Assignment& a : table.assignments) {
+    EXPECT_TRUE(seen.insert(a.task.value()).second)
+        << "task " << a.task.value() << " mapped twice";
+    const afg::TaskNode& node = graph.task(a.task);
+    const std::size_t need =
+        node.props.mode == afg::ComputationMode::kParallel
+            ? static_cast<std::size_t>(node.props.num_nodes)
+            : std::size_t{1};
+    ASSERT_EQ(a.hosts.size(), need) << "task " << a.task.value();
+    for (common::HostId h : a.hosts) {
+      ASSERT_LT(h.value(), topology.host_count());
+      const net::Host& host = topology.host(h);
+      EXPECT_EQ(host.site, a.site) << "task " << a.task.value();
+      EXPECT_TRUE(host.state.up);
+    }
+    EXPECT_GE(a.est_start, -kEps);
+    EXPECT_GE(a.est_finish, a.est_start - kEps);
+  }
+  EXPECT_EQ(seen.size(), graph.task_count());
+
+  for (const afg::Edge& e : graph.edges()) {
+    const sched::Assignment parent = table.find(e.from).value();
+    const sched::Assignment child = table.find(e.to).value();
+    const double transfer = topology.transfer_time(
+        parent.primary_host(), child.primary_host(), graph.edge_bytes(e));
+    EXPECT_GE(child.est_start + kEps, parent.est_finish + transfer)
+        << "edge " << e.from.value() << " -> " << e.to.value();
+  }
+
+  std::map<common::HostId, std::vector<std::pair<double, double>>> busy;
+  for (const sched::Assignment& a : table.assignments) {
+    for (common::HostId h : a.hosts) {
+      busy[h].emplace_back(a.est_start, a.est_finish);
+    }
+  }
+  for (auto& [host, intervals] : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first + kEps, intervals[i - 1].second)
+          << "host " << host.value() << " double-booked";
+    }
+  }
+
+  double last = 0.0;
+  for (const sched::Assignment& a : table.assignments) {
+    last = std::max(last, a.est_finish);
+  }
+  EXPECT_DOUBLE_EQ(table.schedule_length, last);
+}
+
+class NewStrategyCorpus : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NewStrategyCorpus, InvariantsHoldAcrossTwoHundredCases) {
+  const std::string name = GetParam();
+  scale::CorpusSpec spec;  // 200 cases
+  const std::vector<scale::CorpusCase> corpus = scale::make_corpus(spec);
+  ASSERT_GE(corpus.size(), 200u);
+  for (const scale::CorpusCase& c : corpus) {
+    CorpusDeployment dep(c.grid);
+    afg::Afg graph =
+        scale::make_workload(c.workload, "corpus-" + std::to_string(c.index));
+    ASSERT_TRUE(graph.validate().ok()) << "case " << c.index;
+    auto scheduler = sched::make_scheduler(name);
+    ASSERT_TRUE(scheduler.has_value());
+    auto table = (*scheduler)->schedule(graph, dep.context);
+    ASSERT_TRUE(table.has_value())
+        << "case " << c.index << ": " << table.error().to_string();
+    EXPECT_EQ(table->scheduler_name, name);
+    check_schedule_invariants(graph, dep.topology, *table, c.index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNewStrategies, NewStrategyCorpus,
+                         ::testing::Values("max-min", "b-level", "t-level",
+                                           "work-stealing"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+// The strategy object over the same outputs must equal the direct
+// assignment call — the offline face of the dispatch differential.
+TEST(StrategyDifferential, VdceStrategyAssignEqualsDirectAssignment) {
+  scale::CorpusSpec spec;
+  spec.cases = 40;
+  const std::vector<scale::CorpusCase> corpus = scale::make_corpus(spec);
+  for (const scale::CorpusCase& c : corpus) {
+    SCOPED_TRACE("case " + std::to_string(c.index));
+    CorpusDeployment dep(c.grid);
+    afg::Afg graph =
+        scale::make_workload(c.workload, "corpus-" + std::to_string(c.index));
+
+    sched::SchedulingPolicy policy;
+    policy.objective = c.index % 2 == 0
+                           ? sched::SiteObjective::kAvailabilityAware
+                           : sched::SiteObjective::kPaperObjective;
+    const std::string expected_name = sched::resolved_strategy_name(policy);
+
+    const auto sites = sched::candidate_site_set(dep.context, policy);
+    std::vector<sched::HostSelectionOutput> outputs;
+    for (common::SiteId s : sites) {
+      auto out = sched::HostSelectionAlgorithm::run(
+          graph, s, dep.context.repo(s), *dep.context.predictor);
+      ASSERT_TRUE(out.has_value());
+      outputs.push_back(std::move(*out));
+    }
+
+    auto direct = sched::assign_with_outputs(graph, dep.context, outputs,
+                                             policy, expected_name);
+    ASSERT_TRUE(direct.has_value()) << direct.error().to_string();
+
+    auto strategy = sched::make_strategy(policy);
+    ASSERT_TRUE(strategy.has_value());
+    auto via_registry = (*strategy)->assign(graph, dep.context, outputs);
+    ASSERT_TRUE(via_registry.has_value()) << via_registry.error().to_string();
+
+    EXPECT_EQ(via_registry->scheduler_name, direct.value().scheduler_name);
+    EXPECT_EQ(via_registry->scheduler_name, expected_name);
+    EXPECT_DOUBLE_EQ(via_registry->schedule_length, direct->schedule_length);
+    ASSERT_EQ(via_registry->assignments.size(), direct->assignments.size());
+    for (std::size_t i = 0; i < direct->assignments.size(); ++i) {
+      const sched::Assignment& x = direct->assignments[i];
+      const sched::Assignment& y = via_registry->assignments[i];
+      EXPECT_EQ(x.task, y.task);
+      EXPECT_EQ(x.site, y.site);
+      EXPECT_EQ(x.hosts, y.hosts);
+      EXPECT_DOUBLE_EQ(x.est_start, y.est_start);
+      EXPECT_DOUBLE_EQ(x.est_finish, y.est_finish);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdce
