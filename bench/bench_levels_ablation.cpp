@@ -27,7 +27,7 @@ using namespace vdce;
 double mean_makespan(sched::PriorityMode priority,
                      const sched::SchedulerContext& context,
                      const std::string& shape, double edge_bytes) {
-  sched::SiteSchedulerOptions options;
+  sched::SchedulingPolicy options;
   options.priority = priority;
   sched::VdceSiteScheduler scheduler(options);
   common::Stats stats;

@@ -94,7 +94,7 @@ struct Measurement {
 
 Measurement measure(Deployment& dep, const afg::Afg& graph, int opt_repeats) {
   Measurement m;
-  sched::SiteSchedulerOptions options;  // availability-aware, paper levels
+  sched::SchedulingPolicy options;  // availability-aware, paper levels
   sched::VdceSiteScheduler scheduler(options);
 
   double t0 = now_ms();

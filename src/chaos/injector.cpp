@@ -63,7 +63,7 @@ Status ChaosInjector::arm() {
     }
   }
   for (std::size_t i = 0; i < plan_.events().size(); ++i) {
-    schedule_event(plan_.events()[i], resolved[i]);
+    schedule_event(i, resolved[i]);
   }
   armed_ = true;
   return Status::success();
@@ -95,7 +95,19 @@ Expected<SiteId> ChaosInjector::resolve_site(std::int64_t site) const {
   return SiteId{static_cast<std::uint32_t>(site)};
 }
 
-void ChaosInjector::schedule_event(const FaultEvent& event, HostId host) {
+std::vector<HostId> ChaosInjector::stale_targets(const FaultEvent& event,
+                                                 HostId host) const {
+  if (!event.host.empty()) return {host};
+  const SiteId site{static_cast<std::uint32_t>(event.site_a)};
+  return topology_.site(site).hosts;
+}
+
+void ChaosInjector::schedule_event(std::size_t index, HostId host) {
+  // The callbacks below capture (this, index, host) only and re-read the
+  // event from the injector-owned plan when they fire: a FaultEvent's
+  // strings would overflow sim::Task's inline capture budget, and the plan
+  // is immutable once armed, so the indirection changes nothing observable.
+  const FaultEvent& event = plan_.events()[index];
   const common::SimDuration delay =
       std::max(0.0, event.at - engine_.now());
 
@@ -184,36 +196,35 @@ void ChaosInjector::schedule_event(const FaultEvent& event, HostId host) {
       break;
     }
     case FaultKind::kMessageLoss: {
-      const double rate = event.rate;
-      const std::string prefix = event.type_prefix;
-      const std::int64_t site = event.site_a;
-      engine_.schedule(delay, [this, rate, prefix, site] {
-        losses_.push_back(ActiveLoss{rate, prefix, site, 0});
+      engine_.schedule(delay, [this, index] {
+        const FaultEvent& e = plan_.events()[index];
+        losses_.push_back(ActiveLoss{e.rate, e.type_prefix, e.site_a, 0});
         ++faults_injected_;
-        std::string what = "loss rate " + common::format_double(rate);
-        if (!prefix.empty()) what += " type \"" + prefix + "\"";
-        if (site >= 0) what += " site " + std::to_string(site);
+        std::string what = "loss rate " + common::format_double(e.rate);
+        if (!e.type_prefix.empty()) what += " type \"" + e.type_prefix + "\"";
+        if (e.site_a >= 0) what += " site " + std::to_string(e.site_a);
         record(std::move(what));
-        trace_instant("chaos.loss",
-                      {obs::arg("rate", rate), obs::arg("type", prefix)});
+        trace_instant("chaos.loss", {obs::arg("rate", e.rate),
+                                     obs::arg("type", e.type_prefix)});
       });
       if (event.duration > 0.0) {
-        engine_.schedule(delay + event.duration, [this, rate, prefix, site] {
+        engine_.schedule(delay + event.duration, [this, index] {
+          const FaultEvent& e = plan_.events()[index];
           auto it = std::find_if(losses_.begin(), losses_.end(),
                                  [&](const ActiveLoss& l) {
-                                   return l.rate == rate &&
-                                          l.type_prefix == prefix &&
-                                          l.site == site;
+                                   return l.rate == e.rate &&
+                                          l.type_prefix == e.type_prefix &&
+                                          l.site == e.site_a;
                                  });
           std::uint64_t drops = 0;
           if (it != losses_.end()) {
             drops = it->drops;
             losses_.erase(it);
           }
-          record("loss rate " + common::format_double(rate) + " ended (" +
+          record("loss rate " + common::format_double(e.rate) + " ended (" +
                  std::to_string(drops) + " drops)");
           trace_instant("chaos.loss_ended",
-                        {obs::arg("rate", rate), obs::arg("drops", drops)});
+                        {obs::arg("rate", e.rate), obs::arg("drops", drops)});
         });
       }
       break;
@@ -238,35 +249,31 @@ void ChaosInjector::schedule_event(const FaultEvent& event, HostId host) {
       break;
     }
     case FaultKind::kStaleMonitor: {
-      std::vector<HostId> targets;
-      if (!event.host.empty()) {
-        targets.push_back(host);
-      } else {
-        const SiteId site{static_cast<std::uint32_t>(event.site_a)};
-        targets = topology_.site(site).hosts;
-      }
-      engine_.schedule(delay, [this, targets, event] {
+      engine_.schedule(delay, [this, index, host] {
+        const FaultEvent& e = plan_.events()[index];
+        const std::vector<HostId> targets = stale_targets(e, host);
         for (HostId h : targets) muted_hosts_.push_back(h);
         ++faults_injected_;
         std::string what = "stale ";
-        what += !event.host.empty()
+        what += !e.host.empty()
                     ? host_label(topology_, targets.front())
-                    : "site " + std::to_string(event.site_a) + " (" +
+                    : "site " + std::to_string(e.site_a) + " (" +
                           std::to_string(targets.size()) + " hosts)";
         record(std::move(what));
         trace_instant("chaos.stale",
                       {obs::arg("hosts", std::to_string(targets.size()))});
       });
       if (event.duration > 0.0) {
-        engine_.schedule(delay + event.duration, [this, targets, event] {
+        engine_.schedule(delay + event.duration, [this, index, host] {
+          const FaultEvent& e = plan_.events()[index];
+          const std::vector<HostId> targets = stale_targets(e, host);
           for (HostId h : targets) {
             auto it = std::find(muted_hosts_.begin(), muted_hosts_.end(), h);
             if (it != muted_hosts_.end()) muted_hosts_.erase(it);
           }
           std::string what = "stale ";
-          what += !event.host.empty()
-                      ? host_label(topology_, targets.front())
-                      : "site " + std::to_string(event.site_a);
+          what += !e.host.empty() ? host_label(topology_, targets.front())
+                                  : "site " + std::to_string(e.site_a);
           record(std::move(what) + " ended");
           trace_instant("chaos.stale_ended",
                         {obs::arg("hosts", std::to_string(targets.size()))});

@@ -107,7 +107,15 @@ class ChaosInjector final : public net::FaultInterceptor {
   [[nodiscard]] common::Expected<common::SiteId> resolve_site(
       std::int64_t site) const;
 
-  void schedule_event(const FaultEvent& event, common::HostId host);
+  /// Schedule the plan event at `index`.  The injected callbacks capture
+  /// only (this, index, host) — a FaultEvent carries strings and would
+  /// overflow sim::Task's inline budget; the event itself is re-read from
+  /// the injector-owned plan at fire time.
+  void schedule_event(std::size_t index, common::HostId host);
+  /// Hosts a stale-monitor event mutes: the named host, or every host of
+  /// the event's site.
+  [[nodiscard]] std::vector<common::HostId> stale_targets(
+      const FaultEvent& event, common::HostId host) const;
 
   sim::Engine& engine_;
   net::Topology& topology_;

@@ -36,6 +36,11 @@ double MetricsRegistry::gauge_value(const std::string& name) const {
   return it == gauges_.end() ? 0.0 : it->second.value();
 }
 
+double MetricsRegistry::wall_gauge_value(const std::string& name) const {
+  auto it = wall_gauges_.find(name);
+  return it == wall_gauges_.end() ? 0.0 : it->second.value();
+}
+
 const common::Stats* MetricsRegistry::find_histogram(
     const std::string& name) const {
   auto it = histograms_.find(name);
@@ -48,6 +53,7 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.set(0.0);
   for (auto& [name, h] : histograms_) h = common::Stats{};
+  for (auto& [name, g] : wall_gauges_) g.set(0.0);
 }
 
 std::string MetricsRegistry::to_jsonl() const {
@@ -82,6 +88,10 @@ std::string MetricsRegistry::render() const {
   }
   for (const auto& [name, g] : gauges_) {
     out += "  " + name + " = " + common::format_double(g.value(), 3) + "\n";
+  }
+  for (const auto& [name, g] : wall_gauges_) {
+    out += "  " + name + " = " + common::format_double(g.value(), 3) +
+           " (wall clock)\n";
   }
   for (const auto& [name, h] : histograms_) {
     out += "  " + name + ": " + h.summary() + "\n";

@@ -6,9 +6,12 @@
 // the hot path cache the Counter*/Stats* returned by the registry once, so
 // recording is a guarded pointer increment — no map lookup per event.
 //
-// Everything recorded here is derived from simulated time and seeded
-// randomness only (never the wall clock), so exports are byte-identical
-// across identical-seed runs.
+// Everything recorded in the counter/gauge/histogram families is derived
+// from simulated time and seeded randomness only (never the wall clock), so
+// to_jsonl() exports are byte-identical across identical-seed runs.  Wall
+// -clock readings (event-kernel throughput, run durations) go in the
+// separate wall_gauge() family, which render() shows but to_jsonl()
+// deliberately omits.
 #pragma once
 
 #include <cstdint>
@@ -51,10 +54,15 @@ class MetricsRegistry {
   common::Stats& histogram(const std::string& name) {
     return histograms_[name];
   }
+  /// Wall-clock-derived gauge (e.g. sim.events_per_sec).  Kept apart from
+  /// the deterministic families: render() includes it, to_jsonl() does not,
+  /// so identical-seed exports stay byte-identical.
+  Gauge& wall_gauge(const std::string& name) { return wall_gauges_[name]; }
 
   /// Read helpers that never create the metric: 0 / empty when absent.
   [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
   [[nodiscard]] double gauge_value(const std::string& name) const;
+  [[nodiscard]] double wall_gauge_value(const std::string& name) const;
   [[nodiscard]] const common::Stats* find_histogram(
       const std::string& name) const;
 
@@ -69,9 +77,14 @@ class MetricsRegistry {
       noexcept {
     return histograms_;
   }
+  [[nodiscard]] const std::map<std::string, Gauge>& wall_gauges() const
+      noexcept {
+    return wall_gauges_;
+  }
 
   [[nodiscard]] bool empty() const noexcept {
-    return counters_.empty() && gauges_.empty() && histograms_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+           wall_gauges_.empty();
   }
 
   /// Zero every metric but keep the registered names (cached handles stay
@@ -79,7 +92,8 @@ class MetricsRegistry {
   void reset();
 
   /// One JSON object per line, metrics in name order within each kind
-  /// (counters, then gauges, then histograms).  Example:
+  /// (counters, then gauges, then histograms).  Wall gauges are omitted —
+  /// this export is the byte-identical determinism artifact.  Example:
   ///   {"kind":"counter","name":"monitor.samples","value":1920}
   [[nodiscard]] std::string to_jsonl() const;
 
@@ -90,6 +104,7 @@ class MetricsRegistry {
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, common::Stats> histograms_;
+  std::map<std::string, Gauge> wall_gauges_;
 };
 
 }  // namespace vdce::obs

@@ -187,7 +187,7 @@ void SiteManager::on_sm_host_down(const net::Message& message) {
 
 void SiteManager::schedule_application(common::AppId app,
                                        std::shared_ptr<const afg::Afg> graph,
-                                       sched::SiteSchedulerOptions options,
+                                       sched::SchedulingPolicy options,
                                        ScheduleCallback callback) {
   auto ctx = make_context(app);
   PendingSchedule pending;

@@ -64,7 +64,7 @@ class SiteManager {
   /// callback fires (in simulated time) once the table is ready.
   void schedule_application(common::AppId app,
                             std::shared_ptr<const afg::Afg> graph,
-                            sched::SiteSchedulerOptions options,
+                            sched::SchedulingPolicy options,
                             ScheduleCallback callback);
 
   using ReportCallback = std::function<void(ExecutionReport)>;
@@ -95,7 +95,7 @@ class SiteManager {
  private:
   struct PendingSchedule {
     std::shared_ptr<const afg::Afg> graph;
-    sched::SiteSchedulerOptions options;
+    sched::SchedulingPolicy options;
     std::vector<common::SiteId> sites;  ///< candidate set, local first
     std::map<common::SiteId, sched::HostSelectionOutput> outputs;
     ScheduleCallback callback;

@@ -288,12 +288,12 @@ common::Expected<std::unique_ptr<Scheduler>> make_scheduler(
     return std::unique_ptr<Scheduler>(new VdceSiteScheduler());
   }
   if (name == "vdce-level-paper") {
-    SiteSchedulerOptions opts;
+    SchedulingPolicy opts;
     opts.objective = SiteObjective::kPaperObjective;
     return std::unique_ptr<Scheduler>(new VdceSiteScheduler(opts));
   }
   if (name == "vdce-local") {
-    SiteSchedulerOptions opts;
+    SchedulingPolicy opts;
     opts.access = db::AccessDomain::kLocalSite;
     return std::unique_ptr<Scheduler>(new VdceSiteScheduler(opts));
   }

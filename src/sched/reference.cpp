@@ -244,7 +244,7 @@ std::vector<afg::TaskId> children_naive(const afg::Afg& graph,
 common::Expected<ResourceAllocationTable> assign_with_outputs_naive(
     const afg::Afg& graph, const SchedulerContext& context,
     const std::vector<HostSelectionOutput>& outputs,
-    const SiteSchedulerOptions& options, const std::string& scheduler_name) {
+    const SchedulingPolicy& options, const std::string& scheduler_name) {
   if (context.topology == nullptr || context.predictor == nullptr) {
     return common::Error{common::ErrorCode::kInvalidArgument,
                          "scheduler context lacks a topology or predictor"};
@@ -441,7 +441,7 @@ common::Expected<ResourceAllocationTable> assign_with_outputs_naive(
 
 common::Expected<ResourceAllocationTable> schedule_naive(
     const afg::Afg& graph, const SchedulerContext& context,
-    const SiteSchedulerOptions& options) {
+    const SchedulingPolicy& options) {
   auto valid = graph.validate();
   if (!valid.ok()) return valid.error();
 

@@ -31,7 +31,7 @@ namespace vdce::sched::reference {
 common::Expected<ResourceAllocationTable> assign_with_outputs_naive(
     const afg::Afg& graph, const SchedulerContext& context,
     const std::vector<HostSelectionOutput>& outputs,
-    const SiteSchedulerOptions& options, const std::string& scheduler_name);
+    const SchedulingPolicy& options, const std::string& scheduler_name);
 
 /// The full Fig. 2 pipeline (candidate sites -> host selection -> naive
 /// assignment).  Produces a table that must be bit-identical to
@@ -39,6 +39,6 @@ common::Expected<ResourceAllocationTable> assign_with_outputs_naive(
 /// scheduler_name, which is "<name>-naive".
 common::Expected<ResourceAllocationTable> schedule_naive(
     const afg::Afg& graph, const SchedulerContext& context,
-    const SiteSchedulerOptions& options = {});
+    const SchedulingPolicy& options = {});
 
 }  // namespace vdce::sched::reference

@@ -40,7 +40,7 @@ double paper_objective(const afg::Afg& graph, afg::TaskId task,
 }  // namespace
 
 std::vector<common::SiteId> candidate_site_set(
-    const SchedulerContext& context, const SiteSchedulerOptions& options) {
+    const SchedulerContext& context, const SchedulingPolicy& options) {
   std::vector<common::SiteId> sites{context.local_site};
   if (options.access != db::AccessDomain::kLocalSite) {
     std::size_t k = options.access == db::AccessDomain::kGlobal
@@ -57,7 +57,7 @@ std::vector<common::SiteId> candidate_site_set(
 common::Expected<ResourceAllocationTable> assign_with_outputs(
     const afg::Afg& graph, const SchedulerContext& context,
     const std::vector<HostSelectionOutput>& outputs,
-    const SiteSchedulerOptions& options, const std::string& scheduler_name) {
+    const SchedulingPolicy& options, const std::string& scheduler_name) {
   if (context.topology == nullptr || context.predictor == nullptr) {
     return common::Error{common::ErrorCode::kInvalidArgument,
                          "scheduler context lacks a topology or predictor"};

@@ -42,9 +42,13 @@ namespace vdce::sched {
 /// Deprecated alias: the scheduler-strategy plane replaced the raw option
 /// struct with the SchedulingPolicy value type (sched/policy.hpp).  Every
 /// pre-existing field kept its name and default, so code written against
-/// SiteSchedulerOptions compiles and behaves unchanged; new code should
-/// spell SchedulingPolicy and select algorithms via `policy.strategy`.
-using SiteSchedulerOptions = SchedulingPolicy;
+/// the alias compiles and behaves unchanged; spell SchedulingPolicy and
+/// select algorithms via `policy.strategy`.  No in-tree code uses the alias
+/// any more; it will be removed in a future release (docs/SCHEDULING.md).
+using SiteSchedulerOptions
+    [[deprecated("use sched::SchedulingPolicy (sched/policy.hpp); "
+                 "see docs/SCHEDULING.md for the removal schedule")]] =
+        SchedulingPolicy;
 
 /// The assignment phase of Fig. 2 (steps 6-7), taking host-selection
 /// outputs that were already collected — locally by VdceSiteScheduler, or
@@ -53,16 +57,16 @@ using SiteSchedulerOptions = SchedulingPolicy;
 common::Expected<ResourceAllocationTable> assign_with_outputs(
     const afg::Afg& graph, const SchedulerContext& context,
     const std::vector<HostSelectionOutput>& outputs,
-    const SiteSchedulerOptions& options, const std::string& scheduler_name);
+    const SchedulingPolicy& options, const std::string& scheduler_name);
 
 /// The candidate site set of Fig. 2 steps 1-2: the local site plus its k
 /// nearest neighbours, clipped by the user's access domain.
 std::vector<common::SiteId> candidate_site_set(
-    const SchedulerContext& context, const SiteSchedulerOptions& options);
+    const SchedulerContext& context, const SchedulingPolicy& options);
 
 class VdceSiteScheduler final : public Scheduler {
  public:
-  explicit VdceSiteScheduler(SiteSchedulerOptions options = {})
+  explicit VdceSiteScheduler(SchedulingPolicy options = {})
       : options_(options) {}
 
   [[nodiscard]] std::string name() const override {
@@ -75,7 +79,7 @@ class VdceSiteScheduler final : public Scheduler {
       const afg::Afg& graph, const SchedulerContext& context) override;
 
  private:
-  SiteSchedulerOptions options_;
+  SchedulingPolicy options_;
 };
 
 }  // namespace vdce::sched

@@ -1,94 +1,473 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <utility>
 
 namespace vdce::sim {
 
+namespace detail {
+namespace {
+
+/// Heap comparator: std::*_heap builds a max-heap, so "greater" on the
+/// (time, seq) order yields a min-heap with the earliest entry on top.
+/// A stateless functor (not a function pointer) so every comparison in the
+/// sift loops inlines.
+struct LaterCmp {
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
+    return earlier(b, a);
+  }
+};
+constexpr LaterCmp later_cmp{};
+
+}  // namespace
+
+double CalendarQueue::vbucket(common::SimTime t) const noexcept {
+  return std::floor(t * inv_width_);
+}
+
+std::size_t CalendarQueue::bucket_index(double vb) const noexcept {
+  // The bucket count is always a power of two (kMinBuckets, doubled and
+  // halved), so the mod is a mask.  vb is a non-negative integral double
+  // well inside 2^53 (estimate_width bounds time/width), so the cast is
+  // exact.
+  return static_cast<std::size_t>(vb) & (buckets_.size() - 1);
+}
+
+void CalendarQueue::push(QueueEntry e) {
+  std::vector<QueueEntry>& bucket = buckets_[bucket_index(vbucket(e.time))];
+  bucket.push_back(e);
+  std::push_heap(bucket.begin(), bucket.end(), later_cmp);
+  ++size_;
+  // The cached minimum stays correct unless the new entry beats it.
+  if (cached_ && earlier(e, buckets_[cached_bucket_].front())) cached_ = false;
+  maybe_resize_after_push();
+}
+
+void CalendarQueue::find_min() {
+  if (cached_) return;
+  assert(size_ != 0);
+  const std::size_t n = buckets_.size();
+  // Scan forward one window (bucket width) at a time from the last
+  // dequeued entry's window.  All entries of window vb live in bucket
+  // vb mod n, and a bucket's heap top is its minimum, so one comparison
+  // per bucket decides whether the window holds an event.
+  double vb = cursor_;
+  for (std::size_t scanned = 0; scanned < n; ++scanned, vb += 1.0) {
+    const std::size_t b = bucket_index(vb);
+    const std::vector<QueueEntry>& bucket = buckets_[b];
+    if (!bucket.empty() && vbucket(bucket.front().time) == vb) {
+      cached_bucket_ = b;
+      cached_ = true;
+      return;
+    }
+  }
+  // Sparse queue: nothing within the next n windows.  The global minimum
+  // is the smallest bucket top (each top is its bucket's minimum).
+  std::size_t best = n;
+  for (std::size_t b = 0; b < n; ++b) {
+    if (buckets_[b].empty()) continue;
+    if (best == n || earlier(buckets_[b].front(), buckets_[best].front())) {
+      best = b;
+    }
+  }
+  assert(best != n);
+  cached_bucket_ = best;
+  cached_ = true;
+}
+
+const QueueEntry& CalendarQueue::min_entry() {
+  find_min();
+  return buckets_[cached_bucket_].front();
+}
+
+QueueEntry CalendarQueue::pop_min() {
+  find_min();
+  std::vector<QueueEntry>& bucket = buckets_[cached_bucket_];
+  std::pop_heap(bucket.begin(), bucket.end(), later_cmp);
+  const QueueEntry e = bucket.back();
+  bucket.pop_back();
+  --size_;
+  // Resume the window scan at the dequeued entry's window.  The invariant
+  // vbucket(entry) >= cursor_ holds because new entries are enqueued at or
+  // after the engine clock, which never runs behind the last dequeued
+  // event.
+  cursor_ = vbucket(e.time);
+  last_popped_ = e.time;
+  cached_ = false;
+  maybe_resize_after_pop();
+  return e;
+}
+
+void CalendarQueue::maybe_resize_after_push() {
+  if (size_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+    const std::size_t n = buckets_.size() * 2;
+    rebuild(n, estimate_width(n));
+  }
+}
+
+void CalendarQueue::maybe_resize_after_pop() {
+  if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 2) {
+    const std::size_t n = buckets_.size() / 2;
+    rebuild(n, estimate_width(n));
+  }
+}
+
+double CalendarQueue::estimate_width(std::size_t /*nbuckets*/) const {
+  common::SimTime lo = 0.0;
+  common::SimTime hi = 0.0;
+  bool any = false;
+  for (const std::vector<QueueEntry>& bucket : buckets_) {
+    for (const QueueEntry& e : bucket) {
+      if (!any || e.time < lo) lo = e.time;
+      if (!any || e.time > hi) hi = e.time;
+      any = true;
+    }
+  }
+  if (!any || size_ < 2 || hi <= lo) return width_;
+  // Brown's rule of thumb: a bucket width of ~3x the mean inter-event gap
+  // keeps occupancy low without spreading one burst across many windows.
+  const double w = (hi - lo) / static_cast<double>(size_) * 3.0;
+  // Keep time/width well inside double's exact-integer range so floor()
+  // and fmod() stay consistent between push and scan.
+  const double floor_w = std::max(1.0, std::fabs(hi)) * 1e-9;
+  if (!(w > floor_w)) return std::max(floor_w, std::min(width_, 1.0));
+  return w;
+}
+
+void CalendarQueue::rebuild(std::size_t nbuckets, double width) {
+  std::vector<QueueEntry> all;
+  all.reserve(size_);
+  for (std::vector<QueueEntry>& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+  buckets_.resize(nbuckets);
+  assert((nbuckets & (nbuckets - 1)) == 0);  // bucket_index masks, not mods
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  cursor_ = vbucket(last_popped_);
+  std::size_t peak = 0;
+  for (const QueueEntry& e : all) {
+    std::vector<QueueEntry>& bucket = buckets_[bucket_index(vbucket(e.time))];
+    bucket.push_back(e);
+    peak = std::max(peak, bucket.size());
+  }
+  // Headroom: a bucket's occupancy peaks just before the cursor reaches it
+  // (all events maturing inside its window are queued by then), and the
+  // densest windows at redistribution time already show that peak.  Reserve
+  // 4x it so steady-state pushes land in pre-grown vectors and the schedule
+  // path stays allocation-free between rebuilds — without this, buckets
+  // keep setting occupancy records (and reallocating) for many wrap cycles.
+  // Memory is the same as the doubling path's eventual steady state; this
+  // just front-loads it into the rebuild.
+  const std::size_t headroom =
+      std::max(std::size_t{4} * peak, 4 * (size_ / nbuckets + 1) + 4);
+  for (std::vector<QueueEntry>& bucket : buckets_) {
+    if (bucket.capacity() < headroom) bucket.reserve(headroom);
+    std::make_heap(bucket.begin(), bucket.end(), later_cmp);
+  }
+  cached_ = false;
+}
+
+void CalendarQueue::reserve(std::size_t n) {
+  std::size_t target = kMinBuckets;
+  while (target < n / 2 && target < kMaxBuckets) target *= 2;
+  if (target > buckets_.size()) rebuild(target, width_);
+  // Small per-bucket headroom so the first few pushes into each bucket
+  // never regrow mid-run.
+  for (std::vector<QueueEntry>& bucket : buckets_) {
+    if (bucket.capacity() < 4) bucket.reserve(4);
+  }
+}
+
+void BinaryHeapQueue::push(QueueEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), later_cmp);
+}
+
+QueueEntry BinaryHeapQueue::pop_min() {
+  std::pop_heap(heap_.begin(), heap_.end(), later_cmp);
+  const QueueEntry e = heap_.back();
+  heap_.pop_back();
+  return e;
+}
+
+}  // namespace detail
+
+// ---- handles ---------------------------------------------------------------
+
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (!anchor_) return;
+  if (Engine* engine = *anchor_) engine->cancel_event(slot_, gen_);
 }
 
 bool EventHandle::pending() const {
-  // The engine resets the flag pointer's use_count to 1 only on pop; we
-  // approximate "pending" as "not cancelled and the engine still holds a
-  // reference".
-  return cancelled_ && !*cancelled_ && cancelled_.use_count() > 1;
+  if (!anchor_) return false;
+  const Engine* engine = *anchor_;
+  return engine != nullptr && engine->event_pending(slot_, gen_);
 }
 
 void TimerHandle::cancel() {
-  if (stopped_) *stopped_ = true;
+  if (!anchor_) return;
+  if (Engine* engine = *anchor_) engine->cancel_timer(slot_, gen_);
 }
 
-bool TimerHandle::active() const { return stopped_ && !*stopped_; }
+bool TimerHandle::active() const {
+  if (!anchor_) return false;
+  const Engine* engine = *anchor_;
+  return engine != nullptr && engine->timer_active(slot_, gen_);
+}
 
-EventHandle Engine::schedule(common::SimDuration delay, Callback fn) {
+// ---- engine ----------------------------------------------------------------
+
+Engine::Engine(QueueKind queue)
+    : kind_(queue), self_(std::make_shared<Engine*>(this)) {}
+
+Engine::~Engine() { *self_ = nullptr; }
+
+void Engine::cancel_event(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.state != SlotState::kScheduled || s.gen != gen) return;
+  // The entry stays in the queue (the old kernel kept cancelled events
+  // queued too — popping one advances the clock without firing); only the
+  // callback is released now so captured resources free promptly.
+  s.state = SlotState::kCancelled;
+  s.fn.reset();
+}
+
+bool Engine::event_pending(std::uint32_t slot, std::uint32_t gen) const {
+  if (slot >= slots_.size()) return false;
+  const Slot& s = slots_[slot];
+  return s.state == SlotState::kScheduled && s.gen == gen;
+}
+
+void Engine::cancel_timer(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= timers_.size()) return;
+  TimerSlot& t = timers_[slot];
+  if (!t.active || t.gen != gen) return;
+  // The pending tick still fires (uncounted work, exactly like the old
+  // kernel's stopped-flag check) and recycles the timer slot.
+  t.active = false;
+}
+
+bool Engine::timer_active(std::uint32_t slot, std::uint32_t gen) const {
+  if (slot >= timers_.size()) return false;
+  const TimerSlot& t = timers_[slot];
+  return t.active && t.gen == gen;
+}
+
+std::uint32_t Engine::alloc_slot() {
+  std::uint32_t slot;
+  if (free_head_ != kNil) {
+    slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  ++live_;
+  if (live_ > arena_high_water_) arena_high_water_ = live_;
+  return slot;
+}
+
+void Engine::free_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.reset();
+  ++s.gen;  // invalidates every outstanding handle to this slot
+  s.state = SlotState::kFree;
+  s.timer = kNil;
+  s.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
+std::uint32_t Engine::alloc_timer() {
+  std::uint32_t slot;
+  if (timer_free_head_ != kNil) {
+    slot = timer_free_head_;
+    timer_free_head_ = timers_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(timers_.size());
+    timers_.emplace_back();
+  }
+  return slot;
+}
+
+void Engine::free_timer(std::uint32_t slot) {
+  TimerSlot& t = timers_[slot];
+  t.fn.reset();
+  ++t.gen;
+  t.active = false;
+  t.next_free = timer_free_head_;
+  timer_free_head_ = slot;
+}
+
+std::uint32_t Engine::push_event(common::SimTime when, Task&& fn,
+                                 std::uint32_t timer) {
+  assert(when >= now_);
+  const std::uint32_t slot = alloc_slot();
+  slots_[slot].fn = std::move(fn);
+  stamp_and_enqueue(slot, when, timer);
+  return slot;
+}
+
+void Engine::stamp_and_enqueue(std::uint32_t slot, common::SimTime when,
+                               std::uint32_t timer) {
+  Slot& s = slots_[slot];
+  s.time = when;
+  s.seq = next_seq_++;
+  s.timer = timer;
+  s.state = SlotState::kScheduled;
+  const detail::QueueEntry e{when, s.seq, slot};
+  std::size_t depth;
+  if (kind_ == QueueKind::kCalendar) {
+    calendar_.push(e);
+    depth = calendar_.size();
+  } else {
+    heap_.push(e);
+    depth = heap_.size();
+  }
+  if (depth > max_depth_) max_depth_ = depth;
+}
+
+EventHandle Engine::schedule(common::SimDuration delay, Task fn) {
   assert(delay >= 0.0);
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-EventHandle Engine::schedule_at(common::SimTime when, Callback fn) {
+EventHandle Engine::schedule_at(common::SimTime when, Task fn) {
   assert(when >= now_);
   assert(fn);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
-  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
-  return EventHandle(std::move(cancelled));
+  const std::uint32_t slot = push_event(when, std::move(fn), kNil);
+  return EventHandle(self_, slot, slots_[slot].gen);
 }
 
-TimerHandle Engine::every(common::SimDuration period, Callback fn,
-                          common::SimDuration initial_delay) {
-  assert(period > 0.0);
-  auto stopped = std::make_shared<bool>(false);
-  if (initial_delay < 0.0) initial_delay = period;
+void Engine::post(common::SimDuration delay, Task fn) {
+  assert(delay >= 0.0);
+  post_at(now_ + delay, std::move(fn));
+}
 
-  // Each firing re-schedules the next one unless the timer was stopped.
-  // The pending event's closure owns `tick`; the tick itself captures only
-  // a weak_ptr, so once the chain stops rescheduling the function frees
-  // itself.  (A shared_ptr self-capture would be a permanent cycle: the
-  // function object could never be destroyed, leaking every timer.)
-  auto tick = std::make_shared<std::function<void()>>();
-  std::weak_ptr<std::function<void()>> weak = tick;
-  *tick = [this, period, fn = std::move(fn), stopped, weak]() {
-    if (*stopped) return;
-    fn();
-    if (*stopped) return;
-    if (auto self = weak.lock()) schedule(period, [self]() { (*self)(); });
-  };
-  schedule(initial_delay, [tick]() { (*tick)(); });
-  return TimerHandle(std::move(stopped));
+void Engine::post_at(common::SimTime when, Task fn) {
+  assert(when >= now_);
+  assert(fn);
+  push_event(when, std::move(fn), kNil);
+}
+
+TimerHandle Engine::every(common::SimDuration period, Task fn,
+                          std::optional<common::SimDuration> initial_delay) {
+  assert(fn);
+  const std::uint32_t timer = alloc_timer();
+  timers_[timer].fn = std::move(fn);
+  return arm_timer(timer, period, initial_delay);
+}
+
+TimerHandle Engine::arm_timer(std::uint32_t timer, common::SimDuration period,
+                              std::optional<common::SimDuration> initial_delay) {
+  assert(period > 0.0);
+  const common::SimDuration first = initial_delay.value_or(period);
+  assert(first >= 0.0);
+  TimerSlot& t = timers_[timer];
+  t.period = period;
+  t.active = true;
+  push_event(now_ + first, Task{}, timer);
+  return TimerHandle(self_, timer, timers_[timer].gen);
+}
+
+void Engine::reserve_events(std::size_t n) {
+  slots_.reserve(n);
+  if (kind_ == QueueKind::kCalendar) {
+    calendar_.reserve(n);
+  } else {
+    heap_.reserve(n);
+  }
 }
 
 void Engine::step() {
-  assert(!queue_.empty());
-  // top() is const, but the event is popped immediately, so moving out of
-  // it is safe and avoids copying the std::function on every step.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  assert(ev.time >= now_);
-  now_ = ev.time;
-  if (!*ev.cancelled) {
-    ++fired_;
-    ev.fn();
+  const detail::QueueEntry e = kind_ == QueueKind::kCalendar
+                                   ? calendar_.pop_min()
+                                   : heap_.pop_min();
+  assert(e.time >= now_);
+  now_ = e.time;
+  Slot& s = slots_[e.slot];
+  assert(s.state != SlotState::kFree && s.seq == e.seq);
+  const std::uint32_t timer = s.timer;
+  if (s.state == SlotState::kCancelled) {
+    free_slot(e.slot);
+    return;
+  }
+  ++fired_;
+  if (timer == kNil) {
+    // Move the callback out and recycle the slot *before* invoking: a
+    // cancel() of this event's own handle from inside the callback is then
+    // a harmless generation miss, and the callback may freely schedule new
+    // events (possibly reusing this very slot, or growing the arena).
+    Task fn = std::move(s.fn);
+    free_slot(e.slot);
+    fn();
+  } else {
+    free_slot(e.slot);
+    if (!timers_[timer].active) {
+      // cancel() landed between ticks: this pop is the cleanup.
+      free_timer(timer);
+      return;
+    }
+    // timers_ is a deque, so the callback stays at a stable address even
+    // if it registers new timers mid-fire.
+    timers_[timer].fn();
+    TimerSlot& t = timers_[timer];
+    if (!t.active) {
+      free_timer(timer);  // cancelled from inside its own callback
+      return;
+    }
+    push_event(now_ + t.period, Task{}, timer);
   }
 }
 
 std::size_t Engine::run() {
-  std::uint64_t before = fired_;
-  while (!queue_.empty()) step();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t before = fired_;
+  while (queue_size() != 0) {
+    // Peek fills the queue's min cache (so step's pop is cache-hit cheap)
+    // and lets us overlap the arena-slot fetch with the pop bookkeeping.
+    __builtin_prefetch(&slots_[peek_entry().slot], 1);
+    step();
+  }
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return static_cast<std::size_t>(fired_ - before);
 }
 
 std::size_t Engine::run_until(common::SimTime until) {
   assert(until >= now_);
-  std::uint64_t before = fired_;
-  while (!queue_.empty() && queue_.top().time <= until) step();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t before = fired_;
+  while (queue_size() != 0) {
+    const detail::QueueEntry& e = peek_entry();
+    if (e.time > until) break;
+    __builtin_prefetch(&slots_[e.slot], 1);
+    step();
+  }
   now_ = until;
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return static_cast<std::size_t>(fired_ - before);
 }
 
 std::size_t Engine::run_steps(std::size_t max_events) {
-  std::uint64_t before = fired_;
-  while (!queue_.empty() && fired_ - before < max_events) step();
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t before = fired_;
+  while (queue_size() != 0 && fired_ - before < max_events) {
+    __builtin_prefetch(&slots_[peek_entry().slot], 1);
+    step();
+  }
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return static_cast<std::size_t>(fired_ - before);
 }
 

@@ -8,10 +8,26 @@
 // experiment deterministic and lets a bench compress hours of monitoring
 // into milliseconds (see DESIGN.md "Substitutions").
 //
-// The kernel is a classic event-list simulator: a min-heap of (time, seq)
-// ordered events.  `seq` is a monotonically increasing tiebreaker so that
-// events scheduled earlier at the same timestamp fire first — this is what
-// makes multi-daemon interleavings reproducible.
+// The kernel is redesigned for zero per-event heap allocation (DESIGN.md
+// "Event kernel"):
+//
+//   * Callbacks are sim::Task (task.hpp): fixed inline storage, so no
+//     closure ever heap-allocates the way std::function did.
+//   * Events live in an engine-owned arena of slots recycled through a free
+//     list; EventHandle/TimerHandle are generation-checked slot indices, so
+//     cancellation needs no shared_ptr<bool> control block per event.
+//   * The pending set is a bucketed calendar queue (R. Brown, CACM 1988)
+//     with heap-ordered buckets, preserving the exact (time, seq) total
+//     order of the original binary heap — `seq` is a monotonically
+//     increasing tiebreaker so that events scheduled earlier at the same
+//     timestamp fire first, which is what makes multi-daemon interleavings
+//     reproducible.  QueueKind::kBinaryHeapReference keeps a frozen
+//     heap-ordered pending set selectable at construction so differential
+//     tests can prove the calendar queue's firing order byte-identical.
+//
+// In the steady state (arena and buckets warm) schedule/fire/cancel touches
+// the allocator zero times — proven by an operator-new counting test in
+// tests/test_sim_kernel.cpp.
 //
 // Single-threaded by design: determinism is worth more to a scheduling
 // study than parallel event execution, and the event volumes here (1e5-1e7
@@ -20,34 +36,59 @@
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <memory>
-#include <queue>
+#include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/task.hpp"
 
 namespace vdce::sim {
 
+class Engine;
+
+/// Which pending-set implementation an Engine uses.  The calendar queue is
+/// the production kernel; the binary-heap reference exists so differential
+/// tests (and EnvironmentOptions::sim_kernel) can replay any scenario
+/// against the frozen pre-redesign firing order.
+enum class QueueKind {
+  kCalendar,
+  kBinaryHeapReference,
+};
+
 /// Handle to a scheduled event; lets the owner cancel it (e.g. a pending
 /// task start after a reschedule, or a periodic timer on daemon shutdown).
+///
+/// A handle is a generation-checked index into the engine's event arena:
+/// copying it copies two integers and an engine anchor, and once the event
+/// has fired (or the slot has been recycled, or the engine destroyed) every
+/// operation degrades to a safe no-op.
 class EventHandle {
  public:
   EventHandle() = default;
 
-  /// Cancel the event if it has not fired yet.  Safe to call repeatedly and
-  /// after the event has fired (no-op).
+  /// Cancel the event if it has not fired yet.  Safe to call repeatedly,
+  /// after the event has fired, and after the engine has been destroyed
+  /// (no-op in all three cases).
   void cancel();
 
   [[nodiscard]] bool pending() const;
 
  private:
   friend class Engine;
-  explicit EventHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_(std::move(cancelled)) {}
-  // Shared with the queued event record: setting *cancelled_ true makes the
-  // engine drop the callback when the event is popped.
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(std::shared_ptr<Engine*> anchor, std::uint32_t slot,
+              std::uint32_t gen)
+      : anchor_(std::move(anchor)), slot_(slot), gen_(gen) {}
+
+  /// Points at the owning engine; the engine's destructor nulls the pointee
+  /// so stale handles outliving the engine stay safe.  The control block is
+  /// allocated once per engine, not per event.
+  std::shared_ptr<Engine*> anchor_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Handle to a periodic timer; cancel() stops future firings.
@@ -59,34 +100,191 @@ class TimerHandle {
 
  private:
   friend class Engine;
-  explicit TimerHandle(std::shared_ptr<bool> stopped)
-      : stopped_(std::move(stopped)) {}
-  std::shared_ptr<bool> stopped_;
+  TimerHandle(std::shared_ptr<Engine*> anchor, std::uint32_t slot,
+              std::uint32_t gen)
+      : anchor_(std::move(anchor)), slot_(slot), gen_(gen) {}
+  std::shared_ptr<Engine*> anchor_;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
+
+namespace detail {
+
+/// A queue entry: everything the pending set needs to order and dispatch an
+/// event without touching its arena slot.
+struct QueueEntry {
+  common::SimTime time;
+  std::uint64_t seq;
+  std::uint32_t slot;
+};
+
+/// Strict (time, seq) "earlier-than" — the kernel's total event order.
+inline bool earlier(const QueueEntry& a, const QueueEntry& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+/// Constrains the Engine's emplace overloads to real callables (and keeps
+/// Task itself on the by-value overloads).
+template <typename F>
+using enable_if_callable =
+    std::enable_if_t<!std::is_same_v<std::decay_t<F>, Task> &&
+                     std::is_invocable_r_v<void, std::decay_t<F>&>>;
+
+/// Bucketed calendar queue with heap-ordered buckets.
+///
+/// Events are routed to buckets[floor(t/width) mod nbuckets]; dequeue scans
+/// forward one bucket-width "window" at a time from the last dequeued
+/// event's window, so in the dense steady state (bucket occupancy kept at
+/// 0.5-2 by resize) both push and pop are O(1).  Each bucket is a binary
+/// min-heap on (time, seq): the bucket top is the bucket minimum, so the
+/// window scan inspects one entry per bucket, and heavily tied timestamps
+/// (grid-aligned periodic timers) degrade to O(log k) instead of a linear
+/// scan.  The dequeue order is the exact (time, seq) total order — the
+/// calendar changes only *where* pending events wait, never *when* they
+/// fire.
+class CalendarQueue {
+ public:
+  CalendarQueue() { rebuild(kMinBuckets, 1.0); }
+
+  void push(QueueEntry e);
+  QueueEntry pop_min();
+  /// The earliest pending entry (reference valid until the next push/pop).
+  /// Locating it fills the find_min cache, so a pop_min right after is
+  /// cache-hit cheap — the run loop peeks, prefetches the arena slot, then
+  /// pops.  Pre: !empty().
+  [[nodiscard]] const QueueEntry& min_entry();
+  /// Time of the earliest pending entry.  Pre: !empty().
+  [[nodiscard]] common::SimTime min_time() { return min_entry().time; }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+
+  /// Pre-size for n pending events (grid bring-up schedules one timer per
+  /// daemon per host up front).
+  void reserve(std::size_t n);
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+
+  [[nodiscard]] double vbucket(common::SimTime t) const noexcept;
+  [[nodiscard]] std::size_t bucket_index(double vb) const noexcept;
+  /// Locate the minimum entry (cached until the next push/pop).
+  void find_min();
+  /// Re-bucket every entry into `nbuckets` buckets of width `width`.
+  void rebuild(std::size_t nbuckets, double width);
+  void maybe_resize_after_push();
+  void maybe_resize_after_pop();
+  [[nodiscard]] double estimate_width(std::size_t nbuckets) const;
+
+  std::vector<std::vector<QueueEntry>> buckets_;
+  double width_ = 1.0;
+  /// 1/width_, kept alongside it (rebuild sets both): vbucket() is on the
+  /// push/pop hot path and a multiply is several times cheaper than the
+  /// divide.
+  double inv_width_ = 1.0;
+  std::size_t size_ = 0;
+  /// Virtual bucket (floor(time/width), kept as an integral double so huge
+  /// times never overflow an integer) of the last dequeued entry: the
+  /// window scan resumes here.  Invariant: every pending entry's vbucket is
+  /// >= cursor_, because entries are enqueued at or after the engine clock.
+  double cursor_ = 0.0;
+  common::SimTime last_popped_ = common::kSimStart;
+  /// Cache of find_min(): bucket whose top is the global minimum.
+  bool cached_ = false;
+  std::size_t cached_bucket_ = 0;
+};
+
+/// The pre-redesign pending set: one binary heap over all events.  Kept as
+/// a frozen reference so any scenario can be replayed under the original
+/// firing order (QueueKind::kBinaryHeapReference) and compared byte-for-
+/// byte against the calendar queue.
+class BinaryHeapQueue {
+ public:
+  void push(QueueEntry e);
+  QueueEntry pop_min();
+  [[nodiscard]] const QueueEntry& min_entry() const { return heap_.front(); }
+  [[nodiscard]] common::SimTime min_time() const { return heap_.front().time; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+ private:
+  std::vector<QueueEntry> heap_;  // std::*_heap on !earlier (min-heap)
+};
+
+}  // namespace detail
 
 /// The simulation engine.  Not thread-safe: all scheduling happens from the
 /// driving thread or from within event callbacks.
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  /// Callback type; any callable whose closure fits Task's inline buffer.
+  using Callback = Task;
 
-  Engine() = default;
+  explicit Engine(QueueKind queue = QueueKind::kCalendar);
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   /// Current simulated time.
   [[nodiscard]] common::SimTime now() const noexcept { return now_; }
 
+  [[nodiscard]] QueueKind queue_kind() const noexcept { return kind_; }
+
   /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
-  EventHandle schedule(common::SimDuration delay, Callback fn);
+  EventHandle schedule(common::SimDuration delay, Task fn);
 
   /// Schedule `fn` at an absolute time >= now().
-  EventHandle schedule_at(common::SimTime when, Callback fn);
+  EventHandle schedule_at(common::SimTime when, Task fn);
+
+  /// Emplace overloads: a callable (not yet a Task) is constructed directly
+  /// into its arena slot — zero intermediate relocations of the closure.
+  /// Overload resolution prefers these for lambdas (no Task conversion
+  /// needed), so every existing call site gets the fast path for free.
+  template <typename F, typename = detail::enable_if_callable<F>>
+  EventHandle schedule(common::SimDuration delay, F&& fn) {
+    assert(delay >= 0.0);
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+  template <typename F, typename = detail::enable_if_callable<F>>
+  EventHandle schedule_at(common::SimTime when, F&& fn) {
+    const std::uint32_t slot = emplace_event(when, std::forward<F>(fn), kNil);
+    return EventHandle(self_, slot, slots_[slot].gen);
+  }
+
+  /// Fire-and-forget scheduling: like schedule()/schedule_at() but returns
+  /// no handle, so the caller skips the handle's anchor refcount entirely.
+  /// The natural form for deliveries and completions nobody ever cancels
+  /// (most fabric and daemon traffic).
+  template <typename F, typename = detail::enable_if_callable<F>>
+  void post(common::SimDuration delay, F&& fn) {
+    assert(delay >= 0.0);
+    emplace_event(now_ + delay, std::forward<F>(fn), kNil);
+  }
+  template <typename F, typename = detail::enable_if_callable<F>>
+  void post_at(common::SimTime when, F&& fn) {
+    emplace_event(when, std::forward<F>(fn), kNil);
+  }
+  void post(common::SimDuration delay, Task fn);
+  void post_at(common::SimTime when, Task fn);
 
   /// Fire `fn` every `period` seconds, first firing after `initial_delay`
-  /// (defaults to one period).  The callback may cancel the timer.
-  TimerHandle every(common::SimDuration period, Callback fn,
-                    common::SimDuration initial_delay = -1.0);
+  /// (nullopt = one full period).  The callback may cancel the timer.
+  TimerHandle every(common::SimDuration period, Task fn,
+                    std::optional<common::SimDuration> initial_delay = {});
+
+  template <typename F, typename = detail::enable_if_callable<F>>
+  TimerHandle every(common::SimDuration period, F&& fn,
+                    std::optional<common::SimDuration> initial_delay = {}) {
+    const std::uint32_t timer = alloc_timer();
+    timers_[timer].fn = std::forward<F>(fn);  // in place, stable address
+    return arm_timer(timer, period, initial_delay);
+  }
 
   /// Run until the event queue is empty.  Returns the number of events fired.
   std::size_t run();
@@ -99,13 +297,15 @@ class Engine {
   /// Run at most `max_events` events; used as a watchdog in tests.
   std::size_t run_steps(std::size_t max_events);
 
-  /// Pre-size the event heap.  Grid-scale bring-up schedules one timer per
-  /// daemon per host up front; reserving once avoids repeated regrowth of
-  /// the heap's backing vector.
-  void reserve_events(std::size_t n) { queue_.reserve(n); }
+  /// Pre-size the event arena and the pending set.  Grid-scale bring-up
+  /// schedules one timer per daemon per host up front; reserving once
+  /// avoids repeated regrowth while the simulation is running.
+  void reserve_events(std::size_t n);
 
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return queue_size() == 0; }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_size();
+  }
   [[nodiscard]] std::uint64_t total_fired() const noexcept { return fired_; }
   [[nodiscard]] std::uint64_t total_scheduled() const noexcept {
     return next_seq_;
@@ -116,32 +316,139 @@ class Engine {
     return max_depth_;
   }
 
+  // --- arena accounting (exported as sim.arena_* gauges) -----------------
+  /// Event slots currently allocated (backing capacity of the arena).
+  [[nodiscard]] std::size_t arena_capacity() const noexcept {
+    return slots_.size();
+  }
+  /// Event slots currently holding a pending (or cancelled-pending) event.
+  [[nodiscard]] std::size_t arena_live() const noexcept { return live_; }
+  /// High-water mark of live event slots.
+  [[nodiscard]] std::size_t arena_high_water() const noexcept {
+    return arena_high_water_;
+  }
+  /// Timer slots ever allocated (timers are recycled through their own
+  /// free list).
+  [[nodiscard]] std::size_t timer_capacity() const noexcept {
+    return timers_.size();
+  }
+
+  // --- throughput accounting (exported as sim.events_per_sec) ------------
+  /// Wall-clock seconds spent inside run()/run_until()/run_steps().
+  [[nodiscard]] double wall_seconds_in_run() const noexcept {
+    return wall_seconds_;
+  }
+  /// Events fired per wall-clock second of run time (0 before any run).
+  [[nodiscard]] double events_per_sec() const noexcept {
+    return wall_seconds_ > 0.0 ? static_cast<double>(fired_) / wall_seconds_
+                               : 0.0;
+  }
+
  private:
-  struct Event {
-    common::SimTime time;
-    std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<bool> cancelled;
+  friend class EventHandle;
+  friend class TimerHandle;
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  enum class SlotState : std::uint8_t { kFree, kScheduled, kCancelled };
+
+  /// One arena slot.  `timer != kNil` marks a periodic-timer tick: the
+  /// callback then lives in the timer slot (stable across firings), not
+  /// here.
+  struct Slot {
+    Task fn;
+    common::SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNil;
+    std::uint32_t timer = kNil;
+    SlotState state = SlotState::kFree;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+
+  /// A periodic timer.  Lives in a deque so the Task stays at a stable
+  /// address even if a timer callback registers new timers mid-fire.
+  struct TimerSlot {
+    Task fn;
+    common::SimDuration period = 0.0;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNil;
+    bool active = false;
   };
-  /// priority_queue with access to the backing vector for reserve().
-  struct Queue : std::priority_queue<Event, std::vector<Event>, Later> {
-    void reserve(std::size_t n) { c.reserve(n); }
-  };
+
+  // Handle back-ends (generation-checked; stale handles are no-ops).
+  void cancel_event(std::uint32_t slot, std::uint32_t gen);
+  [[nodiscard]] bool event_pending(std::uint32_t slot,
+                                   std::uint32_t gen) const;
+  void cancel_timer(std::uint32_t slot, std::uint32_t gen);
+  [[nodiscard]] bool timer_active(std::uint32_t slot, std::uint32_t gen) const;
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  std::uint32_t alloc_timer();
+  void free_timer(std::uint32_t slot);
+
+  /// Allocate a slot, stamp (time, seq), and enqueue.  Returns the slot.
+  /// Takes Task&& so a caller's closure is relocated exactly once (into the
+  /// arena slot), not staged through a by-value parameter.
+  std::uint32_t push_event(common::SimTime when, Task&& fn,
+                           std::uint32_t timer);
+
+  /// Like push_event, but constructs the callable in the slot (no Task
+  /// staging at all) — the emplace overloads' backend.
+  template <typename F>
+  std::uint32_t emplace_event(common::SimTime when, F&& fn,
+                              std::uint32_t timer) {
+    assert(when >= now_);
+    const std::uint32_t slot = alloc_slot();
+    slots_[slot].fn = std::forward<F>(fn);
+    stamp_and_enqueue(slot, when, timer);
+    return slot;
+  }
+
+  /// Shared tail of push_event/emplace_event: stamp (time, seq), mark
+  /// scheduled, enqueue, track depth.
+  void stamp_and_enqueue(std::uint32_t slot, common::SimTime when,
+                         std::uint32_t timer);
+
+  /// Shared tail of every(): record the period, mark active, schedule the
+  /// first tick.  The callable is already in timers_[timer].fn.
+  TimerHandle arm_timer(std::uint32_t timer, common::SimDuration period,
+                        std::optional<common::SimDuration> initial_delay);
+
+  [[nodiscard]] std::size_t queue_size() const noexcept {
+    return kind_ == QueueKind::kCalendar ? calendar_.size() : heap_.size();
+  }
+  [[nodiscard]] common::SimTime peek_time() { return peek_entry().time; }
+  /// Earliest pending entry (reference valid until the next push/pop).
+  [[nodiscard]] const detail::QueueEntry& peek_entry() {
+    return kind_ == QueueKind::kCalendar ? calendar_.min_entry()
+                                         : heap_.min_entry();
+  }
 
   /// Pop and fire the earliest event.  Pre: queue not empty.
   void step();
 
+  QueueKind kind_;
   common::SimTime now_ = common::kSimStart;
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   std::size_t max_depth_ = 0;
-  Queue queue_;
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNil;
+  std::size_t live_ = 0;
+  std::size_t arena_high_water_ = 0;
+
+  std::deque<TimerSlot> timers_;
+  std::uint32_t timer_free_head_ = kNil;
+
+  detail::CalendarQueue calendar_;
+  detail::BinaryHeapQueue heap_;
+
+  double wall_seconds_ = 0.0;
+
+  /// Engine-lifetime anchor shared with every handle; nulled on destruction.
+  std::shared_ptr<Engine*> self_;
 };
 
 }  // namespace vdce::sim

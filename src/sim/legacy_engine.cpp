@@ -1,0 +1,88 @@
+// Frozen pre-redesign kernel (see legacy_engine.hpp).  This is the old
+// engine.cpp verbatim, renamed — keep its cost profile and semantics.
+#include "sim/legacy_engine.hpp"
+
+#include <utility>
+
+namespace vdce::sim::legacy {
+
+void LegacyEventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool LegacyEventHandle::pending() const {
+  return cancelled_ && !*cancelled_ && cancelled_.use_count() > 1;
+}
+
+void LegacyTimerHandle::cancel() {
+  if (stopped_) *stopped_ = true;
+}
+
+bool LegacyTimerHandle::active() const { return stopped_ && !*stopped_; }
+
+LegacyEventHandle LegacyEngine::schedule(common::SimDuration delay,
+                                         Callback fn) {
+  assert(delay >= 0.0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+LegacyEventHandle LegacyEngine::schedule_at(common::SimTime when, Callback fn) {
+  assert(when >= now_);
+  assert(fn);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
+  return LegacyEventHandle(std::move(cancelled));
+}
+
+LegacyTimerHandle LegacyEngine::every(common::SimDuration period, Callback fn,
+                                      common::SimDuration initial_delay) {
+  assert(period > 0.0);
+  auto stopped = std::make_shared<bool>(false);
+  if (initial_delay < 0.0) initial_delay = period;
+
+  auto tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak = tick;
+  *tick = [this, period, fn = std::move(fn), stopped, weak]() {
+    if (*stopped) return;
+    fn();
+    if (*stopped) return;
+    if (auto self = weak.lock()) schedule(period, [self]() { (*self)(); });
+  };
+  schedule(initial_delay, [tick]() { (*tick)(); });
+  return LegacyTimerHandle(std::move(stopped));
+}
+
+void LegacyEngine::step() {
+  assert(!queue_.empty());
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  if (!*ev.cancelled) {
+    ++fired_;
+    ev.fn();
+  }
+}
+
+std::size_t LegacyEngine::run() {
+  std::uint64_t before = fired_;
+  while (!queue_.empty()) step();
+  return static_cast<std::size_t>(fired_ - before);
+}
+
+std::size_t LegacyEngine::run_until(common::SimTime until) {
+  assert(until >= now_);
+  std::uint64_t before = fired_;
+  while (!queue_.empty() && queue_.top().time <= until) step();
+  now_ = until;
+  return static_cast<std::size_t>(fired_ - before);
+}
+
+std::size_t LegacyEngine::run_steps(std::size_t max_events) {
+  std::uint64_t before = fired_;
+  while (!queue_.empty() && fired_ - before < max_events) step();
+  return static_cast<std::size_t>(fired_ - before);
+}
+
+}  // namespace vdce::sim::legacy

@@ -14,7 +14,7 @@ VdceEnvironment::VdceEnvironment(net::Topology topology,
     : topology_(std::move(topology)),
       options_(options),
       obs_(options.metrics, options.trace, options.flight),
-      engine_(),
+      engine_(options.sim_kernel),
       fabric_(engine_, topology_),
       admission_(options.tenancy) {
   set_log_level(options_.log_level);
@@ -179,6 +179,18 @@ obs::MetricsRegistry& VdceEnvironment::metrics() {
       .set(static_cast<double>(engine_.max_queue_depth()));
   m.gauge("sim.pending_events")
       .set(static_cast<double>(engine_.pending_events()));
+  // Event-kernel health: throughput (events fired per wall-clock second
+  // spent inside the run loops) and arena occupancy (docs/SCALING.md).
+  // Throughput is wall-clock-derived, so it lives in the wall_gauge family
+  // that the byte-identical to_jsonl() export omits.
+  m.wall_gauge("sim.events_per_sec").set(engine_.events_per_sec());
+  m.gauge("sim.arena_capacity")
+      .set(static_cast<double>(engine_.arena_capacity()));
+  m.gauge("sim.arena_live").set(static_cast<double>(engine_.arena_live()));
+  m.gauge("sim.arena_high_water")
+      .set(static_cast<double>(engine_.arena_high_water()));
+  m.gauge("sim.timer_capacity")
+      .set(static_cast<double>(engine_.timer_capacity()));
   return m;
 }
 
@@ -281,7 +293,7 @@ common::Status VdceEnvironment::validate_tasks(const afg::Afg& graph,
 
 common::Expected<sched::ResourceAllocationTable> VdceEnvironment::schedule(
     const afg::Afg& graph, const Session& session,
-    sched::SiteSchedulerOptions options) {
+    sched::SchedulingPolicy options) {
   if (!up_) {
     return common::Error{common::ErrorCode::kInternal,
                          "schedule(): environment not brought up"};

@@ -94,6 +94,12 @@ struct Session {
 
 struct EnvironmentOptions {
   runtime::RuntimeOptions runtime;
+  /// Which pending-set implementation the event kernel uses (DESIGN.md
+  /// "Event kernel").  kCalendar is the production zero-allocation kernel;
+  /// kBinaryHeapReference replays the frozen pre-redesign firing order and
+  /// exists so differential tests can assert the two produce byte-identical
+  /// traces on any scenario.  Never set the reference kind in real runs.
+  sim::QueueKind sim_kernel = sim::QueueKind::kCalendar;
   /// Environment-wide default scheduling policy (docs/SCHEDULING.md).
   /// Validated at try_bring_up(): a `strategy` naming nothing in the
   /// registry is a typed kInvalidArgument there, before any daemon starts.
@@ -139,7 +145,7 @@ struct EnvironmentOptions {
 };
 
 struct RunOptions {
-  sched::SiteSchedulerOptions sched;
+  sched::SchedulingPolicy sched;
   /// Execute with real kernels from the registry (false = timing-only).
   bool real_kernels = true;
   /// QoS: requested completion deadline in seconds of makespan (0 = none).
@@ -284,7 +290,7 @@ class VdceEnvironment {
   /// simulated time.
   common::Expected<sched::ResourceAllocationTable> schedule(
       const afg::Afg& graph, const Session& session,
-      sched::SiteSchedulerOptions options = {});
+      sched::SchedulingPolicy options = {});
 
   /// Full pipeline: schedule, distribute, execute, report.  Implemented as
   /// submit_application() + wait(), so a solo run takes exactly the same

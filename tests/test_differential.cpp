@@ -83,7 +83,7 @@ TEST(Differential, OptimizedMatchesNaiveAcrossCorpus) {
       for (PriorityMode priority :
            {PriorityMode::kPaperLevels, PriorityMode::kCommLevels,
             PriorityMode::kFifo}) {
-        SiteSchedulerOptions options;
+        SchedulingPolicy options;
         options.objective = objective;
         options.priority = priority;
         VdceSiteScheduler optimized(options);
@@ -115,7 +115,7 @@ TEST(Differential, StalenessPenaltyPathAlsoMatches) {
   w.tasks = 40;
   w.seed = 8;
   afg::Afg graph = scale::make_workload(w, "stale-diff");
-  SiteSchedulerOptions options;
+  SchedulingPolicy options;
   options.stale_after = 10.0;
   VdceSiteScheduler optimized(options);
   auto fast = optimized.schedule(graph, dep.context);

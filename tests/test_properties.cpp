@@ -236,8 +236,8 @@ struct CorpusDeployment {
 
 /// Cycle scheduler options deterministically by case index so the corpus
 /// covers both objectives and all three priority modes.
-sched::SiteSchedulerOptions corpus_options(std::size_t index) {
-  sched::SiteSchedulerOptions options;
+sched::SchedulingPolicy corpus_options(std::size_t index) {
+  sched::SchedulingPolicy options;
   options.objective = index % 2 == 0 ? sched::SiteObjective::kAvailabilityAware
                                      : sched::SiteObjective::kPaperObjective;
   switch ((index / 2) % 3) {

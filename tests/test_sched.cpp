@@ -259,7 +259,7 @@ TEST_F(SchedFixture, SchedulesFigure1Shape) {
 
 TEST_F(SchedFixture, PaperObjectiveAlsoFeasible) {
   afg::Afg graph = afg::make_linear_solver_shape(1e5);
-  SiteSchedulerOptions options;
+  SchedulingPolicy options;
   options.objective = SiteObjective::kPaperObjective;
   VdceSiteScheduler scheduler(options);
   auto table = scheduler.schedule(graph, context);
@@ -272,7 +272,7 @@ TEST_F(SchedFixture, LocalAccessStaysOnLocalSite) {
   afg::LayeredDagSpec spec;
   spec.tasks = 30;
   afg::Afg graph = afg::make_layered_dag(spec, rng);
-  SiteSchedulerOptions options;
+  SchedulingPolicy options;
   options.access = db::AccessDomain::kLocalSite;
   VdceSiteScheduler scheduler(options);
   auto table = scheduler.schedule(graph, context);
@@ -386,7 +386,7 @@ TEST_F(SchedFixture, PriorityModesAllProduceFeasibleSchedules) {
   afg::Afg graph = afg::make_layered_dag(spec, rng);
   for (auto priority : {PriorityMode::kPaperLevels, PriorityMode::kCommLevels,
                         PriorityMode::kFifo}) {
-    SiteSchedulerOptions options;
+    SchedulingPolicy options;
     options.priority = priority;
     VdceSiteScheduler scheduler(options);
     auto table = scheduler.schedule(graph, context);
@@ -398,7 +398,7 @@ TEST_F(SchedFixture, PriorityModesAllProduceFeasibleSchedules) {
 TEST_F(SchedFixture, NeighborsDomainClipsCandidateSites) {
   SchedulerContext wide = context;
   wide.k_nearest = 10;  // ask for everything
-  SiteSchedulerOptions options;
+  SchedulingPolicy options;
   options.access = db::AccessDomain::kNeighbors;
   auto sites = candidate_site_set(wide, options);
   EXPECT_LE(sites.size(), 3u);  // local + at most 2 neighbours

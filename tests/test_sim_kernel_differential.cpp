@@ -1,0 +1,210 @@
+// Environment-level differential for the event-kernel redesign: every
+// scenario must produce a byte-identical trace whether the engine's pending
+// set is the production calendar queue or the frozen binary-heap reference
+// (QueueKind::kBinaryHeapReference, the pre-redesign firing order).
+//
+// Three scenario families, matching the suites that define the repo's
+// determinism contract:
+//
+//   * the 200-case generated scale corpus (docs/SCALING.md),
+//   * the chaos replay scenario (crashes + loss + degrade + stale + slow)
+//     from tests/test_chaos.cpp,
+//   * the 8-tenant concurrent-submission fleet from tests/test_tenancy.cpp.
+//
+// The kernels differ only in *where* pending events wait, never in *when*
+// they fire — so traces, injector logs, and reports must match to the byte.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "afg/generate.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/injector.hpp"
+#include "common/strings.hpp"
+#include "scale/generate.hpp"
+#include "vdce/environment.hpp"
+#include "vdce/testbed.hpp"
+
+namespace vdce {
+namespace {
+
+// ---- 200-case scale corpus --------------------------------------------------
+
+std::string run_corpus_case(const scale::CorpusCase& c, sim::QueueKind kind) {
+  ScaleSpec spec;
+  spec.grid = c.grid;
+  spec.options.sim_kernel = kind;
+  spec.options.trace.enabled = true;
+  spec.options.runtime.exec_noise_cv = 0.1;  // include the stochastic path
+  auto env = VdceEnvironment::make_scale_environment(spec);
+  EXPECT_TRUE(env.has_value()) << env.error().to_string();
+  if (!env) return {};
+  auto session =
+      (*env)->login(common::SiteId(0), spec.admin_user, spec.admin_password);
+  EXPECT_TRUE(session.has_value());
+  if (!session) return {};
+  afg::Afg graph = scale::make_workload(
+      c.workload, "kernel-diff-" + std::to_string(c.index));
+  RunOptions run;
+  run.real_kernels = false;
+  auto report = (*env)->run_application(graph, *session, run);
+  EXPECT_TRUE(report.has_value()) << "case " << c.index;
+  std::string out = (*env)->trace().to_jsonl();
+  if (report.has_value()) out += report->describe(graph);
+  return out;
+}
+
+TEST(SimKernelDifferential, ScaleCorpusTracesAreByteIdenticalAcrossKernels) {
+  scale::CorpusSpec spec;  // the full default 200-case corpus
+  std::size_t checked = 0;
+  for (const scale::CorpusCase& c : scale::make_corpus(spec)) {
+    const std::string calendar =
+        run_corpus_case(c, sim::QueueKind::kCalendar);
+    const std::string heap =
+        run_corpus_case(c, sim::QueueKind::kBinaryHeapReference);
+    ASSERT_FALSE(calendar.empty()) << "case " << c.index;
+    ASSERT_EQ(calendar, heap) << "case " << c.index
+                              << ": the calendar queue changed the trace";
+    ++checked;
+  }
+  EXPECT_EQ(checked, spec.cases);
+}
+
+// ---- chaos replay -----------------------------------------------------------
+
+/// The determinism artifact from tests/test_chaos.cpp: every chaos.* /
+/// recovery.* trace instant in recording order.
+std::string fault_recovery_trace(VdceEnvironment& env) {
+  std::string out;
+  for (const obs::TraceEvent& event : env.trace().events()) {
+    if (event.category != "chaos" && event.category != "recovery") continue;
+    out += event.name;
+    out += " t=";
+    out += common::format_double(event.start, 4);
+    for (const obs::TraceArg& a : event.args) {
+      out += ' ';
+      out += a.key;
+      out += '=';
+      out += a.value;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string run_chaotic_workload(sim::QueueKind kind) {
+  chaos::FaultPlan plan;
+  plan.name("kernel-diff")
+      .seed(21)
+      .crash(common::HostId(2), 2.0, 6.0)
+      .loss(0.3, 0.5, 5.0, "dm.")
+      .degrade(0, 1, 1.0, 10.0, 3.0, 0.5)
+      .stale_site(1, 2.0, 4.0)
+      .slow(common::HostId(4), 1.0, 6.0, 2.0);
+  EnvironmentOptions options;
+  options.sim_kernel = kind;
+  options.runtime.exec_noise_cv = 0.0;
+  options.runtime.echo_period = 0.5;
+  options.runtime.progress_period = 1.0;
+  options.runtime.seed = 99;
+  options.trace.enabled = true;
+  options.metrics.enabled = true;
+  options.faults = std::move(plan);
+  VdceEnvironment env(make_campus_pair(13), options);
+  EXPECT_TRUE(env.try_bring_up().ok());
+  EXPECT_TRUE(env.try_add_user("u", "p").ok());
+  Session session = env.login(common::SiteId(0), "u", "p").value();
+
+  afg::Afg graph = afg::make_fork_join(3, 2, 800, 1e5);
+  RunOptions run;
+  run.real_kernels = false;
+  auto report = env.run_application(graph, session, run);
+  EXPECT_TRUE(report.has_value());
+  env.run_for(5.0);
+
+  std::string out = env.chaos()->log_text();
+  out += fault_recovery_trace(env);
+  out += env.trace().to_jsonl();
+  if (report.has_value()) out += report->describe(graph);
+  return out;
+}
+
+TEST(SimKernelDifferential, ChaosReplayIsByteIdenticalAcrossKernels) {
+  const std::string calendar =
+      run_chaotic_workload(sim::QueueKind::kCalendar);
+  const std::string heap =
+      run_chaotic_workload(sim::QueueKind::kBinaryHeapReference);
+  ASSERT_FALSE(calendar.empty());
+  EXPECT_EQ(calendar, heap);
+}
+
+// ---- 8-tenant fleet ---------------------------------------------------------
+
+std::string run_tenant_fleet(sim::QueueKind kind) {
+  scale::TenantSpec tenants;
+  tenants.tenants = 8;
+  tenants.apps_per_tenant = 2;
+  tenants.seed = 7;
+
+  ScaleSpec spec;
+  spec.grid.sites = 2;
+  spec.grid.hosts_per_site = 6;
+  spec.grid.seed = 41;
+  spec.options.sim_kernel = kind;
+  spec.options.trace.enabled = true;
+  spec.options.runtime.exec_noise_cv = 0.0;
+  auto env = VdceEnvironment::make_scale_environment(spec);
+  EXPECT_TRUE(env.has_value()) << env.error().to_string();
+  if (!env) return {};
+
+  const std::vector<scale::TenantArrival> arrivals =
+      scale::make_tenant_arrivals(tenants);
+  std::vector<Session> sessions;
+  for (std::size_t t = 0; t < tenants.tenants; ++t) {
+    int priority = 1;
+    for (const scale::TenantArrival& a : arrivals) {
+      if (a.tenant == t) {
+        priority = a.priority;
+        break;
+      }
+    }
+    const std::string user = "tenant" + std::to_string(t);
+    EXPECT_TRUE((*env)->try_add_user(user, "pw", priority).ok());
+    sessions.push_back((*env)->login(common::SiteId(0), user, "pw").value());
+  }
+
+  std::vector<AppHandle> handles;
+  std::vector<afg::Afg> graphs;
+  for (const scale::TenantArrival& a : arrivals) {
+    if (a.at > (*env)->now()) (*env)->run_for(a.at - (*env)->now());
+    graphs.push_back(scale::make_workload(a.workload, a.app_name));
+    RunOptions run;
+    run.real_kernels = false;
+    auto handle =
+        (*env)->submit_application(graphs.back(), sessions[a.tenant], run);
+    EXPECT_TRUE(handle.has_value()) << a.app_name;
+    if (handle) handles.push_back(*handle);
+  }
+  EXPECT_TRUE((*env)->drain().ok());
+
+  std::string out = (*env)->trace().to_jsonl();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    auto report = (*env)->report(handles[i]);
+    EXPECT_TRUE(report.has_value());
+    if (report) out += report->describe(graphs[i]);
+  }
+  return out;
+}
+
+TEST(SimKernelDifferential, EightTenantFleetIsByteIdenticalAcrossKernels) {
+  const std::string calendar = run_tenant_fleet(sim::QueueKind::kCalendar);
+  const std::string heap =
+      run_tenant_fleet(sim::QueueKind::kBinaryHeapReference);
+  ASSERT_FALSE(calendar.empty());
+  EXPECT_EQ(calendar, heap);
+}
+
+}  // namespace
+}  // namespace vdce
