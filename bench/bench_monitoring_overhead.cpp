@@ -8,13 +8,16 @@
 //
 // Second section: the cost of the observability layer itself.  The same
 // monitored testbed runs with observability off (flight recorder disabled),
-// off (flight recorder on — the default), metrics only, and metrics + full
-// tracing; the wall-clock deltas are the per-config overhead.  This is the
-// bench that backs docs/OBSERVABILITY.md's zero-cost claims, including
-// "the always-on flight recorder has no measurable idle overhead".
+// off (flight recorder on — the default), metrics only, metrics + the
+// health plane, and metrics + full tracing; the wall-clock deltas are the
+// per-config overhead.  This is the bench that backs docs/OBSERVABILITY.md's
+// zero-cost claims, including "the always-on flight recorder has no
+// measurable idle overhead" and the health plane's <= 5% budget.
 //
 // Ends with one machine-readable JSON line (bench_fault_recovery-style) so
-// CI and notebooks can track the series.  `--smoke` shortens the horizon.
+// CI and notebooks can track the series.  `--smoke` shortens the horizon;
+// `--check` exits non-zero if the health row exceeds metrics-only by more
+// than 5% (with an absolute noise floor for short smoke runs).
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -52,7 +55,12 @@ double timed_run_ms(vdce::EnvironmentOptions options, double horizon,
 
 int main(int argc, char** argv) {
   using namespace vdce;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
   const double horizon = smoke ? 20.0 : 120.0;
   const int reps = smoke ? 1 : 3;
 
@@ -134,7 +142,7 @@ int main(int argc, char** argv) {
 
   // --- observability overhead ------------------------------------------------
   bench::print_note(
-      "\nObservability overhead: identical monitored run under four configs\n"
+      "\nObservability overhead: identical monitored run under five configs\n"
       "(wall-clock, best of " +
       std::to_string(reps) + "):");
 
@@ -149,6 +157,9 @@ int main(int argc, char** argv) {
   EnvironmentOptions off = base;  // flight recorder on: the default
   EnvironmentOptions metrics = base;
   metrics.metrics.enabled = true;
+  EnvironmentOptions health = base;
+  health.metrics.enabled = true;
+  health.health.enabled = true;
   EnvironmentOptions full = base;
   full.metrics.enabled = true;
   full.trace.enabled = true;
@@ -160,14 +171,19 @@ int main(int argc, char** argv) {
   const Mode modes[] = {{"off_noflight", off_noflight},
                         {"off", off},
                         {"metrics", metrics},
+                        {"health", health},
                         {"full_trace", full}};
 
   bench::Table overhead({"config", "wall (ms)", "vs off_noflight"});
   double baseline_ms = 0.0;
+  double metrics_ms = 0.0;
+  double health_ms = 0.0;
   json += ",\"obs_overhead\":[";
   for (std::size_t i = 0; i < std::size(modes); ++i) {
     const double ms = timed_run_ms(modes[i].options, horizon, reps);
     if (i == 0) baseline_ms = ms;
+    if (std::strcmp(modes[i].name, "metrics") == 0) metrics_ms = ms;
+    if (std::strcmp(modes[i].name, "health") == 0) health_ms = ms;
     const double pct =
         baseline_ms > 0 ? (ms - baseline_ms) / baseline_ms * 100.0 : 0.0;
     overhead.add_row({modes[i].name, bench::Table::num(ms, 2),
@@ -185,7 +201,25 @@ int main(int argc, char** argv) {
       "db error rises — the knee (threshold ~ load noise) is why the paper\n"
       "forwards only 'considerable' changes.  The 'off' row (flight recorder\n"
       "armed, everything else dark) should be indistinguishable from\n"
-      "off_noflight: the always-on ring is a guarded handful of stores.");
+      "off_noflight: the always-on ring is a guarded handful of stores.\n"
+      "The health row (metrics + windowed series + rules + probes) must\n"
+      "stay within 5% of metrics-only — its budget in docs/OBSERVABILITY.md.");
   std::printf("\n%s\n", json.c_str());
+
+  if (check) {
+    // Gate the health plane against its documented budget.  Short smoke runs
+    // jitter by tens of ms on shared CI hosts, so an absolute floor keeps a
+    // 12 ms run from failing on a 1 ms blip.
+    const double budget_ms = std::max(metrics_ms * 1.05, metrics_ms + 30.0);
+    if (health_ms > budget_ms) {
+      std::printf("check: FAILED (health %.2f ms vs metrics %.2f ms; budget "
+                  "%.2f ms)\n",
+                  health_ms, metrics_ms, budget_ms);
+      return 1;
+    }
+    std::printf("check: ok (health %.2f ms within %.2f ms budget over "
+                "metrics %.2f ms)\n",
+                health_ms, budget_ms, metrics_ms);
+  }
   return 0;
 }

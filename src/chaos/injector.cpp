@@ -65,8 +65,36 @@ Status ChaosInjector::arm() {
   for (std::size_t i = 0; i < plan_.events().size(); ++i) {
     schedule_event(i, resolved[i]);
   }
+  resolved_hosts_ = std::move(resolved);
   armed_ = true;
   return Status::success();
+}
+
+std::vector<obs::health::GroundTruthFault> ChaosInjector::ground_truth() const {
+  std::vector<obs::health::GroundTruthFault> truth;
+  if (!armed_) return truth;
+  truth.reserve(plan_.events().size());
+  for (std::size_t i = 0; i < plan_.events().size(); ++i) {
+    const FaultEvent& e = plan_.events()[i];
+    obs::health::GroundTruthFault f;
+    f.kind = to_string(e.kind);
+    f.at = e.at;
+    f.duration = e.duration;
+    if (!e.host.empty()) {
+      const HostId host = resolved_hosts_[i];
+      f.host = static_cast<std::int64_t>(host.value());
+      f.site = static_cast<std::int64_t>(topology_.host(host).site.value());
+    } else if (e.kind == FaultKind::kStaleMonitor ||
+               e.kind == FaultKind::kMessageLoss) {
+      f.site = e.site_a;  // site-wide window (stale site N / loss site N)
+    }
+    if (e.kind == FaultKind::kLinkDegrade || e.kind == FaultKind::kPartition) {
+      f.site_a = std::min(e.site_a, e.site_b);
+      f.site_b = std::max(e.site_a, e.site_b);
+    }
+    truth.push_back(std::move(f));
+  }
+  return truth;
 }
 
 Expected<HostId> ChaosInjector::resolve(const HostRef& ref) const {

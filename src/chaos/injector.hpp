@@ -83,6 +83,11 @@ class ChaosInjector final : public net::FaultInterceptor {
     return faults_injected_;
   }
 
+  /// Ground truth for detection scoring (obs/health.hpp): one record per
+  /// armed plan event, host references resolved to concrete ids and sites.
+  /// Valid only after a successful arm(); empty before.
+  [[nodiscard]] std::vector<obs::health::GroundTruthFault> ground_truth() const;
+
  private:
   struct ActivePartition {
     common::SiteId a, b;
@@ -123,6 +128,9 @@ class ChaosInjector final : public net::FaultInterceptor {
   FaultPlan plan_;
   common::Rng rng_;
   bool armed_ = false;
+  /// Host reference of each plan event resolved at arm time (HostId{} where
+  /// the event names no host); kept for ground_truth().
+  std::vector<common::HostId> resolved_hosts_;
 
   // Active windows.  Each vector is small (bounded by concurrently active
   // plan events), so linear scans on the send path are cheap.

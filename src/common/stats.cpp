@@ -14,7 +14,7 @@ void Stats::add(double sample) {
 }
 
 double Stats::mean() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());
 }
 
@@ -27,17 +27,17 @@ double Stats::stddev() const {
 }
 
 double Stats::min() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Stats::max() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double Stats::percentile(double p) const {
-  assert(!samples_.empty());
+  if (samples_.empty()) return 0.0;
   assert(p >= 0.0 && p <= 100.0);
   std::vector<double> sorted = samples_;
   std::sort(sorted.begin(), sorted.end());

@@ -73,11 +73,54 @@ std::string MetricsRegistry::to_jsonl() const {
       out += ",\"mean\":" + json_number(h.mean()) +
              ",\"min\":" + json_number(h.min()) +
              ",\"p50\":" + json_number(h.percentile(50)) +
+             ",\"p90\":" + json_number(h.percentile(90)) +
              ",\"p99\":" + json_number(h.percentile(99)) +
+             ",\"p999\":" + json_number(h.percentile(99.9)) +
              ",\"max\":" + json_number(h.max());
+    } else {
+      // No samples: quantiles are undefined — export nulls, never the
+      // NaN/Inf an unguarded percentile would produce.
+      out += ",\"mean\":null,\"min\":null,\"p50\":null,\"p90\":null,"
+             "\"p99\":null,\"p999\":null,\"max\":null";
     }
     out += "}\n";
   }
+  return out;
+}
+
+std::string MetricsRegistry::to_openmetrics() const {
+  std::string out;
+  auto sanitize = [](const std::string& name) {
+    std::string s = name;
+    for (char& c : s) {
+      if (c == '.' || c == '-') c = '_';
+    }
+    return s;
+  };
+  for (const auto& [name, c] : counters_) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + "_total " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + json_number(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = sanitize(name);
+    out += "# TYPE " + n + " summary\n";
+    if (!h.empty()) {
+      out += n + "{quantile=\"0.5\"} " + json_number(h.percentile(50)) + "\n";
+      out += n + "{quantile=\"0.9\"} " + json_number(h.percentile(90)) + "\n";
+      out += n + "{quantile=\"0.99\"} " + json_number(h.percentile(99)) + "\n";
+      out +=
+          n + "{quantile=\"0.999\"} " + json_number(h.percentile(99.9)) + "\n";
+    }
+    out += n + "_sum " + json_number(h.sum()) + "\n";
+    out += n + "_count " + std::to_string(h.count()) + "\n";
+  }
+  out += "# EOF\n";
   return out;
 }
 

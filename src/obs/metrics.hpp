@@ -93,9 +93,20 @@ class MetricsRegistry {
 
   /// One JSON object per line, metrics in name order within each kind
   /// (counters, then gauges, then histograms).  Wall gauges are omitted —
-  /// this export is the byte-identical determinism artifact.  Example:
+  /// this export is the byte-identical determinism artifact.  Histogram
+  /// lines carry count plus mean/min/p50/p90/p99/p999/max; an empty
+  /// histogram exports count 0 with null quantiles (never NaN/Inf).
+  /// Example:
   ///   {"kind":"counter","name":"monitor.samples","value":1920}
   [[nodiscard]] std::string to_jsonl() const;
+
+  /// OpenMetrics text exposition (the Prometheus-compatible scrape format):
+  /// counters as `<name>_total`, gauges as gauges, histograms as summaries
+  /// with p50/p90/p99/p99.9 quantile lines plus _sum/_count.  Metric names
+  /// are sanitised ('.' and '-' become '_'); wall gauges are omitted so the
+  /// exposition stays byte-identical across identical-seed runs; ends with
+  /// the mandatory "# EOF".
+  [[nodiscard]] std::string to_openmetrics() const;
 
   /// Human-readable table for examples and bench footers.
   [[nodiscard]] std::string render() const;

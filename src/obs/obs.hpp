@@ -8,6 +8,7 @@
 #pragma once
 
 #include "obs/flight.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -21,8 +22,17 @@ class Observability {
  public:
   Observability() = default;
   Observability(const MetricsOptions& metrics, const TraceOptions& trace,
-                const FlightOptions& flight = {})
-      : metrics_on_(metrics.enabled), trace_(trace), flight_(flight) {}
+                const FlightOptions& flight = {},
+                const health::HealthOptions& health = {})
+      : metrics_on_(metrics.enabled),
+        trace_(trace),
+        flight_(flight),
+        health_(health) {
+    // The plane mirrors alerts into the metrics registry and trace stream;
+    // wire() is a no-op when the plane is disabled, so a health-off run
+    // never touches either sink.
+    health_.wire(metrics.enabled ? &metrics_ : nullptr, &trace_);
+  }
 
   [[nodiscard]] bool metrics_on() const noexcept { return metrics_on_; }
   [[nodiscard]] bool trace_on() const noexcept { return trace_.enabled(); }
@@ -46,11 +56,21 @@ class Observability {
     return flight_;
   }
 
+  /// The live health plane (docs/OBSERVABILITY.md "Health plane"): labelled
+  /// time-series, SLO rules, alerts.  Disabled by default; like flight, it
+  /// is deliberately not part of any_on().
+  [[nodiscard]] bool health_on() const noexcept { return health_.enabled(); }
+  [[nodiscard]] health::HealthPlane& health() noexcept { return health_; }
+  [[nodiscard]] const health::HealthPlane& health() const noexcept {
+    return health_;
+  }
+
  private:
   bool metrics_on_ = false;
   MetricsRegistry metrics_;
   TraceSink trace_;
   FlightRecorder flight_;
+  health::HealthPlane health_;
 };
 
 }  // namespace vdce::obs

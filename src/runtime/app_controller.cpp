@@ -63,6 +63,9 @@ void AppController::check_load() {
     if (core_.metering()) {
       core_.meters().counter("recovery.overload_terminations").add();
     }
+    core_.health_event(obs::health::kRecoveryActions,
+                       static_cast<std::int64_t>(host_.value()),
+                       static_cast<std::int64_t>(h.site.value()));
     if (core_.tracing()) {
       core_.trace_sink().instant(
           "recovery", "recovery.overload", core_.now(), host_.value(),

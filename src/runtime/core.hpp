@@ -161,6 +161,28 @@ class RuntimeCore {
     if (obs_ != nullptr) obs_->flight().record(engine_.now(), code, track, a, b, v);
   }
 
+  // --- health plane (obs/health.hpp, docs/OBSERVABILITY.md) -----------------
+  /// Daemons guard their series feeds with health_on(); health_plane() is
+  /// valid only when it returned true.
+  [[nodiscard]] bool health_on() const noexcept {
+    return obs_ != nullptr && obs_->health_on();
+  }
+  [[nodiscard]] obs::health::HealthPlane& health_plane() noexcept {
+    return obs_->health();
+  }
+  /// Rare-event counter feed (recovery actions, failure detections): bumps
+  /// the cumulative series for `metric`, creating it on first use.  Safe to
+  /// call unguarded — a disabled plane makes this one branch.
+  void health_event(const char* metric, std::int64_t host = -1,
+                    std::int64_t site = -1, double delta = 1.0) {
+    if (!health_on()) return;
+    obs::health::SeriesKey key;
+    key.metric = metric;
+    key.host = host;
+    key.site = site;
+    obs_->health().observe_delta(key, engine_.now(), delta);
+  }
+
  private:
   sim::Engine& engine_;
   net::Fabric& fabric_;

@@ -138,6 +138,10 @@ void DataManager::send_setup(common::AppId app, common::HostId peer) {
       if (core_.metering()) {
         core_.meters().counter("recovery.channel_abandoned").add();
       }
+      core_.health_event(
+          obs::health::kRecoveryActions,
+          static_cast<std::int64_t>(host_.value()),
+          static_cast<std::int64_t>(core_.topology().host(host_).site.value()));
       if (core_.tracing()) {
         core_.trace_sink().instant(
             "recovery", "recovery.channel_abandoned", core_.now(),
@@ -154,6 +158,10 @@ void DataManager::send_setup(common::AppId app, common::HostId peer) {
     if (core_.metering()) {
       core_.meters().counter("recovery.channel_retries").add();
     }
+    core_.health_event(
+        obs::health::kRecoveryActions,
+        static_cast<std::int64_t>(host_.value()),
+        static_cast<std::int64_t>(core_.topology().host(host_).site.value()));
     if (core_.tracing()) {
       core_.trace_sink().instant(
           "recovery", "recovery.channel_retry", core_.now(), host_.value(),

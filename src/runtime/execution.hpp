@@ -15,6 +15,7 @@
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "obs/causal.hpp"
+#include "obs/health.hpp"
 #include "tasklib/registry.hpp"
 
 namespace vdce::runtime {
@@ -128,6 +129,11 @@ struct ExecutionReport {
   /// Output values of exit tasks (port 0), keyed by task-id value; empty
   /// for timing-only runs.
   std::unordered_map<std::uint32_t, tasklib::Value> exit_outputs;
+
+  /// Health-plane alerts (obs/health.hpp) that fired while this submission
+  /// was in flight ([enqueued, completed]).  Empty when the plane is off or
+  /// the run bypassed the submission pipeline.
+  std::vector<obs::health::Alert> alerts;
 
   // --- causal analysis (obs/causal.hpp) -------------------------------------
   /// The report's causal view: tasks from outcomes, dependency edges from

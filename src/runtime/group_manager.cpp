@@ -78,6 +78,10 @@ void GroupManager::echo_tick() {
       if (core_.metering()) {
         core_.meters().counter("monitor.failures_detected").add();
       }
+      core_.health_event(obs::health::kFailuresDetected,
+                         static_cast<std::int64_t>(member.value()),
+                         static_cast<std::int64_t>(
+                             core_.topology().host(member).site.value()));
       core_.flight(obs::FlightCode::kHostDown, member.value());
       if (core_.tracing()) {
         core_.trace_sink().instant(

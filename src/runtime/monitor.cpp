@@ -11,6 +11,16 @@ void MonitorDaemon::start() {
   started_ = true;
   noise_ = common::Rng(core_.options().seed ^
                        (0x9e3779b97f4a7c15ULL * (host_.value() + 1)));
+  if (core_.health_on()) {
+    const net::Host& h = core_.topology().host(host_);
+    obs::health::SeriesKey key;
+    key.host = static_cast<std::int64_t>(host_.value());
+    key.site = static_cast<std::int64_t>(h.site.value());
+    key.metric = obs::health::kHostLoad;
+    load_series_ = core_.health_plane().series(key, core_.now());
+    key.metric = obs::health::kHostMem;
+    mem_series_ = core_.health_plane().series(key, core_.now());
+  }
   // Phase-stagger the first sample across the period.
   double phase = noise_.uniform(0.0, core_.options().monitor_period);
   timer_ = core_.engine().every(core_.options().monitor_period,
@@ -41,6 +51,15 @@ void MonitorDaemon::sample_and_report() {
   report.sample.available_mb =
       noise_.normal(h.state.available_mb,
                     core_.options().measurement_noise * h.spec.memory_mb, 0.0);
+
+  // Health-plane feed: the *measured* values, after the mute check, so a
+  // crashed host and a stale-monitor window both starve the series and the
+  // monitor-stale rule sees exactly what a real alerting pipeline would.
+  if (load_series_ != nullptr) {
+    obs::health::HealthPlane& health = core_.health_plane();
+    health.observe(load_series_, core_.now(), report.sample.cpu_load);
+    health.observe(mem_series_, core_.now(), report.sample.available_mb);
+  }
 
   (void)core_.fabric().send(net::Message{
       host_, group_leader_, msg::kMonReport, wire::mon_report(),

@@ -38,6 +38,11 @@ class MonitorDaemon {
   sim::TimerHandle timer_;
   common::Rng noise_{0};
   bool started_ = false;
+  /// Health-plane series for this host's samples, resolved once at start()
+  /// (null when the plane is off) so the sampling path stays a pointer
+  /// store — see obs/health.hpp.
+  obs::health::TimeSeries* load_series_ = nullptr;
+  obs::health::TimeSeries* mem_series_ = nullptr;
 };
 
 }  // namespace vdce::runtime

@@ -138,6 +138,9 @@ void SiteManager::on_gm_host_down(const net::Message& message) {
       << " down";
   core_.flight(obs::FlightCode::kHostDown, notice.host.value());
   if (core_.metering()) core_.meters().counter("recovery.hosts_marked_down").add();
+  core_.health_event(obs::health::kRecoveryActions,
+                     static_cast<std::int64_t>(notice.host.value()),
+                     static_cast<std::int64_t>(site_.value()));
   if (core_.tracing()) {
     core_.trace_sink().instant("recovery", "recovery.host_down", core_.now(),
                                obs::kControlTrack,
@@ -519,6 +522,9 @@ void SiteManager::on_ac_overload(const net::Message& message) {
         << "task " << app.plan->graph.task(notice.task).instance_name
         << " hit the attempt cap; pinning on host " << notice.host.value();
     if (core_.metering()) core_.meters().counter("recovery.task_pins").add();
+    core_.health_event(obs::health::kRecoveryActions,
+                       static_cast<std::int64_t>(notice.host.value()),
+                       static_cast<std::int64_t>(site_.value()));
     ++app.attempts[notice.task.value()];
     RecoveryEvent pinned;
     pinned.task = notice.task;
@@ -544,6 +550,8 @@ bool SiteManager::consume_recovery_budget(ActiveApp& app, const char* action) {
                app.plan->app.value(), 0xFFFFFFFFu,
                static_cast<double>(app.recovery_actions - 1));
   if (core_.metering()) core_.meters().counter("recovery.escalations").add();
+  core_.health_event(obs::health::kRecoveryActions, /*host=*/-1,
+                     static_cast<std::int64_t>(site_.value()));
   if (core_.tracing()) {
     core_.trace_sink().instant(
         "recovery", "recovery.escalation", core_.now(), obs::kControlTrack,
@@ -663,6 +671,9 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
   core_.flight(obs::FlightCode::kRecovery, bad_host.value(),
                app.plan->app.value(), task.value());
   if (core_.metering()) core_.meters().counter("recovery.reschedules").add();
+  core_.health_event(obs::health::kRecoveryActions,
+                     static_cast<std::int64_t>(bad_host.value()),
+                     static_cast<std::int64_t>(site_.value()));
   if (core_.tracing()) {
     // Causal tag: the next exec.task span of this task is the relaunched
     // attempt this recovery action caused.
@@ -775,6 +786,8 @@ void SiteManager::progress_sweep() {
       core_.flight(obs::FlightCode::kRecovery, server_.value(),
                    app.plan->app.value());
       if (core_.metering()) core_.meters().counter("recovery.relaunches").add();
+      core_.health_event(obs::health::kRecoveryActions, /*host=*/-1,
+                         static_cast<std::int64_t>(site_.value()));
       if (core_.tracing()) {
         core_.trace_sink().instant(
             "recovery", "recovery.relaunch", core_.now(), obs::kControlTrack,
@@ -817,6 +830,8 @@ void SiteManager::stall_recover(ActiveApp& app) {
                app.plan->app.value(),
                static_cast<std::uint32_t>(app.done.size()));
   if (core_.metering()) core_.meters().counter("recovery.stall_resends").add();
+  core_.health_event(obs::health::kRecoveryActions, /*host=*/-1,
+                     static_cast<std::int64_t>(site_.value()));
   if (core_.tracing()) {
     core_.trace_sink().instant(
         "recovery", "recovery.stall", core_.now(), obs::kControlTrack,

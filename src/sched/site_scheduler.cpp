@@ -382,6 +382,12 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
         m.counter("sched.contention.bids_reranked").add(contention_reranked);
       }
     }
+    if (context.obs->health_on() && contention_skips > 0) {
+      obs::health::SeriesKey key;
+      key.metric = obs::health::kContentionSkips;
+      context.obs->health().observe_delta(
+          key, context.now, static_cast<double>(contention_skips));
+    }
     if (context.obs->trace_on()) {
       context.obs->trace().instant(
           "sched", "sched.assign", context.now, obs::kControlTrack,

@@ -13,7 +13,7 @@ VdceEnvironment::VdceEnvironment(net::Topology topology,
                                  EnvironmentOptions options)
     : topology_(std::move(topology)),
       options_(options),
-      obs_(options.metrics, options.trace, options.flight),
+      obs_(options.metrics, options.trace, options.flight, options.health),
       engine_(options.sim_kernel),
       fabric_(engine_, topology_),
       admission_(options.tenancy) {
@@ -67,6 +67,11 @@ common::Status VdceEnvironment::try_bring_up() {
   }
   obs_.trace().set_tracks(std::move(tracks));
 
+  // Health plane before the daemons: rules and series registered here, in
+  // deterministic topology order, so the monitor daemons' cached lookups
+  // (and the trace's series indices) never depend on agent start order.
+  setup_health_plane();
+
   for (const net::Host& host : topology_.hosts()) {
     agents_.push_back(std::make_unique<runtime::HostAgent>(*core_, host.id));
   }
@@ -103,7 +108,125 @@ common::Status VdceEnvironment::try_bring_up() {
     core_->set_monitor_mute(
         [this](common::HostId h) { return chaos_->monitor_muted(h); });
   }
+
+  // Health probes and rule evaluation start once everything else is wired,
+  // so the first tick sees the same world an injected fault would.
+  if (obs_.health_on()) {
+    for (auto& agent : agents_) {
+      agent->add_extension([this](const net::Message& message) {
+        return handle_health_message(message);
+      });
+    }
+    health_timer_ = engine_.every(options_.health.cadence,
+                                  [this] { health_tick(); });
+  }
   return common::Status::success();
+}
+
+void VdceEnvironment::setup_health_plane() {
+  if (!obs_.health_on()) return;
+  obs::health::HealthPlane& hp = obs_.health();
+  const common::SimTime now = engine_.now();
+  hp.start(now);
+
+  if (options_.health.default_rules) {
+    obs::health::DefaultRuleParams params;
+    params.monitor_period = options_.runtime.monitor_period;
+    params.cadence = options_.health.cadence;
+    params.sensitivity = options_.health.sensitivity;
+    params.overload_threshold = options_.runtime.overload_threshold;
+    for (obs::health::HealthRule& rule : obs::health::default_rules(params)) {
+      hp.add_rule(std::move(rule), now);
+    }
+  }
+  for (const obs::health::HealthRule& rule : options_.health.rules) {
+    hp.add_rule(rule, now);
+  }
+
+  // Per-host sample series (monitor daemons cache these at start()).
+  obs::health::SeriesKey key;
+  for (const net::Host& host : topology_.hosts()) {
+    key = obs::health::SeriesKey{};
+    key.host = static_cast<std::int64_t>(host.id.value());
+    key.site = static_cast<std::int64_t>(host.site.value());
+    key.metric = obs::health::kHostLoad;
+    (void)hp.series(key, now);
+    key.metric = obs::health::kHostMem;
+    (void)hp.series(key, now);
+  }
+  // One RTT series per unordered site pair, fed by the cadence probes.
+  const std::size_t site_count = topology_.site_count();
+  for (std::size_t a = 0; a + 1 < site_count; ++a) {
+    for (std::size_t b = a + 1; b < site_count; ++b) {
+      key = obs::health::SeriesKey{};
+      key.metric = obs::health::kLinkRtt;
+      key.link_a = static_cast<std::int64_t>(a);
+      key.link_b = static_cast<std::int64_t>(b);
+      (void)hp.series(key, now);
+    }
+  }
+  // Control-plane series, cached for the tick's zero-lookup feeds.
+  key = obs::health::SeriesKey{};
+  key.metric = obs::health::kQueueDepth;
+  queue_series_ = hp.series(key, now);
+  key.metric = obs::health::kSchedSeconds;
+  sched_series_ = hp.series(key, now);
+  key.metric = obs::health::kRejections;
+  (void)hp.series(key, now);
+  // Wall-clock series: visible in env.health() and --series, excluded from
+  // rules, tracing, and replay (same contract as metrics wall gauges).
+  key = obs::health::SeriesKey{};
+  key.metric = obs::health::kEventsPerSec;
+  events_series_ = hp.wall_series(key, now);
+}
+
+void VdceEnvironment::health_tick() {
+  obs::health::HealthPlane& hp = obs_.health();
+  const common::SimTime now = engine_.now();
+  // Active inter-site probes: monitor feeds are in-process per host, so a
+  // partition starves nothing on its own — the probe RTT series is what the
+  // link staleness/latency rules watch.
+  ++probe_seq_;
+  const std::size_t site_count = topology_.site_count();
+  for (std::size_t a = 0; a + 1 < site_count; ++a) {
+    for (std::size_t b = a + 1; b < site_count; ++b) {
+      obs::health::HealthProbe probe;
+      probe.site_a = static_cast<std::int64_t>(a);
+      probe.site_b = static_cast<std::int64_t>(b);
+      probe.seq = probe_seq_;
+      probe.sent = now;
+      (void)fabric_.send(net::Message{
+          topology_.site(common::SiteId(static_cast<std::uint32_t>(a))).server,
+          topology_.site(common::SiteId(static_cast<std::uint32_t>(b))).server,
+          "health.probe", 64.0, std::any(probe)});
+    }
+  }
+  hp.observe(queue_series_, now,
+             static_cast<double>(admission_.queue_depth()));
+  hp.observe(events_series_, now, engine_.events_per_sec());
+  hp.evaluate(now);
+}
+
+bool VdceEnvironment::handle_health_message(const net::Message& message) {
+  if (!common::starts_with(message.type, "health.")) return false;
+  if (message.type == "health.probe") {
+    // Bounce the payload back unchanged; the reply's arrival time measures
+    // the round trip.
+    (void)fabric_.send(net::Message{message.dst, message.src,
+                                    "health.probe_reply", 64.0,
+                                    message.payload});
+  } else if (message.type == "health.probe_reply") {
+    const auto& probe =
+        std::any_cast<const obs::health::HealthProbe&>(message.payload);
+    obs::health::SeriesKey key;
+    key.metric = obs::health::kLinkRtt;
+    key.link_a = probe.site_a;
+    key.link_b = probe.site_b;
+    obs::health::HealthPlane& hp = obs_.health();
+    hp.observe(hp.find_series(key), engine_.now(),
+               engine_.now() - probe.sent);
+  }
+  return true;
 }
 
 common::Expected<std::reference_wrapper<db::SiteRepository>>
@@ -368,6 +491,11 @@ common::Expected<AppHandle> VdceEnvironment::submit_application(
   if (auto st = admission_.enqueue(handle.id, account->user_name,
                                    account->priority);
       !st.ok()) {
+    if (obs_.health_on()) {
+      obs::health::SeriesKey key;
+      key.metric = obs::health::kRejections;
+      obs_.health().observe_delta(key, engine_.now());
+    }
     return st.error();
   }
 
@@ -420,6 +548,7 @@ void VdceEnvironment::on_scheduled(
   if (it == slots_.end()) return;
   SubmissionSlot& slot = *it->second;
   slot.scheduling_time = engine_.now() - slot.admitted;
+  obs_.health().observe(sched_series_, engine_.now(), slot.scheduling_time);
 
   if (!table) {
     if (table.error().code == common::ErrorCode::kNoFeasibleResource &&
@@ -509,6 +638,13 @@ void VdceEnvironment::on_executed(std::uint64_t handle,
 
 void VdceEnvironment::finalize_submission(
     SubmissionSlot& slot, common::Expected<runtime::ExecutionReport> result) {
+  // Surface the health alerts that fired while this submission was in
+  // flight — the run's own SLO weather report.
+  if (result.has_value() && obs_.health_on()) {
+    for (const obs::health::Alert& alert : obs_.health().alerts()) {
+      if (alert.fired >= slot.enqueued) result->alerts.push_back(alert);
+    }
+  }
   slot.result = std::move(result);
   slot.state = AppState::kFinished;
   slot.terminal = true;

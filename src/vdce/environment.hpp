@@ -126,6 +126,14 @@ struct EnvironmentOptions {
   /// Near-zero cost (preallocated POD ring, no allocation per record) — see
   /// docs/OBSERVABILITY.md.
   obs::FlightOptions flight;
+  /// Live health plane (obs/health.hpp, docs/OBSERVABILITY.md): windowed
+  /// time-series over monitor samples / queue depth / recovery actions /
+  /// inter-site probe RTTs, declarative SLO rules evaluated every `cadence`
+  /// simulated seconds, and typed alerts surfaced through env.health(),
+  /// ExecutionReport::alerts, and the trace stream (replayable offline via
+  /// vdce-inspect --alerts).  Off by default; a disabled plane registers
+  /// nothing and leaves traces byte-identical to a build without it.
+  obs::health::HealthOptions health;
   /// Console log verbosity for the whole environment.  Prefer this (and
   /// set_log_level()) over poking common::Logger::instance() directly.
   common::LogLevel log_level = common::LogLevel::kOff;
@@ -248,6 +256,12 @@ class VdceEnvironment {
   /// EnvironmentOptions::flight.
   [[nodiscard]] obs::FlightRecorder& flight_recorder() noexcept {
     return obs_.flight();
+  }
+  /// The live health plane (series, rules, alert log, OpenMetrics export);
+  /// see EnvironmentOptions::health.  Valid whether or not the plane is
+  /// enabled — a disabled plane just holds no series and no alerts.
+  [[nodiscard]] obs::health::HealthPlane& health() noexcept {
+    return obs_.health();
   }
 
   /// Console log verbosity (the supported replacement for poking
@@ -414,6 +428,18 @@ class VdceEnvironment {
   /// task fails here with its name instead of deep inside the runtime.
   common::Status validate_tasks(const afg::Afg& graph, const Session& session);
 
+  // --- health plane (EnvironmentOptions::health) ----------------------------
+  /// Install rules and pre-register every series in deterministic topology
+  /// order.  Runs before the daemons start so their cached series lookups
+  /// find stable, pre-created rings.  No-op when the plane is disabled.
+  void setup_health_plane();
+  /// Cadence tick: send inter-site probes, sample the control-plane series,
+  /// and evaluate every rule.
+  void health_tick();
+  /// HostAgent extension: answer health.probe, fold health.probe_reply into
+  /// the link.rtt series.  Returns true when the message was consumed.
+  bool handle_health_message(const net::Message& message);
+
   net::Topology topology_;
   EnvironmentOptions options_;
   obs::Observability obs_;
@@ -429,6 +455,15 @@ class VdceEnvironment {
   std::unique_ptr<chaos::ChaosInjector> chaos_;
   bool up_ = false;
   common::AppId::value_type next_app_ = 0;
+
+  // --- health plane state ---------------------------------------------------
+  sim::TimerHandle health_timer_;
+  std::uint64_t probe_seq_ = 0;
+  /// Cached control-plane series (null when the plane is off or the series
+  /// cap was hit; HealthPlane::observe(nullptr, ...) is a no-op).
+  obs::health::TimeSeries* queue_series_ = nullptr;
+  obs::health::TimeSeries* sched_series_ = nullptr;
+  obs::health::TimeSeries* events_series_ = nullptr;
 
   // --- multi-tenant submission pipeline (docs/TENANCY.md) -----------------
   tenancy::AdmissionController admission_;

@@ -67,6 +67,64 @@ TEST(Metrics, JsonlIsNameOrdered) {
   EXPECT_LT(first, last);
 }
 
+TEST(Metrics, EmptyHistogramExportsNullQuantilesNeverNaN) {
+  obs::MetricsRegistry registry;
+  (void)registry.histogram("exec.task_seconds");  // touched but never fed
+  const std::string jsonl = registry.to_jsonl();
+  EXPECT_NE(
+      jsonl.find("\"count\":0,\"mean\":null,\"min\":null,\"p50\":null,"
+                 "\"p90\":null,\"p99\":null,\"p999\":null,\"max\":null"),
+      std::string::npos)
+      << jsonl;
+  EXPECT_EQ(jsonl.find("nan"), std::string::npos);
+  EXPECT_EQ(jsonl.find("inf"), std::string::npos);
+  const std::string om = registry.to_openmetrics();
+  EXPECT_EQ(om.find("nan"), std::string::npos);
+  EXPECT_EQ(om.find("inf"), std::string::npos);
+  // _count/_sum are still present for the empty summary; quantiles are not.
+  EXPECT_NE(om.find("exec_task_seconds_count 0"), std::string::npos) << om;
+  EXPECT_EQ(om.find("quantile"), std::string::npos);
+}
+
+TEST(Metrics, HistogramJsonlCarriesTailQuantiles) {
+  obs::MetricsRegistry registry;
+  common::Stats& h = registry.histogram("exec.task_seconds");
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  const std::string jsonl = registry.to_jsonl();
+  EXPECT_NE(jsonl.find("\"p90\":900"), std::string::npos) << jsonl;
+  // Nearest-rank on 1..1000: rank ceil(0.999 * 1000) lands on the last
+  // element (the 0.999 literal rounds up in binary).
+  EXPECT_NE(jsonl.find("\"p999\":1000"), std::string::npos) << jsonl;
+}
+
+TEST(Metrics, OpenMetricsExposition) {
+  obs::MetricsRegistry registry;
+  registry.counter("fabric.sends").add(3);
+  registry.gauge("sim.now").set(1.5);
+  registry.histogram("exec.task_seconds").add(2.0);
+  const std::string om = registry.to_openmetrics();
+  EXPECT_NE(om.find("# TYPE fabric_sends counter\nfabric_sends_total 3\n"),
+            std::string::npos)
+      << om;
+  EXPECT_NE(om.find("sim_now 1.5"), std::string::npos);
+  EXPECT_NE(om.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(om.find("exec_task_seconds_count 1"), std::string::npos);
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+}
+
+TEST(Stats, EmptyQueriesReturnZeroAndReserveDoesNotCount) {
+  common::Stats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  s.reserve(128);
+  EXPECT_EQ(s.count(), 0u);
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 4.0);
+}
+
 // ---- trace sink ------------------------------------------------------------
 
 TEST(Trace, DisabledSinkRecordsNothing) {

@@ -14,10 +14,18 @@
 // identical to what ExecutionReport::critical_path() reported in-process —
 // tests/test_causal.cpp and `vdce-inspect --selftest` assert exactly that.
 //
+// When the trace was recorded with the health plane enabled
+// (EnvironmentOptions::health), the tool also reconstructs the plane
+// offline: --series prints every time series (and its OpenMetrics
+// exposition), --alerts re-runs the rule engine over the recorded samples
+// and verifies the re-evaluated alert stream matches the live one byte for
+// byte (obs/health.hpp replay_trace).
+//
 // Usage:
 //   vdce-inspect TRACE.jsonl [--app N] [--chrome OUT.json] [--jsonl OUT.jsonl]
-//                            [--quiet]
+//                            [--series] [--alerts] [--quiet]
 //   vdce-inspect --selftest
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +36,7 @@
 #include <vector>
 
 #include "obs/causal.hpp"
+#include "obs/health.hpp"
 #include "obs/trace.hpp"
 #include "vdce/vdce.hpp"
 
@@ -37,18 +46,61 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s TRACE.jsonl [--app N] [--chrome OUT.json] [--jsonl OUT.jsonl]"
-      " [--quiet]\n"
+      " [--series] [--alerts] [--quiet]\n"
       "       %s --selftest\n"
       "\n"
       "Offline causal analysis of a VDCE JSONL trace export: per-application\n"
       "critical path, phase breakdown, host/link timelines, and what-if\n"
       "slack.  --chrome re-exports the trace for chrome://tracing (pid =\n"
       "site, tid = host); --jsonl re-renders the parsed trace (byte-identical\n"
-      "to the input); --quiet suppresses the text report.  --selftest runs a\n"
-      "traced application in-process and verifies the offline pipeline\n"
-      "round-trips it.\n",
+      "to the input); --series / --alerts reconstruct the health plane from\n"
+      "the trace's health.* records (series summary + OpenMetrics, and the\n"
+      "re-evaluated alert log verified against the recorded one); --quiet\n"
+      "suppresses the text report.  --selftest runs a traced application\n"
+      "in-process and verifies the offline pipeline round-trips it.\n",
       argv0, argv0);
   return 2;
+}
+
+/// Shared tail of --series / --alerts: replay the health records and verify
+/// the re-evaluated alert stream against the recorded one.
+int health_report(const vdce::obs::ParsedTrace& parsed, bool series,
+                  bool alerts) {
+  namespace health = vdce::obs::health;
+  auto replay = health::replay_trace(parsed);
+  if (!replay) {
+    std::fprintf(stderr, "vdce-inspect: %s\n",
+                 replay.error().to_string().c_str());
+    return 1;
+  }
+  vdce::common::SimTime horizon = 0.0;
+  for (const auto& e : parsed.events) horizon = std::max(horizon, e.end());
+
+  if (series) {
+    const auto& store = replay->plane.all_series();
+    std::printf("\nhealth series (%zu):\n", store.size());
+    for (const auto& ts : store) {
+      std::printf("  %-40s %6llu samples, last %.9g @ %.4f\n",
+                  ts->key().label().c_str(),
+                  static_cast<unsigned long long>(ts->total()), ts->last(),
+                  ts->last_time());
+    }
+    std::printf("\n%s", replay->plane.to_openmetrics(horizon).c_str());
+  }
+  if (alerts) {
+    std::printf("\nalerts (%zu, %zu recorded):\n", replay->plane.alerts().size(),
+                replay->recorded.size());
+    std::printf("%s", health::render_alerts(replay->plane.alerts()).c_str());
+    if (!replay->matches()) {
+      std::fprintf(stderr,
+                   "vdce-inspect: replayed alert stream DIVERGES from the "
+                   "recorded one\n--- recorded ---\n%s",
+                   health::render_alerts(replay->recorded).c_str());
+      return 1;
+    }
+    std::printf("replay verified: re-evaluated alerts match the live run\n");
+  }
+  return 0;
 }
 
 // In-process end-to-end check of the whole offline pipeline: run a traced
@@ -126,12 +178,18 @@ int main(int argc, char** argv) {
   std::string jsonl_out;
   std::uint32_t only_app = vdce::obs::kNoCausalId;
   bool quiet = false;
+  bool series = false;
+  bool alerts = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--selftest") == 0) return selftest();
     if (std::strcmp(a, "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(a, "--series") == 0) {
+      series = true;
+    } else if (std::strcmp(a, "--alerts") == 0) {
+      alerts = true;
     } else if (std::strcmp(a, "--app") == 0 && i + 1 < argc) {
       only_app = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(a, "--chrome") == 0 && i + 1 < argc) {
@@ -191,6 +249,7 @@ int main(int argc, char** argv) {
   std::printf("%s: %zu tracks, %zu events, %zu application run%s\n",
               input.c_str(), parsed->tracks.size(), parsed->events.size(),
               apps.size(), apps.size() == 1 ? "" : "s");
+  if (series || alerts) return health_report(*parsed, series, alerts);
   if (apps.empty()) {
     std::printf(
         "no app.run spans found — was the trace recorded with tracing "
