@@ -24,6 +24,7 @@ enum class ErrorCode {
   kInvalidArgument,
   kNoFeasibleResource,
   kQuotaExceeded,
+  kReservationConflict,
   kHostDown,
   kCycleDetected,
   kParseError,
@@ -43,6 +44,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kNoFeasibleResource: return "no_feasible_resource";
     case ErrorCode::kQuotaExceeded: return "quota_exceeded";
+    case ErrorCode::kReservationConflict: return "reservation_conflict";
     case ErrorCode::kHostDown: return "host_down";
     case ErrorCode::kCycleDetected: return "cycle_detected";
     case ErrorCode::kParseError: return "parse_error";

@@ -122,9 +122,10 @@ void carve_gap(const AppTrace& app, common::SimTime gap_start,
 CriticalPath critical_path(const AppTrace& app) {
   CriticalPath path;
   path.makespan = app.makespan();
-  // Pre-execution admission wait; reported alongside the phases but outside
-  // total(), which tiles [exec_started, completed] only.
+  // Pre-execution admission and reservation waits; reported alongside the
+  // phases but outside total(), which tiles [exec_started, completed] only.
   path.phases.contention = std::max(0.0, app.contention());
+  path.phases.reservation = std::max(0.0, app.reservation());
 
   // Walk back from the last finisher along the dependency with the greatest
   // finish time — the classic schedule-length chain.
@@ -424,6 +425,17 @@ std::vector<AppTrace> extract_apps(const ParsedTrace& trace) {
       AppTrace& app = app_of(app_id);
       app.enqueued = ev.start;
       app.admitted = ev.end();
+      if (app.released < app.admitted) app.released = app.admitted;
+    } else if (ev.name == "app.reservation") {
+      // Advance-reservation park [admitted, released].  When no contention
+      // span preceded it the submission never queued, so the span start is
+      // also its enqueue/admission instant.
+      AppTrace& app = app_of(app_id);
+      app.released = ev.end();
+      if (app.admitted == 0.0) {
+        app.enqueued = ev.start;
+        app.admitted = ev.start;
+      }
     } else if (ev.name == "exec.task" && ev.causal.task != kNoCausalId) {
       AppTrace& app = app_of(app_id);
       std::string name = arg_string(ev, "task");
@@ -555,6 +567,10 @@ std::string render_report(const AppTrace& app,
   if (cp.phases.contention > 0.0) {
     out += "admission contention (before execution, outside makespan): " +
            fixed(cp.phases.contention) + " s\n";
+  }
+  if (cp.phases.reservation > 0.0) {
+    out += "reservation wait (before execution, outside makespan): " +
+           fixed(cp.phases.reservation) + " s\n";
   }
   out += "\n";
 

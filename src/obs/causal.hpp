@@ -71,6 +71,11 @@ struct AppTrace {
   /// scheduling began.  Both 0 when the run never queued.
   common::SimTime enqueued = 0.0;
   common::SimTime admitted = 0.0;
+  /// Advance-reservation window (app.reservation span,
+  /// docs/RESERVATIONS.md): admitted -> released is time the admitted
+  /// submission parked until its committed window opened.  Equal to
+  /// `admitted` (phase 0) when the run carried no reservation ticket.
+  common::SimTime released = 0.0;
   common::SimTime exec_started = 0.0;  ///< startup signal (makespan origin)
   common::SimTime completed = 0.0;     ///< coordinator saw the last task done
   std::vector<TaskExec> tasks;
@@ -79,6 +84,9 @@ struct AppTrace {
 
   [[nodiscard]] common::SimDuration contention() const noexcept {
     return admitted - enqueued;
+  }
+  [[nodiscard]] common::SimDuration reservation() const noexcept {
+    return released - admitted;
   }
 
   [[nodiscard]] common::SimDuration makespan() const noexcept {
@@ -117,6 +125,9 @@ struct PhaseTotals {
   /// contention happens before exec_started, so total() == makespan holds
   /// with or without tenancy.
   common::SimDuration contention = 0.0;
+  /// Advance-reservation wait (admitted -> released).  Outside total() for
+  /// the same reason as contention: it ends before exec_started.
+  common::SimDuration reservation = 0.0;
   common::SimDuration startup = 0.0;
   common::SimDuration compute = 0.0;
   common::SimDuration transfer = 0.0;

@@ -87,6 +87,8 @@ inline constexpr const char* kRecoveryActions = "recovery.actions";
 inline constexpr const char* kFailuresDetected = "monitor.failures";
 inline constexpr const char* kSchedSeconds = "sched.decision_seconds";
 inline constexpr const char* kContentionSkips = "sched.contention_skips";
+inline constexpr const char* kReservationWait = "reservation.wait_seconds";
+inline constexpr const char* kReservationDisplaced = "reservation.displaced";
 inline constexpr const char* kEventsPerSec = "sim.events_per_sec";
 
 // ---------------------------------------------------------------------------

@@ -68,6 +68,14 @@ struct RuntimeOptions {
   /// Exists so the strategies differential suite can prove the registry
   /// dispatch bit-identical to the frozen path; never set it in real runs.
   bool legacy_direct_assign = false;
+  /// Test-only escape hatch: ignore the advance-reservation window plane
+  /// entirely — scheduling contexts carry no WindowTable and the
+  /// environment never parks a submission on a window, exactly as the
+  /// pre-window pipeline behaved.  Exists so the reservations differential
+  /// suite can prove the zero-booking path byte-identical to the
+  /// instantaneous-only scheduler (docs/RESERVATIONS.md); never set it in
+  /// real runs.
+  bool legacy_instant_reservations = false;
   std::uint64_t seed = 1234;
 };
 
@@ -112,11 +120,14 @@ class RuntimeCore {
 
   /// Host reservations shared by every site coordinator — the source of
   /// truth that keeps concurrent applications from double-booking machines
-  /// (sched/reservations.hpp, docs/TENANCY.md).
-  [[nodiscard]] sched::ReservationTable& reservations() noexcept {
+  /// (sched/reservations.hpp, docs/TENANCY.md).  Since the advance-
+  /// reservation plane (docs/RESERVATIONS.md) this is the time-indexed
+  /// WindowTable; the instantaneous acquire/release surface is unchanged
+  /// and the zero-window case behaves identically to the old table.
+  [[nodiscard]] sched::WindowTable& reservations() noexcept {
     return reservations_;
   }
-  [[nodiscard]] const sched::ReservationTable& reservations() const noexcept {
+  [[nodiscard]] const sched::WindowTable& reservations() const noexcept {
     return reservations_;
   }
 
@@ -191,7 +202,7 @@ class RuntimeCore {
   RuntimeOptions options_;
   predict::Predictor predictor_;
   predict::GroundTruthModel ground_truth_;
-  sched::ReservationTable reservations_;
+  sched::WindowTable reservations_;
   common::Rng rng_;
   obs::Observability* obs_ = nullptr;
   std::function<bool(common::HostId)> monitor_muted_;

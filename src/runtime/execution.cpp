@@ -13,6 +13,7 @@ obs::causal::AppTrace ExecutionReport::causal_view() const {
   view.name = app_name;
   view.enqueued = enqueued;
   view.admitted = admitted;
+  view.released = std::max(released, admitted);
   view.exec_started = exec_started;
   view.completed = completed;
   for (const TaskOutcome& o : outcomes) {
@@ -53,6 +54,11 @@ std::string ExecutionReport::describe(const afg::Afg& graph) const {
     out += "  admission wait " + common::format_double(admitted - enqueued, 4) +
            "s (enqueued " + common::format_double(enqueued, 4) +
            "s, admitted " + common::format_double(admitted, 4) + "s)\n";
+  }
+  if (released > admitted) {
+    out += "  reservation wait " +
+           common::format_double(released - admitted, 4) + "s (window opened " +
+           common::format_double(released, 4) + "s)\n";
   }
   for (const TaskOutcome& o : outcomes) {
     out += "  " + graph.task(o.task).instance_name + ": host " +

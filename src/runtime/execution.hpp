@@ -63,6 +63,11 @@ struct ExecutionReport {
   /// were ahead in line.
   common::SimTime enqueued = 0;
   common::SimTime admitted = 0;
+  /// When scheduling actually began (docs/RESERVATIONS.md): a submission
+  /// carrying an advance-reservation ticket parks after admission until its
+  /// committed window opens, so `released` is the window start; for every
+  /// other run released == admitted and the reservation phase is 0.
+  common::SimTime released = 0;
 
   common::SimTime submitted = 0;    ///< execution request received
   common::SimTime exec_started = 0; ///< startup signal sent (channels ready)
@@ -99,6 +104,10 @@ struct ExecutionReport {
     /// Admission-queue wait under multi-tenant contention (admitted -
     /// enqueued); 0 when the run never queued behind other tenants.
     common::SimDuration contention = 0.0;
+    /// Advance-reservation wait (released - admitted): the admitted
+    /// submission parked until its committed window opened
+    /// (docs/RESERVATIONS.md); 0 for runs without a reservation ticket.
+    common::SimDuration reservation = 0.0;
     common::SimDuration scheduling = 0.0;  ///< Fig. 2 bid gather + assignment
     common::SimDuration setup = 0.0;       ///< RAT fan-out, channels, staging
     common::SimDuration execution = 0.0;   ///< startup signal -> last task
@@ -106,12 +115,13 @@ struct ExecutionReport {
     /// queueing + recovery overhead.
     common::SimDuration task_busy = 0.0;
     [[nodiscard]] common::SimDuration total() const {
-      return contention + scheduling + setup + execution;
+      return contention + reservation + scheduling + setup + execution;
     }
   };
   [[nodiscard]] PhaseBreakdown breakdown() const {
     PhaseBreakdown b;
     b.contention = admitted - enqueued;
+    b.reservation = released - admitted;
     b.scheduling = scheduling_time;
     b.setup = setup_time();
     b.execution = makespan();

@@ -85,6 +85,10 @@ sched::SchedulerContext SiteManager::make_context(
   ctx.now = core_.now();
   ctx.reservations = &core_.reservations();
   ctx.reserving_app = scheduling_for;
+  if (!core_.options().legacy_instant_reservations) {
+    ctx.windows = &core_.reservations();
+    ctx.held_booking = core_.reservations().booking_of(scheduling_for);
+  }
   return ctx;
 }
 
@@ -148,6 +152,36 @@ void SiteManager::on_gm_host_down(const net::Message& message) {
                                 obs::arg("site", site_.value())});
   }
   (void)core_.repo(site_).resources().set_host_up(notice.host, false);
+
+  // Advance reservations (docs/RESERVATIONS.md): a crash inside (or ahead
+  // of) a committed window re-places only the victim window — the lowest-id
+  // up machine that keeps the window conflict-free substitutes for the dead
+  // one, and the displacement is surfaced as a typed health alert.
+  if (!core_.options().legacy_instant_reservations &&
+      core_.reservations().has_windows()) {
+    std::vector<common::HostId> candidates;
+    for (const net::Host& h : core_.topology().hosts()) {
+      if (h.id != notice.host && core_.topology().host_up(h.id)) {
+        candidates.push_back(h.id);
+      }
+    }
+    for (std::uint64_t booking : core_.reservations().displace_host(
+             notice.host, core_.now(), candidates)) {
+      core_.health_event(obs::health::kReservationDisplaced,
+                         static_cast<std::int64_t>(notice.host.value()),
+                         static_cast<std::int64_t>(site_.value()));
+      if (core_.metering()) {
+        core_.meters().counter("reservation.windows_displaced").add();
+      }
+      if (core_.tracing()) {
+        core_.trace_sink().instant("reservation", "reservation.displace",
+                                   core_.now(), obs::kControlTrack,
+                                   {obs::arg("booking", booking),
+                                    obs::arg("from", notice.host.value()),
+                                    obs::arg("site", site_.value())});
+      }
+    }
+  }
 
   // Inter-site coordination: tell the other Site Managers.
   for (const net::Site& s : core_.topology().sites()) {
@@ -578,10 +612,21 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
   const auto sites = sched::candidate_site_set(ctx, {});
   const auto& excluded = app.excluded[task.value()];
   // Machines held by concurrent applications are as unavailable to a
-  // recovery re-placement as they are to a scheduling round.
-  const sched::ReservationTable& reservations = core_.reservations();
+  // recovery re-placement as they are to a scheduling round, and so are
+  // machines inside foreign committed reservation windows.  A recovery
+  // re-placement has no trustworthy completion estimate (the task already
+  // blew its prediction once), so it never backfills across a pending
+  // foreign window.  The application's *own* booking is deliberately
+  // relaxed here — like the preferred-machine preference below, surviving
+  // beats staying inside the booked set when the booked machine died.
+  const sched::WindowTable& reservations = core_.reservations();
+  const bool windows_on = !core_.options().legacy_instant_reservations &&
+                          reservations.has_windows();
   auto reserved = [&](common::HostId h) {
-    return reservations.reserved_by_other(h, app.plan->app);
+    if (reservations.reserved_by_other(h, app.plan->app)) return true;
+    return windows_on &&
+           reservations.window_blocked(h, app.plan->app, core_.now(), -1.0,
+                                       /*backfill=*/false);
   };
 
   const auto need = node.props.mode == afg::ComputationMode::kParallel

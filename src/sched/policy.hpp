@@ -72,6 +72,24 @@ struct SchedulingPolicy {
 
   /// Seed for strategies with randomized tie-breaking ("random").
   std::uint64_t seed = 42;
+
+  // --- advance reservations (docs/RESERVATIONS.md) ------------------------
+  /// Conservative backfill around committed reservation windows: when true
+  /// (default), a machine with a *pending* foreign window may still run a
+  /// task whose guarded completion estimate lands before the window's
+  /// start; when false, any pending foreign window makes the machine
+  /// inadmissible until the window ends.  Either way an *active* foreign
+  /// window always blocks — a backfilled application may never delay a
+  /// committed window's start.  Irrelevant (a single never-taken branch)
+  /// while no windows are committed.
+  bool backfill = true;
+  /// Safety factor applied to a backfill candidate's predicted completion
+  /// before comparing it against the next committed window start:
+  /// admissible iff now + backfill_guard * (predicted finish - now) <= the
+  /// window start.  Absorbs execution noise, setup lag, and load drift so
+  /// the no-delay invariant holds in practice (bench_reservations --check
+  /// gates it).
+  double backfill_guard = 2.0;
 };
 
 /// The concrete strategy name `policy` resolves to: `policy.strategy` when

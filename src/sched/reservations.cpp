@@ -60,4 +60,186 @@ std::vector<common::HostId> ReservationTable::hosts_of(
   return hosts;
 }
 
+// ---------------------------------------------------------------------------
+// WindowTable
+// ---------------------------------------------------------------------------
+
+bool Window::contains_host(common::HostId h) const {
+  return std::binary_search(hosts.begin(), hosts.end(), h);
+}
+
+bool WindowTable::host_conflicts(const Window& w) const {
+  for (const Window& other : windows_) {
+    if (!other.overlaps(w.start, w.end)) continue;
+    for (common::HostId h : w.hosts) {
+      if (other.contains_host(h)) return true;
+    }
+  }
+  return false;
+}
+
+bool WindowTable::link_conflicts(const Window& w) const {
+  if (w.link_fraction <= 0.0) return false;
+  // Overlapping link windows on the same directed link may not oversubscribe
+  // its capacity.  Windows are few; the linear scan is deterministic.
+  double taken = 0.0;
+  for (const Window& other : windows_) {
+    if (other.link_fraction <= 0.0) continue;
+    if (other.link_src != w.link_src || other.link_dst != w.link_dst) continue;
+    if (!other.overlaps(w.start, w.end)) continue;
+    taken += other.link_fraction;
+  }
+  return taken + w.link_fraction > 1.0;
+}
+
+common::Expected<std::uint64_t> WindowTable::book(Window window) {
+  std::sort(window.hosts.begin(), window.hosts.end());
+  window.hosts.erase(std::unique(window.hosts.begin(), window.hosts.end()),
+                     window.hosts.end());
+  if (host_conflicts(window)) {
+    ++window_conflicts_;
+    return common::Error{
+        common::ErrorCode::kReservationConflict,
+        "window [" + std::to_string(window.start) + ", " +
+            std::to_string(window.end) +
+            ") overlaps a committed reservation on a requested host"};
+  }
+  if (link_conflicts(window)) {
+    ++window_conflicts_;
+    return common::Error{
+        common::ErrorCode::kReservationConflict,
+        "link window " + std::to_string(window.link_src.value()) + " -> " +
+            std::to_string(window.link_dst.value()) +
+            " would oversubscribe the link's committed bandwidth"};
+  }
+  window.id = next_booking_++;
+  const std::uint64_t id = window.id;
+  windows_.push_back(std::move(window));
+  return id;
+}
+
+common::Status WindowTable::cancel(std::uint64_t booking) {
+  auto it = std::find_if(windows_.begin(), windows_.end(),
+                         [&](const Window& w) { return w.id == booking; });
+  if (it == windows_.end()) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "no committed reservation with booking id " +
+                             std::to_string(booking)};
+  }
+  windows_.erase(it);
+  return common::Status::success();
+}
+
+const Window* WindowTable::window(std::uint64_t booking) const {
+  for (const Window& w : windows_) {
+    if (w.id == booking) return &w;
+  }
+  return nullptr;
+}
+
+void WindowTable::bind_owner(std::uint64_t booking, common::AppId app) {
+  for (Window& w : windows_) {
+    if (w.id == booking) {
+      w.owner_app = app;
+      return;
+    }
+  }
+}
+
+std::uint64_t WindowTable::booking_of(common::AppId app) const {
+  if (!app.valid()) return 0;
+  for (const Window& w : windows_) {
+    if (w.owner_app == app) return w.id;
+  }
+  return 0;
+}
+
+std::vector<const Window*> WindowTable::windows_of(common::HostId host,
+                                                   common::SimTime after) const {
+  std::vector<const Window*> result;
+  for (const Window& w : windows_) {
+    if (w.end <= after) continue;
+    if (w.contains_host(host)) result.push_back(&w);
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Window* a, const Window* b) {
+              if (a->start != b->start) return a->start < b->start;
+              return a->id < b->id;
+            });
+  return result;
+}
+
+bool WindowTable::window_blocked(common::HostId host, common::AppId app,
+                                 common::SimTime now,
+                                 common::SimTime est_finish,
+                                 bool backfill) const {
+  if (windows_.empty()) return false;
+  for (const Window& w : windows_) {
+    if (w.end <= now) continue;                          // already over
+    if (app.valid() && w.owner_app == app) continue;     // own booking
+    if (!w.contains_host(host)) continue;
+    if (w.start <= now) return true;                     // active window
+    if (!backfill) return true;        // pending window, backfill disabled
+    if (est_finish < 0.0) return true; // unknown duration: cannot prove safe
+    if (est_finish > w.start) return true;  // would delay the committed start
+  }
+  return false;
+}
+
+common::SimTime WindowTable::next_foreign_start(common::HostId host,
+                                                common::AppId app,
+                                                common::SimTime now) const {
+  common::SimTime best = -1.0;
+  for (const Window& w : windows_) {
+    if (w.end <= now || w.start < now) continue;
+    if (app.valid() && w.owner_app == app) continue;
+    if (!w.contains_host(host)) continue;
+    if (best < 0.0 || w.start < best) best = w.start;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> WindowTable::displace_host(
+    common::HostId host, common::SimTime now,
+    const std::vector<common::HostId>& candidates) {
+  std::vector<common::HostId> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint64_t> displaced;
+  for (Window& w : windows_) {
+    if (w.end <= now) continue;
+    if (!w.contains_host(host)) continue;
+    w.hosts.erase(std::remove(w.hosts.begin(), w.hosts.end(), host),
+                  w.hosts.end());
+    // Lowest-id candidate that keeps the window conflict-free replaces the
+    // dead host; deterministic because both the candidates and the window
+    // list are scanned in stable order.
+    for (common::HostId c : sorted) {
+      if (c == host || w.contains_host(c)) continue;
+      bool conflict = false;
+      for (const Window& other : windows_) {
+        if (other.id == w.id || !other.overlaps(w.start, w.end)) continue;
+        if (other.contains_host(c)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      w.hosts.insert(std::lower_bound(w.hosts.begin(), w.hosts.end(), c), c);
+      break;
+    }
+    ++w.displacements;
+    displaced.push_back(w.id);
+  }
+  std::sort(displaced.begin(), displaced.end());
+  return displaced;
+}
+
+std::size_t WindowTable::window_count(common::SimTime now) const {
+  std::size_t n = 0;
+  for (const Window& w : windows_) {
+    if (w.end > now) ++n;
+  }
+  return n;
+}
+
 }  // namespace vdce::sched

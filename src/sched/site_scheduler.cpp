@@ -162,6 +162,43 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
   std::size_t contention_skips = 0;
   std::size_t contention_reranked = 0;
 
+  // Advance reservations (docs/RESERVATIONS.md): place around committed
+  // [start, end) windows.  `blocked(h)` is the duration-free conservative
+  // test (active foreign windows always block; pending ones block unless
+  // conservative backfill can later prove safety); `window_unsafe(h, f)`
+  // adds the backfill check for candidates whose schedule-relative finish
+  // estimate `f` is known.  With no committed windows both are constant
+  // false and every decision is bit-identical to the window-free scheduler.
+  const WindowTable* windows =
+      (context.windows != nullptr && context.windows->has_windows())
+          ? context.windows
+          : nullptr;
+  std::size_t window_skips = 0;
+  auto window_unsafe = [&](common::HostId h, double finish_rel) {
+    if (windows == nullptr) return false;
+    if (context.held_booking != 0) {
+      // The owner of a committed booking schedules inside its window: only
+      // the booked machines are admissible for it.
+      const Window* own = windows->window(context.held_booking);
+      if (own != nullptr && !own->contains_host(h)) {
+        ++window_skips;
+        return true;
+      }
+    }
+    const common::SimTime est_finish =
+        finish_rel < 0.0 ? -1.0
+                         : context.now + options.backfill_guard * finish_rel;
+    if (windows->window_blocked(h, context.reserving_app, context.now,
+                                est_finish, options.backfill)) {
+      ++window_skips;
+      return true;
+    }
+    return false;
+  };
+  auto blocked = [&](common::HostId h) {
+    return reserved(h) || window_unsafe(h, -1.0);
+  };
+
   while (!ready.empty()) {
     // Highest level first; ties by id.
     afg::TaskId task = ready.pop();
@@ -216,7 +253,7 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
       if (options.objective == SiteObjective::kPaperObjective) {
         bool contended = false;
         for (common::HostId h : bid_it->second.hosts) {
-          if (reserved(h)) {
+          if (blocked(h)) {
             contended = true;
             break;
           }
@@ -237,6 +274,7 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
               ++contention_skips;
               continue;
             }
+            if (window_unsafe(rec_of(i).host, -1.0)) continue;
             cand.hosts.push_back(rec_of(i).host);
             group.push_back(rec_of(i));
             cand.predicted = predicted_of(i);  // last = slowest for need == 1
@@ -274,6 +312,9 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
             const double predicted = predicted_of(i) * staleness(rec);
             double finish =
                 builder.earliest_start(task, rec.host, staging) + predicted;
+            // Conservative backfill: the guarded finish estimate must land
+            // before the machine's next committed window start.
+            if (window_unsafe(rec.host, finish)) continue;
             if (!have || finish < best_finish) {
               have = true;
               best_finish = finish;
@@ -300,6 +341,10 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
               ++contention_skips;
               continue;
             }
+            // Parallel groups never backfill across a pending window: the
+            // group's joint finish estimate is too coupled to prove the
+            // no-delay invariant host by host.
+            if (window_unsafe(rec_of(i).host, -1.0)) continue;
             pool.push_back(PoolEntry{&rec_of(i), predicted_of(i)});
           }
           if (pool.size() < need) continue;
@@ -341,6 +386,12 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
             "no site can run task " + node.instance_name +
                 " (machines held by concurrent applications)"};
       }
+      if (window_skips > 0) {
+        return common::Error{
+            common::ErrorCode::kNoFeasibleResource,
+            "no site can run task " + node.instance_name +
+                " (machines blocked by committed reservation windows)"};
+      }
       return common::Error{common::ErrorCode::kNoFeasibleResource,
                            "no site can run task " + node.instance_name};
     }
@@ -380,6 +431,9 @@ common::Expected<ResourceAllocationTable> assign_with_outputs(
       }
       if (contention_reranked > 0) {
         m.counter("sched.contention.bids_reranked").add(contention_reranked);
+      }
+      if (window_skips > 0) {
+        m.counter("sched.windows.hosts_skipped").add(window_skips);
       }
     }
     if (context.obs->health_on() && contention_skips > 0) {

@@ -44,6 +44,18 @@ struct SchedulerContext {
   const ReservationTable* reservations = nullptr;
   common::AppId reserving_app;
 
+  /// Advance-reservation windows (optional; docs/RESERVATIONS.md).  When
+  /// set, the assignment phase places around committed [start, end) host
+  /// windows: machines inside a foreign active window are invisible, and
+  /// under conservative backfill a pending foreign window only admits work
+  /// provably finishing before its start.  `held_booking` is the booking
+  /// `reserving_app` owns (0 = none): the owner restricts its candidates to
+  /// the booked hosts instead.  Null — or a table with no committed
+  /// windows — leaves every decision bit-identical to the window-free
+  /// scheduler (tests/test_reservations_differential.cpp).
+  const WindowTable* windows = nullptr;
+  std::uint64_t held_booking = 0;
+
   [[nodiscard]] const db::SiteRepository& repo(common::SiteId site) const {
     return *repos.at(site.value());
   }

@@ -68,6 +68,31 @@ void AdmissionController::defer(std::uint64_t handle) {
   stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
 }
 
+common::Status AdmissionController::reserve_booking(const std::string& user) {
+  if (options_.max_reservations_per_user != 0) {
+    auto it = bookings_per_user_.find(user);
+    const std::size_t current = it == bookings_per_user_.end() ? 0 : it->second;
+    if (current >= options_.max_reservations_per_user) {
+      ++stats_.reservations_rejected;
+      return common::Error{
+          common::ErrorCode::kQuotaExceeded,
+          "user " + user + " already holds " + std::to_string(current) +
+              " reservations (quota " +
+              std::to_string(options_.max_reservations_per_user) + ")"};
+    }
+  }
+  ++bookings_per_user_[user];
+  ++stats_.reservations;
+  return common::Status::success();
+}
+
+void AdmissionController::release_booking(const std::string& user) {
+  auto it = bookings_per_user_.find(user);
+  if (it != bookings_per_user_.end() && --it->second == 0) {
+    bookings_per_user_.erase(it);
+  }
+}
+
 void AdmissionController::complete(std::uint64_t handle) {
   auto it = in_flight_.find(handle);
   if (it == in_flight_.end()) return;

@@ -41,6 +41,11 @@ struct TenancyOptions {
   /// Bound on the admission queue across all users.  0 means unlimited.
   std::size_t max_queue_depth = 64;
   QueuePolicy policy = QueuePolicy::kFifo;
+  /// Per-user cap on *committed advance reservations* (outstanding window
+  /// bookings; docs/RESERVATIONS.md).  0 means unlimited — the default
+  /// never rejects, so environments that ignore the reservation plane are
+  /// unaffected.
+  std::size_t max_reservations_per_user = 0;
 };
 
 /// Counters surfaced through VdceEnvironment::tenancy_stats().
@@ -52,6 +57,8 @@ struct TenancyStats {
   std::uint64_t completed = 0;       ///< complete() calls
   std::size_t peak_in_flight = 0;
   std::size_t peak_queue_depth = 0;
+  std::uint64_t reservations = 0;          ///< reserve_booking() grants
+  std::uint64_t reservations_rejected = 0; ///< reserve_booking() quota denials
 };
 
 class AdmissionController {
@@ -79,6 +86,14 @@ class AdmissionController {
   /// its share of the user's quota.
   void complete(std::uint64_t handle);
 
+  /// Advance-reservation quota (docs/RESERVATIONS.md): charge `user` one
+  /// outstanding window booking.  kQuotaExceeded once
+  /// max_reservations_per_user is reached (0 = never).  The environment
+  /// calls this before committing a window to the WindowTable.
+  [[nodiscard]] common::Status reserve_booking(const std::string& user);
+  /// A booking was cancelled or expired: return the user's quota share.
+  void release_booking(const std::string& user);
+
   [[nodiscard]] std::size_t queue_depth() const noexcept {
     return queue_.size();
   }
@@ -105,6 +120,7 @@ class AdmissionController {
   std::vector<Entry> queue_;  ///< unsorted; admit_next scans (queues are short)
   std::unordered_map<std::uint64_t, Entry> in_flight_;  ///< handle -> entry
   std::unordered_map<std::string, std::size_t> per_user_;
+  std::unordered_map<std::string, std::size_t> bookings_per_user_;
   std::uint64_t next_seq_ = 0;
   TenancyStats stats_;
 };

@@ -1,5 +1,6 @@
 #include "vdce/environment.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -138,6 +139,19 @@ void VdceEnvironment::setup_health_plane() {
     for (obs::health::HealthRule& rule : obs::health::default_rules(params)) {
       hp.add_rule(std::move(rule), now);
     }
+  }
+  if (options_.health.default_rules) {
+    // Any displaced reservation window is an SLO event: the committed
+    // machines changed under a booking (docs/RESERVATIONS.md).  The series
+    // is a cumulative counter fed by the site managers' recovery path, so
+    // the alert fires on the first displacement and stays active.
+    obs::health::HealthRule displaced;
+    displaced.id = "reservation-displaced";
+    displaced.kind = obs::health::RuleKind::kThreshold;
+    displaced.metric = obs::health::kReservationDisplaced;
+    displaced.threshold = 0.0;
+    displaced.above = true;
+    hp.add_rule(std::move(displaced), now);
   }
   for (const obs::health::HealthRule& rule : options_.health.rules) {
     hp.add_rule(rule, now);
@@ -459,6 +473,129 @@ common::Expected<runtime::ExecutionReport> VdceEnvironment::run_application(
   return wait(*handle);
 }
 
+// ---- advance reservations (docs/RESERVATIONS.md) ----------------------------
+
+common::Expected<ReservationTicket> VdceEnvironment::reserve(
+    const Session& session, const ReservationRequest& request) {
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "reserve(): environment not brought up"};
+  }
+  if (request.hosts.empty()) {
+    return common::Error{common::ErrorCode::kInvalidArgument,
+                         "reserve(): a reservation must name at least one host"};
+  }
+  if (request.end <= request.start) {
+    return common::Error{
+        common::ErrorCode::kInvalidArgument,
+        "reserve(): window end " + common::format_double(request.end, 3) +
+            "s must be after start " + common::format_double(request.start, 3) +
+            "s"};
+  }
+  if (request.start < engine_.now()) {
+    return common::Error{
+        common::ErrorCode::kInvalidArgument,
+        "reserve(): window start " + common::format_double(request.start, 3) +
+            "s is in the past (now " +
+            common::format_double(engine_.now(), 3) + "s)"};
+  }
+  for (common::HostId host : request.hosts) {
+    if (!host.valid() || host.value() >= topology_.hosts().size()) {
+      return common::Error{common::ErrorCode::kNotFound,
+                           "reserve(): host " +
+                               (host.valid() ? std::to_string(host.value())
+                                             : std::string("<invalid>")) +
+                               " does not exist in this topology"};
+    }
+  }
+  if (request.link_fraction > 0.0) {
+    if (request.link_fraction > 1.0) {
+      return common::Error{common::ErrorCode::kInvalidArgument,
+                           "reserve(): link_fraction must be in (0, 1]"};
+    }
+    if (!request.link_src.valid() || !request.link_dst.valid() ||
+        request.link_src.value() >= topology_.hosts().size() ||
+        request.link_dst.value() >= topology_.hosts().size()) {
+      return common::Error{
+          common::ErrorCode::kNotFound,
+          "reserve(): link endpoints must name existing hosts"};
+    }
+  }
+  // A stale or forged session is a typed kNotFound, exactly as at submit.
+  auto account = repo(session.site).users().find(session.account.user_name);
+  if (!account) return account.error();
+
+  sched::Window window;
+  window.user = account->user_name;
+  window.start = request.start;
+  window.end = request.end;
+  window.hosts = request.hosts;
+  if (request.link_fraction > 0.0) {
+    window.link_src = request.link_src;
+    window.link_dst = request.link_dst;
+    window.link_fraction = request.link_fraction;
+  }
+  auto booked = core_->reservations().book(std::move(window));
+  if (!booked) return booked.error();  // kReservationConflict, entity named
+  if (auto quota = admission_.reserve_booking(account->user_name);
+      !quota.ok()) {
+    (void)core_->reservations().cancel(*booked);
+    return quota.error();
+  }
+
+  if (obs_.trace_on()) {
+    obs_.trace().instant(
+        "reservation", "reservation.commit", engine_.now(), obs::kControlTrack,
+        {obs::arg("booking", *booked), obs::arg("user", account->user_name),
+         obs::arg("start", request.start), obs::arg("end", request.end),
+         obs::arg("hosts", std::uint64_t{request.hosts.size()})});
+  }
+  if (obs_.metrics_on()) {
+    obs_.metrics().counter("reservation.bookings").add();
+  }
+  return ReservationTicket{*booked};
+}
+
+common::Status VdceEnvironment::cancel_reservation(const Session& session,
+                                                   ReservationTicket ticket) {
+  if (!up_) {
+    return common::Error{common::ErrorCode::kInternal,
+                         "cancel_reservation(): environment not brought up"};
+  }
+  const sched::Window* window = core_->reservations().window(ticket.id);
+  if (window == nullptr) {
+    return common::Error{common::ErrorCode::kNotFound,
+                         "cancel_reservation(): unknown or already-released "
+                         "booking " +
+                             std::to_string(ticket.id)};
+  }
+  if (window->user != session.account.user_name) {
+    return common::Error{common::ErrorCode::kPermissionDenied,
+                         "cancel_reservation(): booking " +
+                             std::to_string(ticket.id) + " belongs to user " +
+                             window->user};
+  }
+  const std::string user = window->user;
+  if (auto st = core_->reservations().cancel(ticket.id); !st.ok()) return st;
+  admission_.release_booking(user);
+  if (obs_.trace_on()) {
+    obs_.trace().instant("reservation", "reservation.cancel", engine_.now(),
+                         obs::kControlTrack,
+                         {obs::arg("booking", ticket.id),
+                          obs::arg("user", user)});
+  }
+  if (obs_.metrics_on()) {
+    obs_.metrics().counter("reservation.cancellations").add();
+  }
+  return common::Status::success();
+}
+
+const sched::Window* VdceEnvironment::reservation_window(
+    ReservationTicket ticket) const {
+  if (!up_ || core_ == nullptr) return nullptr;
+  return core_->reservations().window(ticket.id);
+}
+
 // ---- multi-tenant submission pipeline (docs/TENANCY.md) ---------------------
 
 common::Expected<AppHandle> VdceEnvironment::submit_application(
@@ -476,6 +613,32 @@ common::Expected<AppHandle> VdceEnvironment::submit_application(
   // forged session is a typed kNotFound, not a deep runtime failure.
   auto account = repo(session.site).users().find(session.account.user_name);
   if (!account) return account.error();
+
+  // A submission carrying a reservation ticket must redeem a live window it
+  // owns — typed rejections here, before the queue ever sees it.
+  if (options.reservation.valid()) {
+    const sched::Window* window =
+        core_->reservations().window(options.reservation.id);
+    if (window == nullptr) {
+      return common::Error{common::ErrorCode::kNotFound,
+                           "submit_application(): reservation ticket " +
+                               std::to_string(options.reservation.id) +
+                               " is unknown or already released"};
+    }
+    if (window->user != account->user_name) {
+      return common::Error{common::ErrorCode::kPermissionDenied,
+                           "submit_application(): reservation ticket " +
+                               std::to_string(options.reservation.id) +
+                               " belongs to user " + window->user};
+    }
+    if (window->end <= engine_.now()) {
+      return common::Error{common::ErrorCode::kInvalidArgument,
+                           "submit_application(): reservation window [" +
+                               common::format_double(window->start, 3) + "s, " +
+                               common::format_double(window->end, 3) +
+                               "s) has already closed"};
+    }
+  }
 
   // Resolve the effective policy before admission: an empty per-run
   // strategy inherits the environment default, and unknown names are a
@@ -529,17 +692,65 @@ common::Expected<AppHandle> VdceEnvironment::submit_application(
 void VdceEnvironment::pump_submissions() {
   while (auto next = admission_.admit_next()) {
     SubmissionSlot& slot = *slots_.at(*next);
-    slot.state = AppState::kScheduling;
     slot.admitted = engine_.now();
-    slot.sched_app = common::AppId(next_app_++);
-    site_manager(slot.session.site)
-        .schedule_application(
-            slot.sched_app, slot.graph, slot.options.sched,
-            [this, handle = slot.handle.id](
-                common::Expected<sched::ResourceAllocationTable> table) {
-              on_scheduled(handle, std::move(table));
-            });
+    slot.released = slot.admitted;
+    const std::uint64_t booking = slot.options.reservation.id;
+    if (booking != 0 && !options_.runtime.legacy_instant_reservations) {
+      const sched::Window* window = core_->reservations().window(booking);
+      if (window == nullptr) {
+        // Cancelled between submit and admission.
+        finalize_submission(
+            slot, common::Error{common::ErrorCode::kNotFound,
+                                "reservation booking " +
+                                    std::to_string(booking) +
+                                    " was cancelled before admission"});
+        continue;
+      }
+      if (window->start > engine_.now()) {
+        // Park until the committed window opens; the timer un-parks it.
+        slot.state = AppState::kReserved;
+        engine_.post_at(window->start, [this, handle = slot.handle.id] {
+          release_reserved(handle);
+        });
+        continue;
+      }
+    }
+    begin_scheduling(slot);
   }
+}
+
+void VdceEnvironment::begin_scheduling(SubmissionSlot& slot) {
+  slot.state = AppState::kScheduling;
+  slot.sched_app = common::AppId(next_app_++);
+  const std::uint64_t booking = slot.options.reservation.id;
+  if (booking != 0 && !options_.runtime.legacy_instant_reservations) {
+    // Bind the booking to this round's AppId so the site schedulers treat
+    // the window as the owner's (candidates restricted to the booked
+    // machines, own window never blocks).
+    core_->reservations().bind_owner(booking, slot.sched_app);
+  }
+  site_manager(slot.session.site)
+      .schedule_application(
+          slot.sched_app, slot.graph, slot.options.sched,
+          [this, handle = slot.handle.id](
+              common::Expected<sched::ResourceAllocationTable> table) {
+            on_scheduled(handle, std::move(table));
+          });
+}
+
+void VdceEnvironment::release_reserved(std::uint64_t handle) {
+  auto it = slots_.find(handle);
+  if (it == slots_.end()) return;
+  SubmissionSlot& slot = *it->second;
+  if (slot.terminal || slot.state != AppState::kReserved) return;
+  slot.released = engine_.now();
+  if (obs_.health_on()) {
+    obs::health::SeriesKey key;
+    key.metric = obs::health::kReservationWait;
+    obs_.health().observe_delta(key, engine_.now(),
+                                slot.released - slot.admitted);
+  }
+  begin_scheduling(slot);
 }
 
 void VdceEnvironment::on_scheduled(
@@ -547,7 +758,10 @@ void VdceEnvironment::on_scheduled(
   auto it = slots_.find(handle);
   if (it == slots_.end()) return;
   SubmissionSlot& slot = *it->second;
-  slot.scheduling_time = engine_.now() - slot.admitted;
+  // Measured from released, not admitted: a reserved submission's parked
+  // wait is its own phase, not scheduling time.  released == admitted for
+  // every other run.
+  slot.scheduling_time = engine_.now() - slot.released;
   obs_.health().observe(sched_series_, engine_.now(), slot.scheduling_time);
 
   if (!table) {
@@ -594,6 +808,13 @@ void VdceEnvironment::on_scheduled(
   }
   slot.exec_app = common::AppId(next_app_++);
   slot.state = AppState::kExecuting;
+  if (slot.options.reservation.valid() &&
+      !options_.runtime.legacy_instant_reservations) {
+    // Re-bind to the execution's AppId: recovery re-placement checks the
+    // window table against the executing app, not the scheduling round.
+    core_->reservations().bind_owner(slot.options.reservation.id,
+                                     slot.exec_app);
+  }
   site_manager(slot.session.site)
       .execute_application(slot.exec_app, *slot.graph, std::move(*table),
                            std::move(resolved->perf),
@@ -613,6 +834,7 @@ void VdceEnvironment::on_executed(std::uint64_t handle,
   report.deadline = slot.options.deadline;
   report.enqueued = slot.enqueued;
   report.admitted = slot.admitted;
+  report.released = std::max(slot.released, slot.admitted);
   // Contention span only when the submission actually waited behind other
   // tenants — a solo run's trace stays byte-identical to the pre-tenancy
   // pipeline's.
@@ -627,6 +849,22 @@ void VdceEnvironment::on_executed(std::uint64_t handle,
     obs_.metrics()
         .histogram("tenancy.contention_seconds")
         .add(slot.admitted - slot.enqueued);
+  }
+  // Reservation span only when the submission actually parked for a window
+  // — a ticketless run's trace stays byte-identical to the pre-reservation
+  // pipeline's (the differential suite pins this).
+  if (obs_.trace_on() && slot.released > slot.admitted) {
+    obs_.trace().span("app", "app.reservation", slot.admitted, slot.released,
+                      obs::kControlTrack,
+                      {obs::arg("app", report.app.value()),
+                       obs::arg("user", slot.session.account.user_name),
+                       obs::arg("booking", slot.options.reservation.id)},
+                      obs::Causal{.app = report.app.value()});
+  }
+  if (obs_.metrics_on() && slot.released > slot.admitted) {
+    obs_.metrics()
+        .histogram("reservation.wait_seconds")
+        .add(slot.released - slot.admitted);
   }
   if (!report.success) {
     obs_.flight().record(engine_.now(), obs::FlightCode::kRunFailed,
@@ -649,6 +887,16 @@ void VdceEnvironment::finalize_submission(
   slot.state = AppState::kFinished;
   slot.terminal = true;
   admission_.complete(slot.handle.id);
+  // A reservation is spent by its run: release the remaining window (more
+  // room for backfill — the no-delay invariant only ever gains) and free
+  // the user's booking-quota share.  A later cancel_reservation() on the
+  // spent ticket is a clean kNotFound, never a double release.
+  if (slot.options.reservation.valid() &&
+      !options_.runtime.legacy_instant_reservations &&
+      core_->reservations().window(slot.options.reservation.id) != nullptr) {
+    (void)core_->reservations().cancel(slot.options.reservation.id);
+    admission_.release_booking(slot.session.account.user_name);
+  }
   --active_submissions_;
   // A freed slot (and freed reservations) may unblock queued or deferred
   // submissions.

@@ -73,6 +73,10 @@ namespace vdce {
 //                          submission away: the user's quota or the global
 //                          admission-queue bound is exhausted (retry after
 //                          in-flight applications finish).
+//   kReservationConflict — an advance-reservation request overlaps a window
+//                          already committed on the same host or link
+//                          capacity (docs/RESERVATIONS.md); pick a
+//                          different interval or different machines.
 //   kHostDown            — a required host is down right now.
 //   kTimeout             — a synchronous wait exceeded
 //                          EnvironmentOptions::sync_timeout.
@@ -152,6 +156,34 @@ struct EnvironmentOptions {
   tenancy::TenancyOptions tenancy;
 };
 
+// --- advance reservations (docs/RESERVATIONS.md) ---------------------------
+
+/// A request for a committed time window over named machines (and,
+/// optionally, a fraction of one directed inter-host link).  Passed to
+/// VdceEnvironment::reserve(); on success the window is booked in the site
+/// schedulers' shared WindowTable and foreign work is conservatively
+/// backfilled around it.
+struct ReservationRequest {
+  /// Machines the window covers (need not be sorted; duplicates collapse).
+  std::vector<common::HostId> hosts;
+  common::SimTime start = 0.0;  ///< window opens (absolute simulated time)
+  common::SimTime end = 0.0;    ///< window closes; must be > start
+  /// Optional directed link share: while the window is open, `link_fraction`
+  /// of the src->dst capacity is considered booked.  Leave the hosts invalid
+  /// to reserve machines only.
+  common::HostId link_src;
+  common::HostId link_dst;
+  double link_fraction = 0.0;
+};
+
+/// Proof of a committed reservation, returned by reserve().  Attach it to
+/// RunOptions::reservation so the submission parks until the window opens
+/// and then schedules exclusively onto the booked machines.
+struct ReservationTicket {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const noexcept { return id != 0; }
+};
+
 struct RunOptions {
   sched::SchedulingPolicy sched;
   /// Execute with real kernels from the registry (false = timing-only).
@@ -162,6 +194,11 @@ struct RunOptions {
   /// estimated schedule length already exceeds the deadline (the user can
   /// retry with a wider access domain or fewer constraints).
   bool enforce_admission = false;
+  /// Advance-reservation ticket from reserve().  A valid ticket parks the
+  /// admitted submission until its window opens (AppState::kReserved) and
+  /// restricts placement to the booked machines; the default (invalid)
+  /// ticket leaves the pipeline exactly as before.
+  ReservationTicket reservation;
 };
 
 /// Opaque ticket for an asynchronous submission (docs/TENANCY.md).  Returned
@@ -176,6 +213,8 @@ struct AppHandle {
 /// pipeline.
 enum class AppState {
   kQueued,      ///< accepted, waiting for an admission slot
+  kReserved,    ///< admitted with a reservation ticket; parked until the
+                ///< committed window opens (docs/RESERVATIONS.md)
   kScheduling,  ///< admitted; Fig. 2 scheduling in flight
   kDeferred,    ///< every candidate machine was held by concurrent apps;
                 ///< re-queued, retries after the next completion
@@ -299,6 +338,28 @@ class VdceEnvironment {
   common::Expected<Session> login(common::SiteId site, const std::string& name,
                                   const std::string& password);
 
+  // --- advance reservations (docs/RESERVATIONS.md) -------------------------
+  /// Commit a time window over the requested machines (and optional link
+  /// share).  Typed rejections: kInvalidArgument (empty host list, end <=
+  /// start, window opening in the past), kNotFound (a host the topology
+  /// lacks), kQuotaExceeded (TenancyOptions::max_reservations_per_user),
+  /// kReservationConflict (overlaps a committed window on a shared host or
+  /// oversubscribes the link).  No simulated time passes.  The booking's
+  /// quota share frees when the owning run completes or the ticket is
+  /// cancelled; the window itself blocks foreign placement until `end`.
+  common::Expected<ReservationTicket> reserve(const Session& session,
+                                              const ReservationRequest& request);
+
+  /// Cancel a committed window.  kNotFound for an unknown/spent ticket,
+  /// kPermissionDenied when the session user does not own the booking.
+  common::Status cancel_reservation(const Session& session,
+                                    ReservationTicket ticket);
+
+  /// The committed window behind a ticket (null after cancel).  For tests
+  /// and tooling; the scheduler reads the same table.
+  [[nodiscard]] const sched::Window* reservation_window(
+      ReservationTicket ticket) const;
+
   // --- the application pipeline -------------------------------------------
   /// Distributed scheduling only (Fig. 2 over the fabric); synchronous in
   /// simulated time.
@@ -394,6 +455,9 @@ class VdceEnvironment {
     AppState state = AppState::kQueued;
     common::SimTime enqueued = 0;
     common::SimTime admitted = 0;
+    /// When scheduling actually began: the reservation window's start for a
+    /// parked submission, == admitted otherwise (docs/RESERVATIONS.md).
+    common::SimTime released = 0;
     common::SimDuration scheduling_time = 0;
     common::AppId sched_app;  ///< id of the latest scheduling round
     common::AppId exec_app;   ///< id of the execution (valid once executing)
@@ -404,7 +468,16 @@ class VdceEnvironment {
 
   /// Admit queued submissions while the controller allows, issuing their
   /// scheduling rounds.  Runs at submit time and after every completion.
+  /// Admitted submissions carrying a reservation ticket whose window has
+  /// not opened yet park in AppState::kReserved instead; a timer fires
+  /// release_reserved() at the window start.
   void pump_submissions();
+  /// Start (or restart, after a deferral) slot's Fig. 2 scheduling round,
+  /// binding its reservation booking to the round's AppId first so the site
+  /// schedulers can recognise the owner.
+  void begin_scheduling(SubmissionSlot& slot);
+  /// Window-start timer: un-park a reserved submission and schedule it.
+  void release_reserved(std::uint64_t handle);
   void on_scheduled(std::uint64_t handle,
                     common::Expected<sched::ResourceAllocationTable> table);
   void on_executed(std::uint64_t handle, runtime::ExecutionReport report);

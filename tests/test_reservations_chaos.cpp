@@ -1,0 +1,184 @@
+// chaos × reservations — crash inside a committed window
+// (docs/RESERVATIONS.md, docs/FAULT_INJECTION.md).
+//
+// A machine failure inside (or ahead of) a committed reservation window
+// must stay a *booking-local* event: the detecting Site Manager re-places
+// only the victim window — the lowest-id up machine that keeps the window
+// conflict-free substitutes for the dead one — the owning application
+// survives through ordinary task recovery, the displacement surfaces as a
+// typed health alert ("reservation-displaced") plus a reservation.displace
+// trace instant, and the whole scenario replays byte-identically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "editor/builder.hpp"
+#include "obs/health.hpp"
+#include "vdce/environment.hpp"
+#include "vdce/testbed.hpp"
+
+namespace vdce {
+namespace {
+
+/// Fan-out/fan-in app whose body tasks run long enough for a mid-flight
+/// crash to land inside task execution.
+afg::Afg reserved_app(const std::string& name) {
+  editor::AppBuilder app(name);
+  auto head = app.task("head", "synthetic.w400").output_data(5e4);
+  auto tail = app.task("tail", "synthetic.w300");
+  for (int i = 0; i < 3; ++i) {
+    auto body = app.task("body" + std::to_string(i), "synthetic.w3000")
+                    .output_data(5e4);
+    EXPECT_TRUE(app.link(head, body).has_value());
+    EXPECT_TRUE(app.link(body, tail).has_value());
+  }
+  return app.build().value();
+}
+
+struct ReservedRun {
+  runtime::ExecutionReport report;
+  std::string trace_jsonl;
+  std::uint64_t windows_displaced = 0;
+  bool displacement_alert = false;
+  bool ok = false;
+};
+
+/// Bring up the campus pair, commit a window over three non-server hosts,
+/// run the owner's submission through the window, and drain.  When `plan`
+/// is non-empty it is armed before bring-up.
+ReservedRun run_reserved(chaos::FaultPlan plan) {
+  EnvironmentOptions options;
+  options.runtime.exec_noise_cv = 0.0;
+  options.runtime.echo_period = 0.5;
+  options.runtime.progress_period = 1.0;
+  options.trace.enabled = true;
+  options.metrics.enabled = true;
+  options.health.enabled = true;
+  options.faults = std::move(plan);
+  VdceEnvironment env(make_campus_pair(19), options);
+  env.bring_up();
+
+  ReservedRun result;
+  EXPECT_TRUE(env.try_add_user("owner", "p").ok());
+  Session session = env.login(common::SiteId(0), "owner", "p").value();
+
+  // Book three machines that are not site servers (crashing a Site Manager
+  // is a different scenario, covered by test_chaos_cascade).
+  std::vector<common::HostId> servers;
+  for (const net::Site& s : env.sites()) servers.push_back(s.server);
+  std::vector<common::HostId> booked;
+  for (const net::Host& h : env.hosts()) {
+    if (std::find(servers.begin(), servers.end(), h.id) != servers.end()) {
+      continue;
+    }
+    booked.push_back(h.id);
+    if (booked.size() == 3) break;
+  }
+  ReservationRequest request;
+  request.hosts = booked;
+  request.start = 1.0;
+  request.end = 600.0;
+  auto ticket = env.reserve(session, request);
+  EXPECT_TRUE(ticket.has_value()) << ticket.error().to_string();
+  if (!ticket) return result;
+
+  RunOptions run;
+  run.real_kernels = false;
+  run.reservation = *ticket;
+  auto handle = env.submit_application(reserved_app("windowed"), session, run);
+  EXPECT_TRUE(handle.has_value()) << handle.error().to_string();
+  if (!handle) return result;
+  EXPECT_TRUE(env.drain().ok());
+
+  auto report = env.report(*handle);
+  EXPECT_TRUE(report.has_value()) << report.error().to_string();
+  if (!report) return result;
+  result.report = std::move(*report);
+  result.trace_jsonl = env.trace().to_jsonl();
+  result.windows_displaced =
+      env.metrics().counter("reservation.windows_displaced").value();
+  for (const obs::health::Alert& alert : env.health().alerts()) {
+    if (alert.rule == "reservation-displaced") result.displacement_alert = true;
+  }
+  result.ok = true;
+  return result;
+}
+
+/// The host to crash and when: from the fault-free control run, the middle
+/// of the longest task interval.  Every outcome host is a booked non-server
+/// machine by construction.
+struct CrashTarget {
+  std::uint32_t host = 0;
+  double at = 0.0;
+};
+
+CrashTarget pick_target(const ReservedRun& control) {
+  CrashTarget best;
+  double best_span = 0.0;
+  for (const runtime::TaskOutcome& o : control.report.outcomes) {
+    const double span = o.finished - o.started;
+    if (span > best_span) {
+      best_span = span;
+      best.host = o.host.value();
+      best.at = o.started + span / 2.0;
+    }
+  }
+  EXPECT_GT(best_span, 0.0) << "control run produced no usable interval";
+  return best;
+}
+
+TEST(ReservationChaos, CrashInsideWindowDisplacesOnlyTheVictimBooking) {
+  const ReservedRun control = run_reserved(chaos::FaultPlan{});
+  ASSERT_TRUE(control.ok);
+  ASSERT_TRUE(control.report.success) << control.report.failure_reason;
+  EXPECT_EQ(control.report.failures_survived, 0);
+  EXPECT_EQ(control.windows_displaced, 0u);
+  EXPECT_FALSE(control.displacement_alert);
+  const CrashTarget target = pick_target(control);
+
+  chaos::FaultPlan plan;
+  plan.name("reservation-crash")
+      .seed(3)
+      .crash(common::HostId(target.host), target.at, 120.0);
+  const ReservedRun faulted = run_reserved(std::move(plan));
+  ASSERT_TRUE(faulted.ok);
+
+  // The owner survives the crash through ordinary task recovery...
+  ASSERT_TRUE(faulted.report.success) << faulted.report.failure_reason;
+  EXPECT_GE(faulted.report.failures_survived, 1) << "crash missed the window";
+
+  // ...and the booking was re-placed exactly once per affected window: the
+  // detecting Site Manager swapped the dead machine out of the committed
+  // window, counted it, traced it, and raised the typed health alert.
+  EXPECT_EQ(faulted.windows_displaced, 1u);
+  EXPECT_TRUE(faulted.displacement_alert)
+      << "reservation-displaced alert did not fire";
+  EXPECT_NE(faulted.trace_jsonl.find("reservation.displace"),
+            std::string::npos);
+}
+
+TEST(ReservationChaos, DisplacedWindowReplaysByteIdentically) {
+  const ReservedRun control = run_reserved(chaos::FaultPlan{});
+  ASSERT_TRUE(control.ok);
+  const CrashTarget target = pick_target(control);
+
+  auto make_plan = [&] {
+    chaos::FaultPlan plan;
+    plan.name("reservation-replay")
+        .seed(3)
+        .crash(common::HostId(target.host), target.at, 120.0);
+    return plan;
+  };
+  const ReservedRun first = run_reserved(make_plan());
+  const ReservedRun second = run_reserved(make_plan());
+  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(second.ok);
+  ASSERT_FALSE(first.trace_jsonl.empty());
+  EXPECT_EQ(first.trace_jsonl, second.trace_jsonl);
+}
+
+}  // namespace
+}  // namespace vdce

@@ -1,0 +1,137 @@
+// Differential guard for the advance-reservation plane
+// (docs/RESERVATIONS.md): with ZERO reservations booked, every scenario
+// must produce a byte-identical trace and bit-identical reports whether the
+// window plumbing is live (the default) or compiled out of the decision
+// path via RuntimeOptions::legacy_instant_reservations (the pre-reservation
+// scheduler, kept as a test-only kill-switch exactly like
+// legacy_direct_assign).
+//
+// Two scenario families, matching the suites that define the repo's
+// determinism contract:
+//
+//   * the 200-case generated scale corpus (docs/SCALING.md),
+//   * the 8-tenant concurrent-submission fleet from tests/test_tenancy.cpp
+//     (contention, deferral, and co-scheduling included).
+//
+// The window table is empty in every run, so the instantaneous reservation
+// semantics are the degenerate zero-window case — any divergence means a
+// reservation code path leaked into the no-reservation world.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "scale/generate.hpp"
+#include "vdce/environment.hpp"
+
+namespace vdce {
+namespace {
+
+// ---- 200-case scale corpus --------------------------------------------------
+
+std::string run_corpus_case(const scale::CorpusCase& c, bool legacy) {
+  ScaleSpec spec;
+  spec.grid = c.grid;
+  spec.options.trace.enabled = true;
+  spec.options.runtime.exec_noise_cv = 0.1;  // include the stochastic path
+  spec.options.runtime.legacy_instant_reservations = legacy;
+  auto env = VdceEnvironment::make_scale_environment(spec);
+  EXPECT_TRUE(env.has_value()) << env.error().to_string();
+  if (!env) return {};
+  auto session =
+      (*env)->login(common::SiteId(0), spec.admin_user, spec.admin_password);
+  EXPECT_TRUE(session.has_value());
+  if (!session) return {};
+  afg::Afg graph = scale::make_workload(
+      c.workload, "resv-diff-" + std::to_string(c.index));
+  RunOptions run;
+  run.real_kernels = false;
+  auto report = (*env)->run_application(graph, *session, run);
+  EXPECT_TRUE(report.has_value()) << "case " << c.index;
+  std::string out = (*env)->trace().to_jsonl();
+  if (report.has_value()) out += report->describe(graph);
+  return out;
+}
+
+TEST(ReservationDifferential, ZeroBookingScaleCorpusIsByteIdentical) {
+  scale::CorpusSpec spec;  // the full default 200-case corpus
+  std::size_t checked = 0;
+  for (const scale::CorpusCase& c : scale::make_corpus(spec)) {
+    const std::string windowed = run_corpus_case(c, /*legacy=*/false);
+    const std::string legacy = run_corpus_case(c, /*legacy=*/true);
+    ASSERT_FALSE(windowed.empty()) << "case " << c.index;
+    ASSERT_EQ(windowed, legacy)
+        << "case " << c.index
+        << ": the window plumbing changed a zero-reservation run";
+    ++checked;
+  }
+  EXPECT_EQ(checked, spec.cases);
+}
+
+// ---- 8-tenant fleet ---------------------------------------------------------
+
+std::string run_tenant_fleet(bool legacy) {
+  scale::TenantSpec tenants;
+  tenants.tenants = 8;
+  tenants.apps_per_tenant = 2;
+  tenants.seed = 7;
+
+  ScaleSpec spec;
+  spec.grid.sites = 2;
+  spec.grid.hosts_per_site = 6;
+  spec.grid.seed = 41;
+  spec.options.trace.enabled = true;
+  spec.options.runtime.exec_noise_cv = 0.0;
+  spec.options.runtime.legacy_instant_reservations = legacy;
+  auto env = VdceEnvironment::make_scale_environment(spec);
+  EXPECT_TRUE(env.has_value()) << env.error().to_string();
+  if (!env) return {};
+
+  const std::vector<scale::TenantArrival> arrivals =
+      scale::make_tenant_arrivals(tenants);
+  std::vector<Session> sessions;
+  for (std::size_t t = 0; t < tenants.tenants; ++t) {
+    int priority = 1;
+    for (const scale::TenantArrival& a : arrivals) {
+      if (a.tenant == t) {
+        priority = a.priority;
+        break;
+      }
+    }
+    const std::string user = "tenant" + std::to_string(t);
+    EXPECT_TRUE((*env)->try_add_user(user, "pw", priority).ok());
+    sessions.push_back((*env)->login(common::SiteId(0), user, "pw").value());
+  }
+
+  std::vector<AppHandle> handles;
+  std::vector<afg::Afg> graphs;
+  for (const scale::TenantArrival& a : arrivals) {
+    if (a.at > (*env)->now()) (*env)->run_for(a.at - (*env)->now());
+    graphs.push_back(scale::make_workload(a.workload, a.app_name));
+    RunOptions run;
+    run.real_kernels = false;
+    auto handle =
+        (*env)->submit_application(graphs.back(), sessions[a.tenant], run);
+    EXPECT_TRUE(handle.has_value()) << a.app_name;
+    if (handle) handles.push_back(*handle);
+  }
+  EXPECT_TRUE((*env)->drain().ok());
+
+  std::string out = (*env)->trace().to_jsonl();
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    auto report = (*env)->report(handles[i]);
+    EXPECT_TRUE(report.has_value());
+    if (report) out += report->describe(graphs[i]);
+  }
+  return out;
+}
+
+TEST(ReservationDifferential, ZeroBookingEightTenantFleetIsByteIdentical) {
+  const std::string windowed = run_tenant_fleet(/*legacy=*/false);
+  const std::string legacy = run_tenant_fleet(/*legacy=*/true);
+  ASSERT_FALSE(windowed.empty());
+  EXPECT_EQ(windowed, legacy);
+}
+
+}  // namespace
+}  // namespace vdce
