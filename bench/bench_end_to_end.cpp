@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
 
   bench::Table table({"app", "sites", "sched (s)", "setup (s)",
                       "makespan (s)", "msgs", "verified"});
-  auto json_num = [](double v) { return common::format_double(v, 4); };
+  auto json_num = [](double v) { return bench::json_num(v); };
   std::string json = "{\"bench\":\"end_to_end\",\"rows\":[";
   bool first_row = true;
 

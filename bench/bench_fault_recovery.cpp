@@ -110,7 +110,7 @@ TrialResult run_trial(chaos::FaultPlan plan, std::uint64_t topology_seed,
   return result;
 }
 
-std::string json_num(double v) { return common::format_double(v, 4); }
+std::string json_num(double v) { return vdce::bench::json_num(v); }
 
 }  // namespace
 

@@ -31,7 +31,7 @@ namespace {
 
 namespace health = vdce::obs::health;
 
-std::string json_num(double v) { return vdce::common::format_double(v, 4); }
+std::string json_num(double v) { return vdce::bench::json_num(v); }
 
 struct SweepResult {
   double sensitivity = 1.0;

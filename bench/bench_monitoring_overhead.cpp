@@ -28,7 +28,7 @@
 
 namespace {
 
-std::string json_num(double v) { return vdce::common::format_double(v, 4); }
+std::string json_num(double v) { return vdce::bench::json_num(v); }
 
 /// Wall-clock milliseconds of `run_for(horizon)` on a fresh monitored
 /// testbed under `options`; best of `reps` to shave scheduler noise.

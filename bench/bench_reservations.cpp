@@ -45,7 +45,7 @@ namespace {
 
 using namespace vdce;
 
-std::string json_num(double v) { return common::format_double(v, 4); }
+std::string json_num(double v) { return vdce::bench::json_num(v); }
 
 double now_ms() {
   return std::chrono::duration<double, std::milli>(

@@ -38,7 +38,7 @@ namespace {
 
 using namespace vdce;
 
-std::string json_num(double v) { return common::format_double(v, 4); }
+std::string json_num(double v) { return vdce::bench::json_num(v); }
 
 /// A topology with its per-site repositories and a ready SchedulerContext.
 struct Deployment {

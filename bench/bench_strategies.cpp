@@ -43,7 +43,7 @@ namespace {
 
 using namespace vdce;
 
-std::string json_num(double v) { return common::format_double(v, 4); }
+std::string json_num(double v) { return vdce::bench::json_num(v); }
 
 struct StalenessSetting {
   const char* label;

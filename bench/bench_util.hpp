@@ -7,6 +7,8 @@
 // output next to the paper's qualitative claim.
 #pragma once
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,6 +16,20 @@
 #include "common/strings.hpp"
 
 namespace vdce::bench {
+
+/// Round-trippable JSON number: the shortest decimal form that parses back
+/// to the identical double (std::to_chars with no precision argument).
+/// Fixed-precision emitters round differently across libc implementations,
+/// which made BENCH_*.json diffs noisy between toolchains; the shortest
+/// round-trip form is unique, so equal doubles always serialize to equal
+/// bytes.  Non-finite values (JSON has no syntax for them) emit 0.
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, end);
+}
 
 inline void print_title(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");

@@ -24,6 +24,7 @@ enum class ErrorCode {
   kInvalidArgument,
   kNoFeasibleResource,
   kQuotaExceeded,
+  kBudgetExceeded,
   kReservationConflict,
   kHostDown,
   kCycleDetected,
@@ -44,6 +45,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kNoFeasibleResource: return "no_feasible_resource";
     case ErrorCode::kQuotaExceeded: return "quota_exceeded";
+    case ErrorCode::kBudgetExceeded: return "budget_exceeded";
     case ErrorCode::kReservationConflict: return "reservation_conflict";
     case ErrorCode::kHostDown: return "host_down";
     case ErrorCode::kCycleDetected: return "cycle_detected";

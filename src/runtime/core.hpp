@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "db/site_repository.hpp"
+#include "econ/econ.hpp"
 #include "net/fabric.hpp"
 #include "net/topology.hpp"
 #include "obs/obs.hpp"
@@ -76,6 +77,19 @@ struct RuntimeOptions {
   /// instantaneous-only scheduler (docs/RESERVATIONS.md); never set it in
   /// real runs.
   bool legacy_instant_reservations = false;
+  // --- economy (docs/ECONOMY.md) ---
+  /// Resource prices: per-CPU-second host prices (proportional to speed by
+  /// default) and per-MB link prices.  Read by the cost-aware strategies
+  /// through the scheduling context, by the admission controller's budget
+  /// gate, by recovery re-placement, and by the report's spend() quote.
+  econ::CostModel prices;
+  /// Test-only escape hatch: disable the economy plane entirely — scheduling
+  /// contexts carry no prices, no submission is budget-gated, recovery
+  /// ignores budgets, and reports carry zero spend, exactly as the
+  /// pre-economy pipeline behaved.  Exists so the economy differential suite
+  /// can prove the default path byte-identical with the plane present
+  /// (docs/ECONOMY.md); never set it in real runs.
+  bool legacy_no_economy = false;
   std::uint64_t seed = 1234;
 };
 

@@ -14,6 +14,7 @@
 #include "afg/graph.hpp"
 #include "common/ids.hpp"
 #include "common/time.hpp"
+#include "econ/econ.hpp"
 #include "obs/causal.hpp"
 #include "obs/health.hpp"
 #include "tasklib/registry.hpp"
@@ -134,6 +135,21 @@ struct ExecutionReport {
   common::SimDuration deadline = 0.0;
   [[nodiscard]] bool deadline_met() const {
     return deadline <= 0.0 || makespan() <= deadline;
+  }
+
+  // --- economy (docs/ECONOMY.md) --------------------------------------------
+  /// The budget the user requested (0 = none) and the quoted spend of the
+  /// final placements: every task charged its predicted time at its hosts'
+  /// per-CPU-second prices, every edge its bytes at the placed link's
+  /// per-MB price.  Recovery re-placements re-quote (and are budget-gated),
+  /// so spend() <= budget holds for every admitted run by construction.
+  /// Both stay 0 when the economy plane is disabled.
+  double budget = 0.0;
+  econ::SpendBreakdown spend_parts;
+  /// Total quoted spend; spend_parts tiles it exactly (compute + transfer).
+  [[nodiscard]] double spend() const { return spend_parts.total(); }
+  [[nodiscard]] bool within_budget() const {
+    return budget <= 0.0 || spend() <= budget;
   }
 
   /// Output values of exit tasks (port 0), keyed by task-id value; empty

@@ -5,6 +5,8 @@
 #include <cassert>
 
 #include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "econ/econ.hpp"
 #include "sched/host_selection.hpp"
 #include "sched/strategy.hpp"
 
@@ -88,6 +90,9 @@ sched::SchedulerContext SiteManager::make_context(
   if (!core_.options().legacy_instant_reservations) {
     ctx.windows = &core_.reservations();
     ctx.held_booking = core_.reservations().booking_of(scheduling_for);
+  }
+  if (!core_.options().legacy_no_economy) {
+    ctx.prices = &core_.options().prices;
   }
   return ctx;
 }
@@ -366,7 +371,7 @@ void SiteManager::execute_application(
     std::vector<db::TaskPerfRecord> perf, std::vector<tasklib::Kernel> kernels,
     std::unordered_map<std::uint32_t, std::unordered_map<int, tasklib::Value>>
         initial_inputs,
-    ReportCallback callback) {
+    ReportCallback callback, double budget) {
   assert(rat.assignments.size() == graph.task_count());
   auto plan = std::make_shared<ExecutionPlan>();
   plan->app = app_id;
@@ -386,6 +391,7 @@ void SiteManager::execute_application(
     for (common::HostId h : a.hosts) app.involved.insert(h);
   }
   app.submitted = core_.now();
+  app.budget = core_.options().legacy_no_economy ? 0.0 : budget;
   app.callback = std::move(callback);
   auto [it, inserted] = apps_.emplace(app_id.value(), std::move(app));
   assert(inserted);
@@ -652,6 +658,21 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
   relaxed.props.preferred_machine.clear();
   relaxed.props.preferred_machine_type.clear();
 
+  // Economy (docs/ECONOMY.md): a budgeted application's re-placement must
+  // keep the quoted spend within the user's budget — a machine the user
+  // cannot pay for is as unavailable as a reserved one.  Each candidate is
+  // re-quoted against the current assignments with itself substituted, the
+  // same estimate the admission gate charged, so spend() <= budget survives
+  // recovery by construction.
+  const bool budgeted = app.budget > 0.0;
+  bool any_unaffordable = false;
+  auto affordable = [&](const sched::Assignment& candidate) {
+    if (!budgeted) return true;
+    if (quote_current(app, &candidate).total() <= app.budget) return true;
+    any_unaffordable = true;
+    return false;
+  };
+
   bool found = false;
   sched::Assignment chosen;
   double best_objective = 0.0;
@@ -671,10 +692,12 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
           }
           double objective = queue + rh.predicted;
           if (!found || objective < best_objective) {
+            sched::Assignment candidate{task, s, {rh.record.host}, rh.predicted,
+                                        0.0, 0.0};
+            if (!affordable(candidate)) continue;
             found = true;
             best_objective = objective;
-            chosen = sched::Assignment{task, s, {rh.record.host}, rh.predicted,
-                                       0.0, 0.0};
+            chosen = candidate;
           }
         }
       }
@@ -696,16 +719,23 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
             core_.predictor().predict(perf, group, &core_.repo(s).tasks());
         if (!predicted) continue;
         if (!found || *predicted < best_objective) {
+          sched::Assignment candidate{task, s, hosts, *predicted, 0.0, 0.0};
+          if (!affordable(candidate)) continue;
           found = true;
           best_objective = *predicted;
-          chosen = sched::Assignment{task, s, hosts, *predicted, 0.0, 0.0};
+          chosen = candidate;
         }
       }
     }
   }
   if (!found) {
     complete_app(app, false,
-                 "no feasible resource to reschedule " + node.instance_name);
+                 any_unaffordable
+                     ? "no affordable resource to reschedule " +
+                           node.instance_name + " within the " +
+                           common::format_double(app.budget, 2) + " G$ budget"
+                     : "no feasible resource to reschedule " +
+                           node.instance_name);
     return;
   }
 
@@ -758,6 +788,18 @@ void SiteManager::reschedule_task(ActiveApp& app, afg::TaskId task,
   }
 
   dispatch_updated_plan(app, task);
+}
+
+econ::SpendBreakdown SiteManager::quote_current(
+    const ActiveApp& app, const sched::Assignment* substitute) const {
+  sched::ResourceAllocationTable rat = app.plan->rat;
+  for (sched::Assignment& a : rat.assignments) {
+    a = substitute != nullptr && substitute->task == a.task
+            ? *substitute
+            : app.current.at(a.task.value());
+  }
+  return econ::estimate_spend(app.plan->graph, rat, core_.topology(),
+                              core_.options().prices);
 }
 
 PlanPtr SiteManager::current_plan(const ActiveApp& app) const {
@@ -931,6 +973,14 @@ void SiteManager::complete_app(ActiveApp& app, bool success,
     report.dag_edges.emplace_back(e.from.value(), e.to.value());
   }
   report.exit_outputs = app.exit_outputs;
+  // Economy (docs/ECONOMY.md): quote the *final* placements — recovery
+  // re-placements were budget-gated, so this total respects the budget for
+  // every run that was admitted.  Unbudgeted runs keep a zero quote, which
+  // keeps their reports byte-identical to the pre-economy pipeline.
+  if (app.budget > 0.0) {
+    report.budget = app.budget;
+    report.spend_parts = quote_current(app);
+  }
   core_.flight(obs::FlightCode::kAppDone, server_.value(),
                report.app.value(), success ? 1u : 0u, report.makespan());
 

@@ -71,12 +71,16 @@ class SiteManager {
 
   /// Launch an application whose allocation table is already decided.
   /// `kernels` and `initial_inputs` may be empty (timing-only run).
+  /// `budget` is the user's spending cap in G$ (docs/ECONOMY.md); 0 means
+  /// unconstrained.  A positive budget gates recovery re-placements (a
+  /// candidate that would push the quoted spend past it is skipped) and
+  /// fills the report's spend quote on completion.
   void execute_application(
       common::AppId app, afg::Afg graph, sched::ResourceAllocationTable rat,
       std::vector<db::TaskPerfRecord> perf, std::vector<tasklib::Kernel> kernels,
       std::unordered_map<std::uint32_t, std::unordered_map<int, tasklib::Value>>
           initial_inputs,
-      ReportCallback callback);
+      ReportCallback callback, double budget = 0.0);
 
   /// Console service verbs for a running application.
   void suspend_application(common::AppId app);
@@ -118,6 +122,10 @@ class SiteManager {
     int failures_survived = 0;
     common::SimTime submitted = 0;
     common::SimTime exec_started = 0;
+    /// User spending cap in G$ (docs/ECONOMY.md); 0 = unconstrained.  When
+    /// positive, recovery re-placements are budget-gated and complete_app
+    /// quotes the final placements into the report.
+    double budget = 0.0;
     ReportCallback callback;
     std::unordered_map<std::uint32_t, tasklib::Value> exit_outputs;
     /// Per-fault recovery outcomes, surfaced through ExecutionReport.
@@ -177,6 +185,13 @@ class SiteManager {
   void progress_sweep();
   void complete_app(ActiveApp& app, bool success, const std::string& reason);
   [[nodiscard]] PlanPtr current_plan(const ActiveApp& app) const;
+  /// Quoted spend of the app's current assignments under the runtime price
+  /// model, with `substitute` (when non-null) standing in for its own task —
+  /// the what-if query the budget-gated recovery path asks per candidate
+  /// (docs/ECONOMY.md).
+  [[nodiscard]] econ::SpendBreakdown quote_current(
+      const ActiveApp& app,
+      const sched::Assignment* substitute = nullptr) const;
   void leader_echo_tick();
   void on_sm_echo_reply(const net::Message& message);
 

@@ -175,6 +175,40 @@ afg::Afg make_workload(const WorkloadSpec& spec, const std::string& name) {
     }
     case WorkloadShape::kRandomDag:
       return make_random_dag(spec, rng, name);
+    case WorkloadShape::kParamSweep: {
+      // Nimrod/G task farming: a light root fans one parameter file out to
+      // `tasks - 2` identical sweep tasks; a sink gathers their results.
+      // Homogeneous work is what makes the economy interesting — every
+      // placement choice is purely a price/speed trade-off.
+      const std::size_t sweeps = spec.tasks > 2 ? spec.tasks - 2 : 1;
+      const double mflop = rng.uniform(spec.min_mflop, spec.max_mflop);
+      const double param_bytes = spec.min_output_bytes;
+      const double result_bytes =
+          rng.uniform(spec.min_output_bytes, spec.max_output_bytes);
+      afg::Afg graph(name);
+      auto root = graph.add_task(
+          "sweep-root", synth_task_name(spec.min_mflop),
+          synth_props(0, param_bytes, afg::ComputationMode::kSequential, 1));
+      assert(root);
+      auto sink = graph.add_task(
+          "sweep-gather", synth_task_name(spec.min_mflop),
+          synth_props(static_cast<int>(sweeps), param_bytes,
+                      afg::ComputationMode::kSequential, 1));
+      assert(sink);
+      for (std::size_t i = 0; i < sweeps; ++i) {
+        auto id = graph.add_task(
+            "sweep" + std::to_string(i), synth_task_name(mflop),
+            synth_props(1, result_bytes, afg::ComputationMode::kSequential, 1));
+        assert(id);
+        auto in = graph.connect(*root, 0, *id, 0);
+        assert(in.ok());
+        auto out = graph.connect(*id, 0, *sink, static_cast<int>(i));
+        assert(out.ok());
+        (void)in;
+        (void)out;
+      }
+      return graph;
+    }
   }
   // Unreachable; keeps -Wreturn-type quiet on exotic compilers.
   return afg::Afg(name);

@@ -66,14 +66,19 @@ struct GridSpec {
 /// topologies (names, speeds, loads, links).
 net::Topology make_grid(const GridSpec& spec);
 
-/// AFG workload shapes the generator produces.
-enum class WorkloadShape { kLayered, kForkJoin, kRandomDag };
+/// AFG workload shapes the generator produces.  kParamSweep is the
+/// Nimrod/G task-farming shape (Buyya et al., arXiv cs/0009021): one root
+/// distributing parameters to `tasks - 2` identical independent sweep
+/// tasks, gathered by a single sink — the canonical workload of the
+/// deadline/budget-constrained economy plane (docs/ECONOMY.md).
+enum class WorkloadShape { kLayered, kForkJoin, kRandomDag, kParamSweep };
 
 constexpr const char* to_string(WorkloadShape s) {
   switch (s) {
     case WorkloadShape::kLayered: return "layered";
     case WorkloadShape::kForkJoin: return "forkjoin";
     case WorkloadShape::kRandomDag: return "randomdag";
+    case WorkloadShape::kParamSweep: return "paramsweep";
   }
   return "?";
 }

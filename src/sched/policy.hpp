@@ -90,6 +90,17 @@ struct SchedulingPolicy {
   /// the no-delay invariant holds in practice (bench_reservations --check
   /// gates it).
   double backfill_guard = 2.0;
+
+  // --- economy (docs/ECONOMY.md) ------------------------------------------
+  /// User-level economic constraints, in seconds of simulated time and G$
+  /// respectively; 0 means unconstrained.  The environment copies
+  /// RunOptions.deadline / RunOptions.budget here at submission so the
+  /// resolved strategy sees exactly what the user asked for.  Only the
+  /// cost-aware strategies ("dbc-cost", "dbc-time") read them; with both at
+  /// zero those strategies place identically to the default time-optimising
+  /// path (tests/test_differential.cpp pins this).
+  double deadline = 0.0;
+  double budget = 0.0;
 };
 
 /// The concrete strategy name `policy` resolves to: `policy.strategy` when

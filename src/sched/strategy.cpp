@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sched/baselines.hpp"
+#include "sched/dbc.hpp"
 #include "sched/heft.hpp"
 #include "sched/list_variants.hpp"
 #include "sched/site_scheduler.hpp"
@@ -167,6 +168,24 @@ std::vector<Entry> builtin_entries() {
       planner_factory([](const SchedulingPolicy& policy) {
         return std::unique_ptr<Scheduler>(new RandomScheduler(policy.seed));
       }));
+  add("dbc-cost",
+      "Deadline/budget-constrained cost-optimisation (Buyya et al., arXiv "
+      "cs/0203020): minimise quoted spend subject to the policy deadline.  "
+      "Without prices or constraints, identical to the default assignment "
+      "phase (docs/ECONOMY.md).",
+      [](const SchedulingPolicy& policy) {
+        return std::unique_ptr<SchedulerStrategy>(
+            new DbcStrategy(DbcStrategy::Mode::kCost, policy));
+      });
+  add("dbc-time",
+      "Deadline/budget-constrained time-optimisation (Buyya et al., arXiv "
+      "cs/0203020): minimise completion time subject to the policy budget.  "
+      "Without prices or constraints, identical to the default assignment "
+      "phase (docs/ECONOMY.md).",
+      [](const SchedulingPolicy& policy) {
+        return std::unique_ptr<SchedulerStrategy>(
+            new DbcStrategy(DbcStrategy::Mode::kTime, policy));
+      });
   return entries;
 }
 

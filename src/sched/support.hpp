@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "db/site_repository.hpp"
+#include "econ/econ.hpp"
 #include "net/topology.hpp"
 #include "obs/obs.hpp"
 #include "predict/model.hpp"
@@ -55,6 +56,14 @@ struct SchedulerContext {
   /// scheduler (tests/test_reservations_differential.cpp).
   const WindowTable* windows = nullptr;
   std::uint64_t held_booking = 0;
+
+  /// Resource prices (optional; docs/ECONOMY.md).  When set, the cost-aware
+  /// strategies ("dbc-cost", "dbc-time") price every candidate placement —
+  /// per-CPU-second host prices, per-MB link prices — and optimise spend
+  /// against the policy's deadline/budget constraints.  Null, or a policy
+  /// with no constraints, leaves every strategy's decisions bit-identical
+  /// to the price-free scheduler (the economy differential pins this).
+  const econ::CostModel* prices = nullptr;
 
   [[nodiscard]] const db::SiteRepository& repo(common::SiteId site) const {
     return *repos.at(site.value());

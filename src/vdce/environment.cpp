@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "econ/econ.hpp"
 #include "sched/strategy.hpp"
 #include "sched/support.hpp"
 
@@ -649,6 +650,15 @@ common::Expected<AppHandle> VdceEnvironment::submit_application(
   if (auto policy_ok = sched::validate_policy(options.sched); !policy_ok.ok()) {
     return policy_ok.error();
   }
+  // Economy (docs/ECONOMY.md): the user-level constraints travel inside the
+  // scheduling policy so the cost-aware strategies (and any future ones)
+  // can optimise against them.  The legacy kill-switch leaves both at zero,
+  // keeping the policy — and with it every strategy decision — byte-
+  // identical to the pre-economy pipeline.
+  if (!options_.runtime.legacy_no_economy) {
+    options.sched.deadline = options.deadline;
+    options.sched.budget = options.budget;
+  }
 
   AppHandle handle{++next_handle_};
   if (auto st = admission_.enqueue(handle.id, account->user_name,
@@ -800,6 +810,32 @@ void VdceEnvironment::on_scheduled(
                       common::format_double(run.deadline, 3) + "s deadline"});
     return;
   }
+  // Economy admission gate (docs/ECONOMY.md): a positive budget is a hard
+  // constraint, enforced unconditionally (unlike the deadline QoS check
+  // above).  The quote charged here — predicted CPU-seconds at host prices
+  // plus edge bytes at link prices — is the same estimate recovery
+  // re-placement and the final report use, so an admitted run satisfies
+  // spend() <= budget by construction.  Typed kBudgetExceeded, not
+  // kNoFeasibleResource: the contention-deferral path above must not retry
+  // a submission that no amount of waiting can make affordable.
+  if (!options_.runtime.legacy_no_economy && run.budget > 0.0) {
+    const econ::SpendBreakdown quote = econ::estimate_spend(
+        *slot.graph, *table, topology_, options_.runtime.prices);
+    if (quote.total() > run.budget) {
+      if (obs_.metrics_on()) {
+        obs_.metrics().counter("econ.budget_rejections").add();
+      }
+      finalize_submission(
+          slot,
+          common::Error{common::ErrorCode::kBudgetExceeded,
+                        "admission rejected: quoted spend " +
+                            common::format_double(quote.total(), 3) +
+                            " G$ exceeds the " +
+                            common::format_double(run.budget, 3) +
+                            " G$ budget"});
+      return;
+    }
+  }
 
   auto resolved = resolve_app_resources(*slot.graph, slot.session, run);
   if (!resolved) {
@@ -822,7 +858,8 @@ void VdceEnvironment::on_scheduled(
                            std::move(resolved->initial),
                            [this, handle](runtime::ExecutionReport report) {
                              on_executed(handle, std::move(report));
-                           });
+                           },
+                           run.budget);
 }
 
 void VdceEnvironment::on_executed(std::uint64_t handle,
@@ -1046,7 +1083,8 @@ common::Expected<runtime::ExecutionReport> VdceEnvironment::execute_plan(
                            [&done, &report](runtime::ExecutionReport r) {
                              report = std::move(r);
                              done = true;
-                           });
+                           },
+                           options.budget);
   auto st = drive_until(done);
   if (!st.ok()) {
     obs_.flight().record(engine_.now(), obs::FlightCode::kRunFailed,

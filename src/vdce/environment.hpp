@@ -73,6 +73,13 @@ namespace vdce {
 //                          submission away: the user's quota or the global
 //                          admission-queue bound is exhausted (retry after
 //                          in-flight applications finish).
+//   kBudgetExceeded      — the economy plane's admission gate rejected the
+//                          submission: the quoted spend of the best schedule
+//                          found already exceeds RunOptions::budget
+//                          (docs/ECONOMY.md); raise the budget, relax the
+//                          deadline, or pick a cost-optimising strategy.
+//                          Unlike kQuotaExceeded this is not retryable —
+//                          waiting changes nothing about the price.
 //   kReservationConflict — an advance-reservation request overlaps a window
 //                          already committed on the same host or link
 //                          capacity (docs/RESERVATIONS.md); pick a
@@ -194,6 +201,17 @@ struct RunOptions {
   /// estimated schedule length already exceeds the deadline (the user can
   /// retry with a wider access domain or fewer constraints).
   bool enforce_admission = false;
+  /// Economy (docs/ECONOMY.md): spending cap in G$ over the quoted cost of
+  /// the schedule (per-task predicted CPU-seconds at host prices plus
+  /// per-edge bytes at link prices); 0 = unconstrained.  A positive budget
+  /// is always enforced: submissions whose quoted spend exceeds it are
+  /// rejected with kBudgetExceeded before execution (independent of
+  /// enforce_admission — a spend cap is a hard constraint, not a QoS hint),
+  /// and recovery re-placements are restricted to machines that keep the
+  /// quote within it.  Both deadline and budget are copied into the
+  /// scheduling policy so the cost-aware `dbc-cost` / `dbc-time` strategies
+  /// can optimise against them.
+  double budget = 0.0;
   /// Advance-reservation ticket from reserve().  A valid ticket parks the
   /// admitted submission until its window opens (AppState::kReserved) and
   /// restricts placement to the booked machines; the default (invalid)

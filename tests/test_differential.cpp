@@ -16,13 +16,19 @@
 #include <string>
 #include <vector>
 
+#include "afg/generate.hpp"
 #include "db/site_repository.hpp"
+#include "econ/econ.hpp"
 #include "predict/model.hpp"
 #include "scale/generate.hpp"
 #include "sched/baselines.hpp"
 #include "sched/heft.hpp"
+#include "sched/host_selection.hpp"
 #include "sched/reference.hpp"
 #include "sched/site_scheduler.hpp"
+#include "sched/strategy.hpp"
+#include "vdce/environment.hpp"
+#include "vdce/testbed.hpp"
 
 namespace vdce::sched {
 namespace {
@@ -122,6 +128,136 @@ TEST(Differential, StalenessPenaltyPathAlsoMatches) {
   auto slow = reference::schedule_naive(graph, dep.context, options);
   ASSERT_TRUE(fast.has_value() && slow.has_value());
   expect_bit_identical(*fast, *slow, "stale");
+}
+
+// ---- economy differential: unconstrained DBC == default path ---------------------
+//
+// docs/ECONOMY.md promises the economy is invisible until asked for.  Two
+// guarantees, both exact:
+//   1. With prices in the context but no deadline/budget in the policy, the
+//      DBC strategies delegate to the default VDCE assignment phase — the
+//      table is field-for-field identical to `vdce-level` under the same
+//      objective × priority, across the same 72-case corpus the cache
+//      differential uses (only the attribution name may differ).
+//   2. End to end, a default-options environment (economy plane enabled but
+//      unconstrained) produces byte-identical reports and traces to one
+//      running under the `legacy_no_economy` kill-switch.
+
+/// Exact table comparison, scheduler_name excepted (DBC tables carry their
+/// own attribution by design).
+void expect_identical_but_name(const ResourceAllocationTable& a,
+                               const ResourceAllocationTable& b,
+                               const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.app_name, b.app_name);
+  EXPECT_EQ(a.schedule_length, b.schedule_length);
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    const Assignment& x = a.assignments[i];
+    const Assignment& y = b.assignments[i];
+    EXPECT_EQ(x.task, y.task) << "row " << i;
+    EXPECT_EQ(x.site, y.site) << "row " << i;
+    EXPECT_EQ(x.hosts, y.hosts) << "row " << i;
+    EXPECT_EQ(x.predicted_time, y.predicted_time) << "row " << i;
+    EXPECT_EQ(x.est_start, y.est_start) << "row " << i;
+    EXPECT_EQ(x.est_finish, y.est_finish) << "row " << i;
+  }
+}
+
+TEST(EconDifferential, UnconstrainedDbcMatchesDefaultAcrossCorpus) {
+  scale::CorpusSpec spec;
+  spec.cases = 72;  // same grid as the cache differential: 432 combinations
+  spec.seed = 977;
+  const econ::CostModel prices;
+  for (const scale::CorpusCase& c : scale::make_corpus(spec)) {
+    Deployment dep(c.grid);
+    dep.context.prices = &prices;  // priced context, unconstrained policy
+    afg::Afg graph = scale::make_workload(
+        c.workload, "econ-diff-" + std::to_string(c.index));
+
+    // Host selection is policy-independent: gather the bids once per case.
+    std::vector<HostSelectionOutput> outputs;
+    for (const auto& repo : dep.repos) {
+      auto out = HostSelectionAlgorithm::run(graph, repo->site(), *repo,
+                                             dep.predictor);
+      if (out) outputs.push_back(std::move(*out));
+    }
+
+    for (SiteObjective objective :
+         {SiteObjective::kAvailabilityAware, SiteObjective::kPaperObjective}) {
+      for (PriorityMode priority :
+           {PriorityMode::kPaperLevels, PriorityMode::kCommLevels,
+            PriorityMode::kFifo}) {
+        SchedulingPolicy base;
+        base.objective = objective;
+        base.priority = priority;
+        base.strategy = objective == SiteObjective::kPaperObjective
+                            ? "vdce-level-paper"
+                            : "vdce-level";
+        auto reference_table =
+            make_strategy(base).value()->assign(graph, dep.context, outputs);
+        for (const char* name : {"dbc-cost", "dbc-time"}) {
+          SchedulingPolicy dbc = base;
+          dbc.strategy = name;  // deadline/budget stay 0: must delegate
+          auto dbc_table =
+              make_strategy(dbc).value()->assign(graph, dep.context, outputs);
+          ASSERT_EQ(reference_table.has_value(), dbc_table.has_value())
+              << "case " << c.index << " strategy " << name;
+          if (!reference_table) continue;
+          EXPECT_EQ(dbc_table->scheduler_name, name);
+          expect_identical_but_name(
+              *reference_table, *dbc_table,
+              "case " + std::to_string(c.index) + " strategy " + name +
+                  " objective " +
+                  std::to_string(static_cast<int>(objective)) + " priority " +
+                  std::to_string(static_cast<int>(priority)));
+        }
+      }
+    }
+  }
+}
+
+TEST(EconDifferential, KillSwitchRunsAreByteIdentical) {
+  // Same deployment, same workloads; the only difference is the
+  // legacy_no_economy kill-switch.  Unconstrained runs must not change by a
+  // byte when the economy plane is live — reports bit-identical, traces
+  // byte-identical.
+  for (std::size_t i = 0; i < 4; ++i) {
+    SCOPED_TRACE("case " + std::to_string(i));
+    auto run_once = [i](bool legacy) {
+      EnvironmentOptions options;
+      options.trace.enabled = true;
+      options.background_load = i % 2 == 1;
+      options.runtime.legacy_no_economy = legacy;
+      auto env = std::make_unique<VdceEnvironment>(make_campus_pair(23 + i),
+                                                   options);
+      EXPECT_TRUE(env->try_bring_up().ok());
+      env->add_user("u", "p");
+      auto session = env->login(common::SiteId(0), "u", "p").value();
+      common::Rng rng(300 + i);
+      afg::LayeredDagSpec spec;
+      spec.tasks = 14 + i * 4;
+      spec.width = 4;
+      afg::Afg graph = afg::make_layered_dag(spec, rng);
+      RunOptions run;
+      run.real_kernels = false;
+      auto report = env->run_application(graph, session, run);
+      EXPECT_TRUE(report.has_value());
+      std::string out = env->trace().to_jsonl();
+      if (report.has_value()) {
+        out += report->describe(graph);
+        // Unconstrained runs must carry no quote on either side.
+        EXPECT_EQ(report->spend(), 0.0);
+        EXPECT_EQ(report->budget, 0.0);
+        EXPECT_EQ(report->spend_parts.compute, 0.0);
+        EXPECT_EQ(report->spend_parts.transfer, 0.0);
+      }
+      return out;
+    };
+    const std::string economy_on = run_once(false);
+    const std::string economy_off = run_once(true);
+    EXPECT_EQ(economy_on, economy_off) << "kill-switch diverges";
+  }
 }
 
 // ---- ranking sanity on Fig-2/Fig-3 style scenarios -------------------------------

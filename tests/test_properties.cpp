@@ -12,10 +12,13 @@
 
 #include "afg/generate.hpp"
 #include "db/site_repository.hpp"
+#include "econ/econ.hpp"
 #include "editor/dsl.hpp"
 #include "predict/model.hpp"
 #include "scale/generate.hpp"
+#include "sched/host_selection.hpp"
 #include "sched/site_scheduler.hpp"
+#include "sched/strategy.hpp"
 #include "vdce/environment.hpp"
 #include "vdce/testbed.hpp"
 
@@ -329,6 +332,212 @@ TEST(ScaleCorpus, SchedulerInvariantsHoldAcrossTwoHundredCases) {
         << "case " << c.index << ": " << table.error().to_string();
     check_schedule_invariants(graph, dep.topology, *table, c.index);
   }
+}
+
+// ---- economy invariants over the scale corpus (docs/ECONOMY.md) -------------
+//
+// The same 200 (topology, AFG) pairs, now priced.  Per case:
+//   1. the spend tiling is exact and deterministic: compute + transfer ==
+//      total(), twice over, byte-for-byte;
+//   2. both DBC strategies produce schedules satisfying all four scheduler
+//      invariants (they are list schedulers like everyone else — the
+//      economic objective must not break dependency or exclusivity rules);
+//   3. a loose budget (1.25x the default schedule's quote) admits: the
+//      dbc-time schedule's quote stays within it, so the environment's
+//      admission gate would never reject it as unaffordable;
+//   4. the unconstrained DBC table is field-for-field the default
+//      assignment-phase table (the delegation contract the differential
+//      suite pins end to end).
+
+/// Run a registry strategy against a corpus deployment (host-selection
+/// outputs gathered exactly as the runtime gathers them: every site bids).
+common::Expected<sched::ResourceAllocationTable> run_strategy(
+    const CorpusDeployment& dep, const afg::Afg& graph,
+    const sched::SchedulingPolicy& policy) {
+  std::vector<sched::HostSelectionOutput> outputs;
+  for (const auto& repo : dep.repos) {
+    auto out = sched::HostSelectionAlgorithm::run(graph, repo->site(), *repo,
+                                                  dep.predictor);
+    if (out) outputs.push_back(std::move(*out));
+  }
+  auto strategy = sched::make_strategy(policy);
+  if (!strategy) return strategy.error();
+  return (*strategy)->assign(graph, dep.context, outputs);
+}
+
+TEST(EconCorpus, SpendTilingAndDbcInvariantsHoldAcrossTwoHundredCases) {
+  scale::CorpusSpec spec;  // 200 cases
+  const std::vector<scale::CorpusCase> corpus = scale::make_corpus(spec);
+  ASSERT_GE(corpus.size(), 200u);
+  const econ::CostModel prices;  // default rate card
+  for (const scale::CorpusCase& c : corpus) {
+    SCOPED_TRACE("corpus case " + std::to_string(c.index));
+    CorpusDeployment dep(c.grid);
+    dep.context.prices = &prices;
+    afg::Afg graph = scale::make_workload(
+        c.workload, "corpus-" + std::to_string(c.index));
+
+    // Baseline: the default availability-aware schedule and its quote.
+    sched::SchedulingPolicy base;
+    auto base_table = run_strategy(dep, graph, base);
+    ASSERT_TRUE(base_table.has_value()) << base_table.error().to_string();
+    const econ::SpendBreakdown s0 = econ::estimate_spend(
+        graph, *base_table, dep.topology, prices);
+
+    // 1 — exact, deterministic tiling.
+    EXPECT_GE(s0.compute, 0.0);
+    EXPECT_GE(s0.transfer, 0.0);
+    EXPECT_GT(s0.total(), 0.0);  // every corpus case computes something
+    EXPECT_EQ(s0.total(), s0.compute + s0.transfer);
+    const econ::SpendBreakdown again = econ::estimate_spend(
+        graph, *base_table, dep.topology, prices);
+    EXPECT_EQ(s0.compute, again.compute);
+    EXPECT_EQ(s0.transfer, again.transfer);
+
+    // 2 — dbc-cost under a loose deadline obeys every scheduler invariant.
+    sched::SchedulingPolicy cost_policy;
+    cost_policy.strategy = "dbc-cost";
+    cost_policy.deadline = base_table->schedule_length * 1.25;
+    auto cost_table = run_strategy(dep, graph, cost_policy);
+    ASSERT_TRUE(cost_table.has_value()) << cost_table.error().to_string();
+    EXPECT_EQ(cost_table->scheduler_name, "dbc-cost");
+    check_schedule_invariants(graph, dep.topology, *cost_table, c.index);
+
+    // 3 — dbc-time under a loose budget obeys the invariants AND stays
+    // affordable, so the admission gate would admit it (the "never
+    // rejected as unaffordable" half of the economy contract).
+    sched::SchedulingPolicy time_policy;
+    time_policy.strategy = "dbc-time";
+    time_policy.budget = s0.total() * 1.25;
+    auto time_table = run_strategy(dep, graph, time_policy);
+    ASSERT_TRUE(time_table.has_value()) << time_table.error().to_string();
+    check_schedule_invariants(graph, dep.topology, *time_table, c.index);
+    const double time_quote =
+        econ::estimate_spend(graph, *time_table, dep.topology, prices).total();
+    EXPECT_LE(time_quote, time_policy.budget * (1.0 + 1e-9));
+
+    // 4 — unconstrained DBC delegates to the default assignment phase:
+    // identical placements, times, and length; only the name differs.
+    sched::SchedulingPolicy uncon;
+    uncon.strategy = "dbc-cost";
+    auto uncon_table = run_strategy(dep, graph, uncon);
+    ASSERT_TRUE(uncon_table.has_value()) << uncon_table.error().to_string();
+    EXPECT_EQ(uncon_table->scheduler_name, "dbc-cost");
+    EXPECT_EQ(uncon_table->schedule_length, base_table->schedule_length);
+    ASSERT_EQ(uncon_table->assignments.size(),
+              base_table->assignments.size());
+    for (std::size_t i = 0; i < base_table->assignments.size(); ++i) {
+      const sched::Assignment& a = base_table->assignments[i];
+      const sched::Assignment& b = uncon_table->assignments[i];
+      EXPECT_EQ(a.task, b.task);
+      EXPECT_EQ(a.site, b.site);
+      EXPECT_EQ(a.hosts, b.hosts);
+      EXPECT_EQ(a.predicted_time, b.predicted_time);
+      EXPECT_EQ(a.est_start, b.est_start);
+      EXPECT_EQ(a.est_finish, b.est_finish);
+    }
+  }
+}
+
+// ---- economy admission (docs/ECONOMY.md) ------------------------------------
+
+TEST(EconAdmission, LooseBudgetAdmittedAndWithinBudget) {
+  VdceEnvironment env(make_campus_pair(), fast_options());
+  env.bring_up();
+  auto session = login(env);
+  afg::Afg graph = afg::make_chain(4, 800, 1e5);
+  // Probe with an unreachable budget to learn the quote...
+  RunOptions probe;
+  probe.real_kernels = false;
+  probe.budget = 1e12;
+  auto probe_report = env.run_application(graph, session, probe);
+  ASSERT_TRUE(probe_report.has_value()) << probe_report.error().message;
+  ASSERT_GT(probe_report->spend(), 0.0);
+  // ...then rerun with 25% headroom: admitted, and the quote respects it.
+  RunOptions run;
+  run.real_kernels = false;
+  run.budget = probe_report->spend() * 1.25;
+  auto report = env.run_application(graph, session, run);
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  EXPECT_TRUE(report->success);
+  EXPECT_GT(report->spend(), 0.0);
+  EXPECT_LE(report->spend(), report->budget);
+  EXPECT_TRUE(report->within_budget());
+  EXPECT_EQ(report->spend(),
+            report->spend_parts.compute + report->spend_parts.transfer);
+}
+
+TEST(EconAdmission, TightBudgetRejectedWithTypedError) {
+  VdceEnvironment env(make_campus_pair(), fast_options());
+  env.bring_up();
+  auto session = login(env);
+  afg::Afg graph = afg::make_chain(4, 5000, 1e5);
+  RunOptions run;
+  run.real_kernels = false;
+  run.budget = 1e-9;  // no schedule can quote this low
+  auto report = env.run_application(graph, session, run);
+  ASSERT_FALSE(report.has_value());
+  EXPECT_EQ(report.error().code, common::ErrorCode::kBudgetExceeded);
+  EXPECT_NE(report.error().message.find("exceeds the"), std::string::npos);
+  EXPECT_NE(report.error().message.find("budget"), std::string::npos);
+}
+
+TEST(EconAdmission, DeadlineOnlyRunsAreNeverBudgetRejected) {
+  VdceEnvironment env(make_campus_pair(), fast_options());
+  env.bring_up();
+  auto session = login(env);
+  afg::Afg graph = afg::make_chain(3, 500, 1e4);
+  RunOptions run;
+  run.real_kernels = false;
+  run.deadline = 1e6;
+  run.enforce_admission = true;  // deadline gate on, budget unconstrained
+  auto report = env.run_application(graph, session, run);
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  EXPECT_TRUE(report->deadline_met());
+  // Unbudgeted runs carry no quote — their reports stay byte-identical to
+  // the pre-economy pipeline (the differential suite pins this).
+  EXPECT_EQ(report->spend(), 0.0);
+  EXPECT_EQ(report->budget, 0.0);
+}
+
+TEST(EconAdmission, DbcStrategiesAreRegistered) {
+  EXPECT_TRUE(sched::strategy_registered("dbc-cost"));
+  EXPECT_TRUE(sched::strategy_registered("dbc-time"));
+  VdceEnvironment env(make_campus_pair(), fast_options());
+  env.bring_up();
+  auto session = login(env);
+  afg::Afg graph = afg::make_chain(3, 500, 1e4);
+  RunOptions run;
+  run.real_kernels = false;
+  run.sched.strategy = "dbc-time";
+  run.budget = 1e12;
+  auto report = env.run_application(graph, session, run);
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  EXPECT_EQ(report->scheduler, "dbc-time");
+  EXPECT_TRUE(report->within_budget());
+}
+
+TEST(EconAdmission, ParamSweepWorkloadRunsUnderBudget) {
+  VdceEnvironment env(make_campus_pair(), fast_options());
+  env.bring_up();
+  auto session = login(env);
+  scale::WorkloadSpec spec;
+  spec.shape = scale::WorkloadShape::kParamSweep;
+  spec.tasks = 10;  // root + 8 sweeps + gather
+  spec.seed = 7;
+  afg::Afg graph = scale::make_workload(spec, "sweep");
+  ASSERT_TRUE(graph.validate().ok());
+  EXPECT_EQ(graph.task_count(), 10u);
+  RunOptions run;
+  run.real_kernels = false;
+  run.sched.strategy = "dbc-cost";
+  run.deadline = 1e6;
+  run.budget = 1e12;
+  auto report = env.run_application(graph, session, run);
+  ASSERT_TRUE(report.has_value()) << report.error().message;
+  EXPECT_TRUE(report->success);
+  EXPECT_TRUE(report->within_budget());
+  EXPECT_GT(report->spend(), 0.0);
 }
 
 }  // namespace
